@@ -1,0 +1,53 @@
+// Ablation: density-matrix vs trajectory noisy-simulation engines.
+//
+// DESIGN.md design decision: DM gives exact probabilities at n<=5 and is the
+// default for "noise model" runs; trajectories add shot noise (hardware
+// realism) at a cost. This bench quantifies convergence (TVD to the DM
+// answer vs shot count) and wall time.
+#include <cstdio>
+
+#include "algos/tfim.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/stopwatch.hpp"
+#include "metrics/distribution.hpp"
+#include "noise/catalog.hpp"
+#include "sim/backend.hpp"
+#include "transpile/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ablation_engines");
+  bench::print_banner("Ablation", "Density-matrix vs trajectory engines");
+
+  algos::TfimModel model;
+  const auto device = noise::device_by_name("ourense");
+  const auto tr = transpile::transpile(model.circuit_up_to(6), device, {});
+  const auto sub = tr.restricted_device(device);
+  const auto nm = noise::NoiseModel::from_device(sub, {});
+
+  common::Stopwatch sw;
+  sim::DensityMatrixBackend dm(nm, 1);
+  const auto exact = dm.run_probabilities(tr.circuit);
+  const double dm_ms = sw.millis();
+
+  common::Table table({"engine", "shots", "tvd_vs_dm", "time_ms"});
+  table.add_row({"density-matrix", "-", "0", common::format_double(dm_ms, 2)});
+  for (std::size_t shots : {256u, 1024u, 4096u, 16384u}) {
+    sw.reset();
+    sim::TrajectoryBackend traj(nm, shots, 7);
+    const auto sampled = traj.run_probabilities(tr.circuit);
+    const double ms = sw.millis();
+    table.add_row({"trajectory", std::to_string(shots),
+                   common::format_double(metrics::total_variation(exact, sampled), 4),
+                   common::format_double(ms, 2)});
+  }
+  bench::emit_table(ctx, "ablation_engines", table);
+
+  // Convergence: TVD at 16384 shots must be well under TVD at 256.
+  const double tvd_lo = std::atof(table.row(1)[2].c_str());
+  const double tvd_hi = std::atof(table.row(4)[2].c_str());
+  bench::shape_check("trajectory converges to the DM answer with shots",
+                     tvd_hi < tvd_lo, tvd_hi, tvd_lo);
+  return 0;
+}

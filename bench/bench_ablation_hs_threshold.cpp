@@ -1,0 +1,71 @@
+// Ablation: the HS selection threshold (the paper's "never below 0.1" rule).
+//
+// Harvest one TFIM target's QSearch intermediates once, then apply different
+// selection thresholds and measure (a) how many circuits survive and (b) the
+// best output quality reachable under noise from the surviving set.
+#include <cmath>
+#include <cstdio>
+
+#include "algos/tfim.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+#include "sim/observables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ablation_hs_threshold");
+  bench::print_banner("Ablation", "HS selection threshold");
+
+  algos::TfimModel model;
+  const int step = 8;
+  const ir::QuantumCircuit reference = model.circuit_up_to(step);
+
+  // Harvest once, unfiltered.
+  std::vector<synth::ApproxCircuit> harvest;
+  synth::QSearchOptions opts;
+  opts.max_nodes = ctx.fast ? 10 : 30;
+  opts.max_cnots = 6;
+  opts.intermediate_callback = [&](const synth::ApproxCircuit& c) {
+    harvest.push_back(c);
+  };
+  synth::qsearch_synthesize(reference.to_unitary(), 3, opts);
+  std::printf("unfiltered harvest: %zu circuits\n", harvest.size());
+
+  approx::ExecutionConfig exec =
+      approx::ExecutionConfig::simulator(noise::device_by_name("toronto"));
+  approx::ExecutionConfig ideal = exec;
+  ideal.ideal = true;
+  const double ideal_mag =
+      sim::average_z_magnetization(approx::execute_distribution(reference, ideal));
+
+  approx::MetricSpec metric;  // magnetization
+  common::Table table({"threshold", "selected", "best_abs_error", "min_cnots",
+                       "max_cnots"});
+  std::vector<double> best_err_by_threshold;
+  for (double threshold : {0.05, 0.1, 0.3, 0.5, 0.8}) {
+    const auto kept = approx::select_candidates(harvest, threshold, 1000);
+    if (kept.empty()) {
+      table.add_row({common::format_double(threshold, 2), "0", "-", "-", "-"});
+      continue;
+    }
+    const auto study = approx::run_scatter_study(reference, kept, exec, metric);
+    double best = 1e9;
+    std::size_t min_cx = 1000, max_cx = 0;
+    for (const auto& s : study.scores) {
+      best = std::min(best, std::abs(s.metric - ideal_mag));
+      min_cx = std::min(min_cx, s.cnot_count);
+      max_cx = std::max(max_cx, s.cnot_count);
+    }
+    best_err_by_threshold.push_back(best);
+    table.add_row({common::format_double(threshold, 2), std::to_string(kept.size()),
+                   common::format_double(best, 4), std::to_string(min_cx),
+                   std::to_string(max_cx)});
+  }
+  bench::emit_table(ctx, "ablation_hs_threshold", table);
+  bench::shape_check(
+      "wider thresholds never hurt the best reachable quality",
+      best_err_by_threshold.back() <= best_err_by_threshold.front() + 1e-9,
+      best_err_by_threshold.back(), best_err_by_threshold.front());
+  return 0;
+}

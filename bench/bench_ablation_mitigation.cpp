@@ -1,0 +1,73 @@
+// Ablation: does readout-error mitigation erase the approximate-circuit
+// advantage? (The open interplay question from the paper's related work:
+// "it is unclear whether the benefits of approximate circuits will hold for
+// processes which require post-processing or manipulation of error levels".)
+//
+// Runs the 3q TFIM scatter at one deep timestep with and without
+// confusion-matrix inversion applied to every output.
+#include <cmath>
+#include <cstdio>
+
+#include "algos/tfim.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+#include "noise/mitigation.hpp"
+#include "sim/observables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ablation_mitigation");
+  bench::print_banner("Ablation", "Readout mitigation vs approximate circuits");
+
+  algos::TfimModel model;
+  const int step = ctx.fast ? 5 : 10;
+  const ir::QuantumCircuit reference = model.circuit_up_to(step);
+
+  approx::GeneratorConfig gen = approx::tfim_generator_preset(3);
+  gen.qsearch.max_nodes = ctx.fast ? 8 : 20;
+  const noise::CouplingMap line = noise::CouplingMap::line(3);
+  const auto circuits = approx::generate_from_reference(reference, gen, &line);
+
+  const auto device = noise::device_by_name("toronto");
+  approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
+  approx::ExecutionConfig ideal_cfg = exec;
+  ideal_cfg.ideal = true;
+  const double ideal_mag = sim::average_z_magnetization(
+      approx::execute_distribution(reference, ideal_cfg));
+
+  // The mitigator calibrated from the device's first 3 qubits (trivial
+  // layout at optimization level 1 keeps the job there).
+  const auto nm = noise::simulator_noise_model(device);
+  const std::vector<noise::ReadoutError> errs(nm.readout_errors().begin(),
+                                              nm.readout_errors().begin() + 3);
+  const noise::ReadoutMitigator mitigator(errs);
+
+  auto magnetization = [&](const ir::QuantumCircuit& qc, bool mitigate) {
+    auto probs = approx::execute_distribution(qc, exec);
+    if (mitigate) probs = mitigator.apply(probs);
+    return sim::average_z_magnetization(probs);
+  };
+
+  common::Table table({"post-processing", "ref_error", "best_approx_error",
+                       "advantage"});
+  double advantage[2] = {0, 0};
+  for (int mit = 0; mit <= 1; ++mit) {
+    const double ref_err = std::abs(magnetization(reference, mit) - ideal_mag);
+    double best_err = 1e9;
+    for (const auto& c : circuits)
+      best_err = std::min(best_err,
+                          std::abs(magnetization(c.circuit, mit) - ideal_mag));
+    advantage[mit] = ref_err - best_err;
+    table.add_row({mit ? "mitigated" : "raw", common::format_double(ref_err, 4),
+                   common::format_double(best_err, 4),
+                   common::format_double(advantage[mit], 4)});
+  }
+  bench::emit_table(ctx, "ablation_mitigation", table);
+
+  bench::shape_check("approximate advantage survives readout mitigation",
+                     advantage[1] > 0.0, advantage[1], 0.0);
+  std::printf("(mitigation removes readout error for everyone; the CNOT-noise gap\n"
+              " that approximate circuits exploit remains)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: which noise sources drive the Toffoli JS degradation
+// (supports the paper's Observation 9: CNOT error is not the only factor).
+//
+// Runs the 4q Toffoli battery on the Manhattan model with noise sources
+// enabled incrementally: depolarizing only, +thermal relaxation, +readout,
+// +coherent CX over-rotation, +ZZ crosstalk.
+#include <cstdio>
+
+#include "algos/mct.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ablation_noise_sources");
+  bench::print_banner("Ablation", "Noise-source contributions to Toffoli JS");
+
+  const auto device = noise::device_by_name("manhattan");
+  const ir::QuantumCircuit battery = algos::mct_battery_circuit(4);
+  approx::MetricSpec metric;
+  metric.kind = approx::MetricSpec::Kind::JsDistance;
+  metric.ideal_distribution = algos::mct_battery_ideal_distribution(4);
+
+  struct Config {
+    const char* label;
+    bool thermal, readout, coherent, crosstalk, idle;
+  };
+  const Config configs[] = {
+      {"depolarizing only", false, false, false, false, false},
+      {"+thermal relaxation", true, false, false, false, false},
+      {"+readout", true, true, false, false, false},
+      {"+coherent overrotation", true, true, true, false, false},
+      {"+zz crosstalk (hw preset)", true, true, true, true, false},
+      {"+idle relaxation (extra)", true, true, true, true, true},
+  };
+
+  common::Table table({"noise sources", "js_distance"});
+  std::vector<double> js_values;
+  for (const auto& c : configs) {
+    approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
+    exec.noise_options.thermal_relaxation = c.thermal;
+    exec.noise_options.readout = c.readout;
+    exec.noise_options.coherent_cx_overrotation = c.coherent;
+    exec.noise_options.zz_crosstalk = c.crosstalk;
+    exec.noise_options.idle_relaxation = c.idle;
+    const double js =
+        approx::score_distribution(approx::execute_distribution(battery, exec), metric);
+    table.add_row({c.label, common::format_double(js, 4)});
+    js_values.push_back(js);
+  }
+  bench::emit_table(ctx, "ablation_noise_sources", table);
+
+  bench::shape_check("readout error adds measurable JS on top of gate noise",
+                     js_values[2] > js_values[1] + 1e-3, js_values[2], js_values[1]);
+  bench::shape_check("CNOT-side noise is not the only contributor (Obs. 9)",
+                     js_values.back() > js_values.front() + 1e-3, js_values.back(),
+                     js_values.front());
+  return 0;
+}

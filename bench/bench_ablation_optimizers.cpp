@@ -1,0 +1,66 @@
+// Ablation: optimizer choice on the synthesis cost (the paper's SciPy
+// COBYLA-vs-BFGS knob).
+//
+// Fixed two-block template against a reachable target; compares L-BFGS,
+// Nelder-Mead, and multistart L-BFGS on final cost and evaluation count.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "synth/cost.hpp"
+#include "synth/optimize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ablation_optimizers");
+  bench::print_banner("Ablation", "Numerical optimizer comparison");
+
+  // A target the template can represent exactly (so 0 is reachable).
+  common::Rng rng(99);
+  synth::TemplateCircuit tpl = synth::TemplateCircuit::u3_layer(3);
+  tpl.add_qsearch_block(0, 1);
+  tpl.add_qsearch_block(1, 2);
+  std::vector<double> secret(static_cast<std::size_t>(tpl.num_params()));
+  for (auto& p : secret) p = rng.uniform(-3.0, 3.0);
+  linalg::Matrix target;
+  tpl.unitary(secret, target);
+
+  const synth::HsCost cost(tpl, target);
+  const synth::CostFn f = [&cost](const std::vector<double>& x) { return cost(x); };
+  const synth::GradFn g = [&cost](const std::vector<double>& x,
+                                  std::vector<double>& grad) {
+    cost.gradient(x, grad);
+  };
+  const std::vector<double> x0(static_cast<std::size_t>(tpl.num_params()), 0.1);
+
+  common::Table table({"optimizer", "final_hs", "evaluations", "time_ms"});
+  auto report = [&](const char* name, const synth::OptimizeResult& r, double ms) {
+    table.add_row({name, common::format_double(synth::cost_to_hs_distance(r.value), 6),
+                   std::to_string(r.evaluations), common::format_double(ms, 1)});
+  };
+
+  common::Stopwatch sw;
+  synth::OptimizeOptions oo;
+  oo.max_iterations = 200;
+  report("lbfgs", synth::lbfgs_minimize(f, g, x0, oo), sw.millis());
+
+  sw.reset();
+  report("nelder-mead", synth::nelder_mead_minimize(f, x0, oo), sw.millis());
+
+  sw.reset();
+  common::Rng ms_rng(5);
+  synth::MultistartOptions mso;
+  mso.inner = oo;
+  mso.num_starts = 4;
+  report("multistart-lbfgs", synth::multistart_minimize(f, g, x0, ms_rng, mso),
+         sw.millis());
+
+  bench::emit_table(ctx, "ablation_optimizers", table);
+  const double lbfgs_hs = std::atof(table.row(0)[1].c_str());
+  const double ms_hs = std::atof(table.row(2)[1].c_str());
+  bench::shape_check("multistart at least matches single-start L-BFGS",
+                     ms_hs <= lbfgs_hs + 1e-9, ms_hs, lbfgs_hs);
+  return 0;
+}

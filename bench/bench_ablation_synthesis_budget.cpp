@@ -1,0 +1,43 @@
+// Ablation: QSearch node budget vs harvest quality.
+//
+// DESIGN.md design decision: the A* node budget trades synthesis time for
+// cloud quality. Sweeps the budget on one TFIM target and reports best HS,
+// harvest size and time.
+#include <cstdio>
+
+#include "algos/tfim.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/stopwatch.hpp"
+#include "synth/qsearch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ablation_synth_budget");
+  bench::print_banner("Ablation", "QSearch node budget");
+
+  algos::TfimModel model;
+  const auto target = model.trotter_unitary_up_to(6);
+
+  common::Table table({"max_nodes", "best_hs", "best_cnots", "harvest", "time_s"});
+  std::vector<double> best_hs;
+  for (int budget : {4, 8, 16, 32}) {
+    synth::QSearchOptions opts;
+    opts.max_nodes = budget;
+    opts.max_cnots = 6;
+    int harvested = 0;
+    opts.intermediate_callback = [&](const synth::ApproxCircuit&) { ++harvested; };
+    common::Stopwatch sw;
+    const auto res = synth::qsearch_synthesize(target, 3, opts);
+    table.add_row({std::to_string(budget),
+                   common::format_double(res.best.hs_distance, 5),
+                   std::to_string(res.best.cnot_count), std::to_string(harvested),
+                   common::format_double(sw.seconds(), 2)});
+    best_hs.push_back(res.best.hs_distance);
+  }
+  bench::emit_table(ctx, "ablation_synth_budget", table);
+  bench::shape_check("bigger budgets find equal-or-better circuits",
+                     best_hs.back() <= best_hs.front(), best_hs.back(),
+                     best_hs.front());
+  return 0;
+}

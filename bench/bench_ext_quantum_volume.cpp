@@ -1,0 +1,57 @@
+// Extension (paper §6.5): quantum volume of the catalog devices, in both
+// noise-model and hardware modes — the metric the paper proposes correlating
+// approximate-circuit benefit with.
+//
+// Shape targets: QV ranks devices consistently with Table 1 (Ourense, the
+// lowest-CX-error 5q device, sustains the widest passing width; Rome the
+// narrowest among 5q devices), and hardware mode never exceeds the noise
+// model's QV.
+#include <cstdio>
+
+#include "algos/qv.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "ext_qv");
+  bench::print_banner("Extension", "Quantum volume of the catalog devices");
+
+  algos::QvOptions opts;
+  opts.num_circuits = ctx.fast ? 4 : 12;
+  opts.max_width = 5;
+
+  common::Table table({"device", "mode", "w2_hop", "w3_hop", "w4_hop", "w5_hop",
+                       "log2(QV)"});
+  int qv_ourense = 0, qv_rome = 0, qv_ourense_hw = 0;
+  for (const auto& device : noise::device_catalog()) {
+    for (bool hardware : {false, true}) {
+      algos::QvOptions mode_opts = opts;
+      mode_opts.hardware_mode = hardware;
+      const algos::QvResult result = algos::measure_quantum_volume(device, mode_opts);
+      std::vector<std::string> row = {device.name, hardware ? "hardware" : "model"};
+      for (int w = 2; w <= 5; ++w) {
+        std::string cell = "-";
+        for (const auto& wr : result.widths)
+          if (wr.width == w)
+            cell = common::format_double(wr.mean_heavy_probability, 3) +
+                   (wr.pass ? "" : "*");
+        row.push_back(cell);
+      }
+      row.push_back(std::to_string(result.log2_qv));
+      table.add_row(std::move(row));
+
+      if (device.name == "ourense" && !hardware) qv_ourense = result.log2_qv;
+      if (device.name == "ourense" && hardware) qv_ourense_hw = result.log2_qv;
+      if (device.name == "rome" && !hardware) qv_rome = result.log2_qv;
+    }
+  }
+  std::printf("(* = width failed the 2/3 heavy-output threshold)\n");
+  bench::emit_table(ctx, "ext_qv", table);
+  bench::shape_check("lowest-error device sustains QV at least as wide as noisiest",
+                     qv_ourense >= qv_rome, qv_ourense, qv_rome);
+  bench::shape_check("hardware mode never beats the noise model",
+                     qv_ourense_hw <= qv_ourense, qv_ourense_hw, qv_ourense);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 3: the full approximate-circuit cloud for the 3-qubit TFIM under
+// the Toronto noise model (every dot of the paper's scatter, CNOT count per
+// circuit included).
+//
+// Shape targets: a wide spread of approximations per timestep, nearly all
+// closer to the noise-free reference than the noisy reference is; CNOT
+// counts span ~0-6 (the paper's red 2-CNOT through blue 6-CNOT dots).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig03");
+  bench::print_banner("Figure 3", "3q TFIM, Toronto noise model: full cloud");
+
+  const approx::TfimStudyConfig cfg = bench::tfim_config(ctx, "toronto", 3, false);
+  const approx::TfimStudyResult result = approx::run_tfim_study(cfg);
+  bench::emit_table(ctx, "fig03", bench::tfim_cloud_table(result), 24);
+
+  std::size_t beats = 0, total = 0, min_cx = 1000, max_cx = 0;
+  for (const auto& ts : result.timesteps) {
+    const double ref_err = std::abs(ts.noisy_reference - ts.noise_free_reference);
+    for (const auto& s : ts.scores) {
+      ++total;
+      if (std::abs(s.metric - ts.noise_free_reference) < ref_err) ++beats;
+      min_cx = std::min(min_cx, s.cnot_count);
+      max_cx = std::max(max_cx, s.cnot_count);
+    }
+  }
+  const double frac = total ? static_cast<double>(beats) / total : 0.0;
+  std::printf("cloud: %zu circuits, CNOT range [%zu, %zu], %.0f%% beat noisy ref\n",
+              total, min_cx, max_cx, 100.0 * frac);
+  bench::shape_check("large majority of approximations beat the noisy reference",
+                     frac > 0.6, frac, 0.6);
+  bench::shape_check("cloud spans shallow-to-deep CNOT counts",
+                     min_cx <= 2 && max_cx >= 5, static_cast<double>(min_cx),
+                     static_cast<double>(max_cx));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 7: JS distance over CNOT count for the 5-qubit Toffoli under the
+// Manhattan noise model.
+//
+// Shape targets: the 5q reference's JS is higher than the 4q one's (deeper
+// reference, more noise); approximations with many CNOTs approach the
+// random-noise JS of 0.465; shorter circuits correlate with lower JS, with
+// outliers.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "noise/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig07");
+  bench::print_banner("Figure 7",
+                      "5q Toffoli, Manhattan noise model: JS vs CNOT count");
+
+  const auto device = noise::device_by_name("manhattan");
+  approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
+
+  const bench::ToffoliSetup setup5 = bench::make_toffoli_setup(ctx, 5);
+  std::printf("harvested %zu approximate circuits\n", setup5.battery.size());
+  const approx::ScatterStudy study5 = approx::run_scatter_study(
+      setup5.reference_battery, setup5.battery, exec, setup5.metric);
+  bench::emit_table(ctx, "fig07", bench::scatter_table(study5, "js_distance"), 40);
+
+  // 4q reference JS for the cross-figure comparison.
+  const bench::ToffoliSetup setup4 = bench::make_toffoli_setup(ctx, 4);
+  const approx::ScatterStudy study4 = approx::run_scatter_study(
+      setup4.reference_battery, {}, exec, setup4.metric);
+
+  std::printf("reference JS: 5q %.3f vs 4q %.3f; random-noise line %.3f\n",
+              study5.reference_metric, study4.reference_metric,
+              setup5.random_noise_js);
+  bench::shape_check("5q reference JS above 4q reference JS",
+                     study5.reference_metric > study4.reference_metric,
+                     study5.reference_metric, study4.reference_metric);
+
+  // Deepest quartile of the cloud approaches the random-noise line.
+  std::size_t max_cx = 0;
+  for (const auto& s : study5.scores) max_cx = std::max(max_cx, s.cnot_count);
+  double deep_js = 0;
+  int nd = 0;
+  for (const auto& s : study5.scores) {
+    if (s.cnot_count >= (3 * max_cx) / 4) {
+      deep_js += s.metric;
+      ++nd;
+    }
+  }
+  if (nd) {
+    deep_js /= nd;
+    bench::shape_check("deep circuits sit near the 0.465 random-noise JS",
+                       std::abs(deep_js - setup5.random_noise_js) < 0.12, deep_js,
+                       setup5.random_noise_js);
+  }
+  const double best = study5.scores[approx::best_by_min(study5.scores)].metric;
+  bench::shape_check("best 5q approximation beats the 5q reference",
+                     best < study5.reference_metric, best, study5.reference_metric);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 9: 3q TFIM on the Ourense model with the CNOT error forced to
+// 0.12 (the paper's "today's lowest quality devices" setting).
+//
+// Shape targets: average magnetization drops relative to the zero-CNOT-error
+// sweep; deeper circuits now degrade visibly (positive depth-error
+// correlation).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig09");
+  bench::print_banner("Figure 9", "3q TFIM, Ourense model, CNOT error = 0.12");
+
+  const approx::TfimStudyResult at012 = bench::run_ourense_sweep_level(ctx, 0.12);
+  bench::emit_table(ctx, "fig09", bench::tfim_cloud_table(at012), 24);
+
+  const approx::TfimStudyResult at0 = bench::run_ourense_sweep_level(ctx, 0.0);
+  auto mean_cloud_mag = [](const approx::TfimStudyResult& r) {
+    double m = 0;
+    std::size_t n = 0;
+    for (const auto& ts : r.timesteps)
+      for (const auto& s : ts.scores) {
+        m += s.metric;
+        ++n;
+      }
+    return n ? m / n : 0.0;
+  };
+  const double mag012 = mean_cloud_mag(at012);
+  const double mag0 = mean_cloud_mag(at0);
+  std::printf("mean cloud magnetization: %.3f at err=0.12 vs %.3f at err=0\n", mag012,
+              mag0);
+  bench::shape_check("CNOT error depresses the observed magnetization",
+                     mag012 < mag0, mag012, mag0);
+
+  const double corr = bench::depth_error_correlation(at012);
+  std::printf("depth-vs-error Pearson correlation: %.3f\n", corr);
+  bench::shape_check("depth now predicts error (r > 0.3)", corr > 0.3, corr, 0.3);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10: 3q TFIM on the Ourense model with the CNOT error forced to
+// 0.24 (worse than any machine in Table 1).
+//
+// Shape targets: the best of the shortest circuits beats the best of the
+// longest circuits for (nearly) all timesteps; depth-error correlation is
+// even stronger than at 0.12.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig10");
+  bench::print_banner("Figure 10", "3q TFIM, Ourense model, CNOT error = 0.24");
+
+  const approx::TfimStudyResult result = bench::run_ourense_sweep_level(ctx, 0.24);
+  bench::emit_table(ctx, "fig10", bench::tfim_cloud_table(result), 24);
+
+  // Best-of-shortest vs best-of-longest per timestep.
+  int shallow_wins = 0, comparisons = 0;
+  for (const auto& ts : result.timesteps) {
+    std::size_t min_cx = 1000, max_cx = 0;
+    for (const auto& s : ts.scores) {
+      min_cx = std::min(min_cx, s.cnot_count);
+      max_cx = std::max(max_cx, s.cnot_count);
+    }
+    if (max_cx <= min_cx + 2) continue;  // no depth contrast this step
+    double best_short = 1e9, best_long = 1e9;
+    for (const auto& s : ts.scores) {
+      const double err = std::abs(s.metric - ts.noise_free_reference);
+      if (s.cnot_count <= min_cx + 1) best_short = std::min(best_short, err);
+      if (s.cnot_count >= max_cx - 1) best_long = std::min(best_long, err);
+    }
+    ++comparisons;
+    if (best_short <= best_long) ++shallow_wins;
+  }
+  std::printf("best-shallow beats best-deep in %d/%d timesteps\n", shallow_wins,
+              comparisons);
+  bench::shape_check("shallow circuits dominate at heavy CNOT noise",
+                     comparisons > 0 && shallow_wins >= (3 * comparisons) / 4,
+                     static_cast<double>(shallow_wins),
+                     static_cast<double>(comparisons));
+
+  const double corr = bench::depth_error_correlation(result);
+  std::printf("depth-vs-error Pearson correlation: %.3f\n", corr);
+  bench::shape_check("depth strongly predicts error (r > 0.45)", corr > 0.45, corr,
+                     0.45);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 11: CNOT depth of the best-performing approximate circuit per
+// timestep, for several forced CNOT-error levels.
+//
+// Shape target: the higher the error level, the shallower the best circuits
+// on average (a trend, not a per-point guarantee — the paper shows the same
+// caveat).
+#include <cstdio>
+
+#include "approx/sweep.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig11");
+  bench::print_banner("Figure 11",
+                      "Best approximate circuit's CNOT depth per timestep & error");
+
+  approx::SweepConfig sweep;
+  sweep.base = bench::tfim_config(ctx, "ourense", 3, false);
+  sweep.cx_error_levels = ctx.fast ? std::vector<double>{0.0, 0.24}
+                                   : std::vector<double>{0.0, 0.03, 0.06, 0.12, 0.24};
+  const approx::SweepResult result = approx::run_cx_error_sweep(sweep);
+  const auto series = result.best_depth_series();
+
+  std::vector<std::string> headers = {"step"};
+  for (const auto& level : result.levels)
+    headers.push_back("err_" + common::format_double(level.cx_error, 3));
+  common::Table table(headers);
+  const auto& steps = result.levels.front().study.timesteps;
+  for (std::size_t si = 0; si < steps.size(); ++si) {
+    std::vector<std::string> row = {std::to_string(steps[si].step)};
+    for (const auto& s : series) row.push_back(std::to_string(s[si]));
+    table.add_row(std::move(row));
+  }
+  bench::emit_table(ctx, "fig11", table);
+
+  // Average best depth per level must not increase with error.
+  std::vector<double> avg;
+  for (const auto& s : series) {
+    double a = 0;
+    for (auto d : s) a += static_cast<double>(d);
+    avg.push_back(a / static_cast<double>(s.size()));
+    std::printf("err %.3g: mean best depth %.2f\n",
+                result.levels[avg.size() - 1].cx_error, avg.back());
+  }
+  bench::shape_check("worst error level favors shallower best circuits",
+                     avg.back() <= avg.front(), avg.back(), avg.front());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 17: 4q Toffoli on the Toronto physical machine, best manual
+// mapping (the paper's blue circle).
+//
+// Shape targets: the best-performing circuits reach JS ~0.40 (clearly below
+// the reference ~0.47), and a substantial fraction of the cloud sits below
+// the reference.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig17");
+  bench::print_banner("Figure 17", "4q Toffoli on Toronto hardware, best mapping");
+
+  const bench::MappingFigure fig = bench::run_toronto_mapping_figure(ctx, "best");
+  bench::emit_table(ctx, "fig17", bench::scatter_table(fig.study, "js_distance"), 40);
+
+  const double best = fig.study.scores[approx::best_by_min(fig.study.scores)].metric;
+  const double frac = approx::fraction_beating_reference(
+      fig.study.scores, fig.study.reference_metric, false);
+  std::printf("mapping cost %.5f, reference JS %.3f, best JS %.3f, %.0f%% below "
+              "reference (random noise at %.3f)\n",
+              fig.layout_cost, fig.study.reference_metric, best, 100 * frac,
+              fig.random_noise_js);
+  bench::shape_check("best circuits clearly beat the reference",
+                     best < fig.study.reference_metric - 0.03, best,
+                     fig.study.reference_metric);
+  bench::shape_check("a sizable fraction of the cloud beats the reference",
+                     frac > 0.15, frac, 0.15);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 18: 4q Toffoli on the Toronto physical machine, worst manual
+// mapping (the paper's red circle).
+//
+// Shape target: this mapping gives the worst results of the study — its best
+// approximation is worse than the best mapping's best approximation.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "fig18");
+  bench::print_banner("Figure 18", "4q Toffoli on Toronto hardware, worst mapping");
+
+  const bench::MappingFigure worst = bench::run_toronto_mapping_figure(ctx, "worst");
+  bench::emit_table(ctx, "fig18", bench::scatter_table(worst.study, "js_distance"),
+                    40);
+  const bench::MappingFigure best_map = bench::run_toronto_mapping_figure(ctx, "best");
+
+  auto mean_js = [](const approx::ScatterStudy& s) {
+    double m = 0;
+    for (const auto& sc : s.scores) m += sc.metric;
+    return s.scores.empty() ? 0.0 : m / static_cast<double>(s.scores.size());
+  };
+  const double worst_mean = mean_js(worst.study);
+  const double best_mean = mean_js(best_map.study);
+  std::printf("worst mapping: cost %.5f, reference JS %.3f, cloud mean JS %.3f | "
+              "best mapping: reference JS %.3f, cloud mean JS %.3f\n",
+              worst.layout_cost, worst.study.reference_metric, worst_mean,
+              best_map.study.reference_metric, best_mean);
+  // The paper's Fig 17-vs-18 contrast: the whole distribution shifts up on
+  // the bad region — reference and cloud alike.
+  bench::shape_check("worst mapping's reference JS above the best mapping's",
+                     worst.study.reference_metric > best_map.study.reference_metric,
+                     worst.study.reference_metric, best_map.study.reference_metric);
+  bench::shape_check("worst mapping's cloud is worse on average",
+                     worst_mean > best_mean, worst_mean, best_mean);
+  bench::shape_check("worst mapping costed higher than best at calibration time",
+                     worst.layout_cost > best_map.layout_cost, worst.layout_cost,
+                     best_map.layout_cost);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: state-vector gate
+// application, density-matrix channel application, template unitary builds
+// (the synthesis inner loop), GEMM and expm.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/factories.hpp"
+#include "noise/channel.hpp"
+#include "sim/density_matrix.hpp"
+#include "noise/catalog.hpp"
+#include "sim/backend.hpp"
+#include "sim/statevector.hpp"
+#include "synth/qfactor.hpp"
+#include "synth/cost.hpp"
+#include "synth/template.hpp"
+
+namespace {
+
+using namespace qc;
+
+void BM_StateVectorCx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::StateVector sv(n);
+  const ir::Gate cx(ir::GateKind::CX, {0, n - 1});
+  const ir::Gate h(ir::GateKind::H, {0});
+  sv.apply(h);
+  for (auto _ : state) {
+    sv.apply(cx);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateVectorCx)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_StateVectorU3(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::StateVector sv(n);
+  const ir::Gate u3(ir::GateKind::U3, {n / 2}, {0.3, 0.1, -0.2});
+  for (auto _ : state) {
+    sv.apply(u3);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_StateVectorU3)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_DensityMatrixDepolarizing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::DensityMatrix dm(n);
+  dm.apply(ir::Gate(ir::GateKind::H, {0}));
+  const noise::Channel ch = noise::depolarizing(0.01, 2);
+  for (auto _ : state) {
+    dm.apply_channel(ch, {0, 1});
+    benchmark::DoNotOptimize(dm.rho().data());
+  }
+}
+BENCHMARK(BM_DensityMatrixDepolarizing)->Arg(3)->Arg(5);
+
+void BM_TemplateUnitary(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  synth::TemplateCircuit tpl = synth::TemplateCircuit::u3_layer(3);
+  for (int b = 0; b < blocks; ++b) tpl.add_qsearch_block(b % 2, (b % 2) + 1);
+  common::Rng rng(1);
+  std::vector<double> params(static_cast<std::size_t>(tpl.num_params()));
+  for (auto& p : params) p = rng.uniform(-3, 3);
+  linalg::Matrix out;
+  for (auto _ : state) {
+    tpl.unitary(params, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemplateUnitary)->Arg(2)->Arg(6);
+
+void BM_HsCostEval(benchmark::State& state) {
+  common::Rng rng(2);
+  synth::TemplateCircuit tpl = synth::TemplateCircuit::u3_layer(3);
+  for (int b = 0; b < 4; ++b) tpl.add_qsearch_block(b % 2, (b % 2) + 1);
+  const synth::HsCost cost(tpl, linalg::random_unitary(8, rng));
+  std::vector<double> params(static_cast<std::size_t>(tpl.num_params()), 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost(params));
+  }
+}
+BENCHMARK(BM_HsCostEval);
+
+void BM_Gemm(benchmark::State& state) {
+  common::Rng rng(3);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::random_unitary(dim, rng);
+  const linalg::Matrix b = linalg::random_unitary(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((a * b).data());
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(8)->Arg(32);
+
+void BM_Expm(benchmark::State& state) {
+  common::Rng rng(4);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix h = linalg::random_hermitian(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::expm_hermitian_propagator(h, 0.15).data());
+  }
+}
+BENCHMARK(BM_Expm)->Arg(8)->Arg(16);
+
+void BM_QFactorSweep(benchmark::State& state) {
+  common::Rng rng(5);
+  const linalg::Matrix target = linalg::random_unitary(8, rng);
+  ir::QuantumCircuit structure(3);
+  for (int b = 0; b < 6; ++b) {
+    structure.cx(b % 2, (b % 2) + 1);
+    structure.u3(0.2, 0.1, -0.1, b % 2);
+    structure.u3(0.3, -0.2, 0.2, (b % 2) + 1);
+  }
+  synth::QFactorOptions opts;
+  opts.max_sweeps = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::qfactor_optimize(structure, target, opts).sweeps);
+  }
+}
+BENCHMARK(BM_QFactorSweep);
+
+void BM_TrajectoryShots(benchmark::State& state) {
+  const auto device = noise::device_by_name("ourense");
+  const auto model = noise::simulator_noise_model(device);
+  ir::QuantumCircuit qc(3);
+  qc.u3(0.7, 0.1, 0.2, 0).cx(0, 1).cx(1, 2).u3(0.4, -0.3, 0.2, 2);
+  sim::TrajectoryBackend backend(model, 64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.run_counts(qc, 64).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TrajectoryShots);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table 1: average CNOT errors on the five IBM machines.
+//
+// Paper values (2021/01/18 snapshot): Manhattan 65q .01578, Toronto 27q
+// .01377, Santiago 5q .01131, Rome 5q .02965, Ourense 5q .00767. The
+// catalog's synthetic calibration matches these averages by construction;
+// this bench regenerates the table and cross-checks.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  bench::BenchContext ctx(argc, argv, "table1");
+  bench::print_banner("Table 1", "Average CNOT errors on IBM physical machines");
+
+  const struct {
+    const char* name;
+    double paper_avg;
+  } paper[] = {{"Manhattan", 0.01578},
+               {"Toronto", 0.01377},
+               {"Santiago", 0.01131},
+               {"Rome", 0.02965},
+               {"Ourense", 0.00767}};
+
+  common::Table table({"IBM Machine", "Num. qubits", "Av. CNOT err.", "paper value"});
+  bool all_match = true;
+  for (const auto& row : paper) {
+    const auto device = noise::device_by_name(common::to_lower(row.name));
+    const double measured = device.average_cx_error();
+    table.add_row({row.name, std::to_string(device.num_qubits()),
+                   common::format_double(measured, 5),
+                   common::format_double(row.paper_avg, 5)});
+    all_match = all_match && std::abs(measured - row.paper_avg) < 1e-6;
+  }
+  bench::emit_table(ctx, "table1", table);
+  bench::shape_check("all five device averages equal the paper's Table 1", all_match,
+                     all_match ? 1 : 0, 1);
+  return 0;
+}

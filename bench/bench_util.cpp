@@ -1,0 +1,266 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "algos/grover.hpp"
+#include "algos/mct.hpp"
+#include "approx/mapping_study.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "noise/catalog.hpp"
+#include "transpile/decompose.hpp"
+
+namespace qc::bench {
+
+BenchContext::BenchContext(int argc, char** argv, const std::string& figure_id)
+    : args(argc, argv),
+      fast(args.get_bool("fast", false)),
+      shots(static_cast<std::size_t>(args.get_int("shots", 2048))),
+      csv_path(args.get("csv", figure_id + ".csv")) {}
+
+void print_banner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+void emit_table(const BenchContext& ctx, const std::string& id,
+                const common::Table& table, std::size_t max_print_rows) {
+  if (table.num_rows() <= max_print_rows) {
+    std::printf("%s", table.to_string().c_str());
+  } else {
+    common::Table head(table.headers());
+    for (std::size_t r = 0; r < max_print_rows; ++r) head.add_row(table.row(r));
+    std::printf("%s", head.to_string().c_str());
+    std::printf("... (%zu more rows in %s)\n", table.num_rows() - max_print_rows,
+                ctx.csv_path.c_str());
+  }
+  table.write_csv(ctx.csv_path);
+  std::printf("[%s] wrote %zu rows to %s\n", id.c_str(), table.num_rows(),
+              ctx.csv_path.c_str());
+}
+
+void shape_check(const std::string& what, bool ok, double lhs, double rhs) {
+  std::printf("SHAPE %-4s %s  (%.4g vs %.4g)\n", ok ? "PASS" : "FAIL", what.c_str(),
+              lhs, rhs);
+}
+
+approx::TfimStudyConfig tfim_config(const BenchContext& ctx,
+                                    const std::string& device_name, int num_qubits,
+                                    bool hardware_mode) {
+  approx::TfimStudyConfig cfg;
+  cfg.model.num_qubits = num_qubits;
+  cfg.model.num_steps = 21;
+
+  const int max_step = ctx.args.get_int("steps", ctx.fast ? 6 : 21);
+  const int stride = ctx.fast ? 2 : 1;
+  for (int s = 1; s <= max_step; s += stride) cfg.steps.push_back(s);
+
+  cfg.generator = approx::tfim_generator_preset(num_qubits);
+  if (ctx.fast) {
+    cfg.generator.qsearch.max_nodes = 8;
+    cfg.generator.qfast.max_blocks = 3;
+    cfg.generator.reducer.variants_per_size = 1;
+    cfg.generator.max_circuits = 24;
+  }
+
+  const auto device = noise::device_by_name(device_name);
+  cfg.execution = hardware_mode ? approx::ExecutionConfig::hardware(device)
+                                : approx::ExecutionConfig::simulator(device);
+  cfg.execution.shots = ctx.shots;
+  return cfg;
+}
+
+approx::GeneratorConfig grover_generator(const BenchContext& ctx) {
+  approx::GeneratorConfig gen;
+  gen.use_qsearch = true;
+  gen.qsearch.max_cnots = 7;
+  gen.qsearch.max_nodes = ctx.fast ? 10 : 40;
+  gen.qsearch.optimizer.max_iterations = 80;
+  gen.use_reducer = true;  // deep tail toward the 24-CX reference
+  gen.reducer.keep_fractions = {0.25, 0.4, 0.55, 0.7, 0.85, 1.0};
+  gen.reducer.variants_per_size = ctx.fast ? 1 : 3;
+  gen.reducer.optimizer.max_iterations = 60;
+  gen.hs_threshold = 0.7;
+  gen.max_circuits = ctx.fast ? 30 : 120;
+  return gen;
+}
+
+approx::GeneratorConfig toffoli_generator(const BenchContext& ctx, int num_qubits) {
+  approx::GeneratorConfig gen;
+  // QSearch contributes the high-quality shallow end at 4 qubits; it does
+  // not scale to 5 (the paper hit the same wall).
+  gen.use_qsearch = num_qubits <= 4 && !ctx.fast;
+  gen.qsearch.max_cnots = 8;
+  gen.qsearch.max_nodes = 30;
+  gen.qsearch.optimizer.max_iterations = 80;
+  gen.use_qfast = true;
+  gen.qfast.max_blocks = ctx.fast ? 3 : (num_qubits >= 5 ? 6 : 10);
+  gen.qfast.optimizer.max_iterations = ctx.fast ? 15 : (num_qubits >= 5 ? 40 : 70);
+  gen.qfast.restarts_per_depth = ctx.fast ? 1 : 2;
+  gen.use_reducer = true;
+  gen.reducer.keep_fractions = {0.05, 0.12, 0.2, 0.3, 0.4, 0.5,
+                                0.6,  0.7,  0.8, 0.9, 0.95, 1.0};
+  gen.reducer.variants_per_size = ctx.fast ? 1 : 3;
+  gen.reducer.optimizer.max_iterations = ctx.fast ? 25 : 50;
+  gen.reducer.full_reopt_max_qubits = 0;  // boundary mode throughout (depth)
+  gen.hs_threshold = 1.0;  // JS figures show the full quality range
+  gen.max_circuits = ctx.fast ? 25 : 90;
+  return gen;
+}
+
+ToffoliSetup make_toffoli_setup(const BenchContext& ctx, int num_qubits) {
+  ToffoliSetup setup;
+  setup.reference_battery = algos::mct_battery_circuit(num_qubits);
+  setup.metric.kind = approx::MetricSpec::Kind::JsDistance;
+  setup.metric.ideal_distribution = algos::mct_battery_ideal_distribution(num_qubits);
+  setup.random_noise_js = algos::mct_random_noise_js();
+
+  // Approximate the bare gate, then wrap each candidate with the battery
+  // prefix so execution exercises every control pattern at once. Synthesis
+  // is machine-aware (line blocks embed swap-free into every device).
+  const ir::QuantumCircuit gate_reference = algos::mct_reference_circuit(num_qubits);
+  const noise::CouplingMap line = noise::CouplingMap::line(num_qubits);
+  const auto raw = approx::generate_from_reference(
+      gate_reference, toffoli_generator(ctx, num_qubits), &line);
+
+  double best_qfast_hs = 2.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    synth::ApproxCircuit wrapped = raw[i];
+    ir::QuantumCircuit battery = algos::mct_battery_prefix(num_qubits);
+    battery.append(wrapped.circuit);
+    wrapped.circuit = std::move(battery);
+    if (raw[i].source == "qfast" && raw[i].hs_distance < best_qfast_hs) {
+      best_qfast_hs = raw[i].hs_distance;
+      setup.qfast_default_index = i;
+    }
+    setup.battery.push_back(std::move(wrapped));
+  }
+  return setup;
+}
+
+MappingFigure run_toronto_mapping_figure(const BenchContext& ctx,
+                                         const std::string& label) {
+  const auto device = noise::device_by_name("toronto");
+  const ToffoliSetup setup = make_toffoli_setup(ctx, 4);
+
+  const auto mappings =
+      approx::enumerate_mappings(setup.reference_battery, device, 4);
+  const approx::MappingCandidate* chosen = nullptr;
+  for (const auto& m : mappings)
+    if (m.label == label) chosen = &m;
+  QC_CHECK_MSG(chosen != nullptr, "unknown mapping label: " + label);
+
+  approx::ExecutionConfig exec = approx::ExecutionConfig::hardware(device);
+  exec.shots = ctx.shots;
+  if (chosen->layout.empty()) {
+    exec.optimization_level = 3;
+  } else {
+    exec.optimization_level = 1;
+    exec.initial_layout = chosen->layout;
+  }
+
+  MappingFigure fig;
+  fig.label = chosen->label;
+  fig.layout = chosen->layout;
+  fig.layout_cost = chosen->cost;
+  fig.random_noise_js = setup.random_noise_js;
+  fig.study = approx::run_scatter_study(setup.reference_battery, setup.battery, exec,
+                                        setup.metric);
+  return fig;
+}
+
+approx::TfimStudyResult run_ourense_sweep_level(const BenchContext& ctx,
+                                                double cx_error) {
+  approx::TfimStudyConfig cfg = tfim_config(ctx, "ourense", 3, false);
+  cfg.execution.noise_options.uniform_cx_error = cx_error;
+  return approx::run_tfim_study(cfg);
+}
+
+namespace {
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+}  // namespace
+
+double depth_error_correlation(const approx::TfimStudyResult& result) {
+  // Mean *within-timestep* correlation: pooling timesteps would mix the
+  // time-varying ideal value into the statistic.
+  double sum = 0.0;
+  int counted = 0;
+  for (const auto& ts : result.timesteps) {
+    std::vector<double> xs, ys;
+    for (const auto& s : ts.scores) {
+      xs.push_back(static_cast<double>(s.cnot_count));
+      ys.push_back(std::abs(s.metric - ts.noise_free_reference));
+    }
+    if (xs.size() < 3) continue;
+    sum += pearson(xs, ys);
+    ++counted;
+  }
+  return counted ? sum / counted : 0.0;
+}
+
+common::Table tfim_series_table(const approx::TfimStudyResult& result) {
+  common::Table table({"step", "noise_free_ref", "noisy_ref", "minimal_hs",
+                       "best_approx", "ref_cnots", "minhs_cnots", "best_cnots"});
+  for (const auto& ts : result.timesteps) {
+    table.add_row({std::to_string(ts.step),
+                   common::format_double(ts.noise_free_reference, 4),
+                   common::format_double(ts.noisy_reference, 4),
+                   common::format_double(ts.scores[ts.minimal_hs].metric, 4),
+                   common::format_double(ts.scores[ts.best_output].metric, 4),
+                   std::to_string(ts.reference_cnots),
+                   std::to_string(ts.circuits[ts.minimal_hs].cnot_count),
+                   std::to_string(ts.circuits[ts.best_output].cnot_count)});
+  }
+  return table;
+}
+
+common::Table tfim_cloud_table(const approx::TfimStudyResult& result) {
+  common::Table table({"step", "circuit", "cnots", "hs_distance", "magnetization",
+                       "noise_free_ref", "noisy_ref"});
+  for (const auto& ts : result.timesteps) {
+    for (const auto& s : ts.scores) {
+      table.add_row({std::to_string(ts.step), std::to_string(s.index),
+                     std::to_string(s.cnot_count),
+                     common::format_double(s.hs_distance, 5),
+                     common::format_double(s.metric, 4),
+                     common::format_double(ts.noise_free_reference, 4),
+                     common::format_double(ts.noisy_reference, 4)});
+    }
+  }
+  return table;
+}
+
+common::Table scatter_table(const approx::ScatterStudy& study,
+                            const std::string& metric_name) {
+  common::Table table({"circuit", "cnots", "hs_distance", metric_name});
+  table.add_row({"reference", std::to_string(study.reference_cnots), "0",
+                 common::format_double(study.reference_metric, 4)});
+  for (const auto& s : study.scores) {
+    table.add_row({std::to_string(s.index), std::to_string(s.cnot_count),
+                   common::format_double(s.hs_distance, 5),
+                   common::format_double(s.metric, 4)});
+  }
+  return table;
+}
+
+}  // namespace qc::bench

@@ -1,0 +1,76 @@
+// Multi-control Toffoli study: how the approximate-circuit advantage grows
+// with gate width (the paper's Observation 4).
+//
+// For n = 3, 4, 5 qubits: decompose the no-ancilla MCX, harvest
+// approximations, execute the |+>-battery on a noisy device, and report the
+// JS distance of the reference vs the best approximation. At n = 3 the
+// hand-optimized 6-CNOT Toffoli wins (as the paper found); at n >= 4 the
+// approximations take over.
+//
+//   ./toffoli_study [--device=manhattan] [--hardware]
+#include <cstdio>
+
+#include "algos/mct.hpp"
+#include "approx/experiment.hpp"
+#include "approx/selection.hpp"
+#include "approx/workflow.hpp"
+#include "common/cli.hpp"
+#include "noise/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qc;
+  common::CliArgs args(argc, argv);
+  const auto device = noise::device_by_name(args.get("device", "manhattan"));
+  const bool hardware = args.get_bool("hardware", false);
+  approx::ExecutionConfig exec = hardware ? approx::ExecutionConfig::hardware(device)
+                                          : approx::ExecutionConfig::simulator(device);
+  exec.shots = 4096;
+
+  std::printf("no-ancilla multi-control Toffoli on %s (%s mode)\n", device.name.c_str(),
+              hardware ? "hardware" : "noise-model");
+  std::printf("random-noise JS line: %.4f\n\n", algos::mct_random_noise_js());
+  std::printf("%2s  %9s  %9s  %10s  %11s  %s\n", "n", "ref CX", "ref JS", "best JS",
+              "best CX", "verdict");
+
+  for (int n = 3; n <= 5; ++n) {
+    approx::GeneratorConfig gen;
+    gen.use_qsearch = n == 3;
+    gen.qsearch.max_nodes = 25;
+    gen.qsearch.max_cnots = 7;
+    gen.use_qfast = n > 3;
+    gen.qfast.max_blocks = n == 4 ? 8 : 5;
+    gen.qfast.optimizer.max_iterations = 40;
+    gen.use_reducer = true;
+    gen.reducer.full_reopt_max_qubits = 0;
+    gen.hs_threshold = 1.0;
+    gen.max_circuits = 60;
+
+    const ir::QuantumCircuit gate_ref = algos::mct_reference_circuit(n);
+    const auto raw = approx::generate_from_reference(gate_ref, gen);
+
+    // Wrap every candidate with the battery preparation.
+    std::vector<synth::ApproxCircuit> battery;
+    for (const auto& c : raw) {
+      synth::ApproxCircuit wrapped = c;
+      ir::QuantumCircuit full = algos::mct_battery_prefix(n);
+      full.append(c.circuit);
+      wrapped.circuit = std::move(full);
+      battery.push_back(std::move(wrapped));
+    }
+
+    approx::MetricSpec metric;
+    metric.kind = approx::MetricSpec::Kind::JsDistance;
+    metric.ideal_distribution = algos::mct_battery_ideal_distribution(n);
+    const approx::ScatterStudy study = approx::run_scatter_study(
+        algos::mct_battery_circuit(n), battery, exec, metric);
+
+    const auto& best = study.scores[approx::best_by_min(study.scores)];
+    const bool approx_wins = best.metric < study.reference_metric;
+    std::printf("%2d  %9zu  %9.4f  %10.4f  %11zu  %s\n", n, study.reference_cnots,
+                study.reference_metric, best.metric, best.cnot_count,
+                approx_wins ? "approximation wins" : "reference wins");
+  }
+  std::printf("\nObservation 4: the deeper the reference, the larger the win for\n"
+              "approximate circuits (3q barely benefits; 4-5q clearly do).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "algos/grover.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qc::algos {
+
+namespace {
+
+/// Multi-controlled Z on all qubits (phase -1 on |1...1>), built as
+/// H(target) MCX H(target) with the last qubit as target.
+void append_ccz_like(ir::QuantumCircuit& qc) {
+  const int n = qc.num_qubits();
+  QC_CHECK(n >= 2);
+  const int target = n - 1;
+  qc.h(target);
+  std::vector<int> controls;
+  for (int q = 0; q < target; ++q) controls.push_back(q);
+  qc.mcx(controls, target);
+  qc.h(target);
+}
+
+}  // namespace
+
+ir::QuantumCircuit grover_oracle(int num_qubits, std::uint64_t marked) {
+  QC_CHECK(num_qubits >= 2 && num_qubits <= 10);
+  QC_CHECK(marked < (std::uint64_t{1} << num_qubits));
+  ir::QuantumCircuit qc(num_qubits, "oracle");
+  // Conjugate the all-ones phase flip by X on the zero bits of `marked`.
+  for (int q = 0; q < num_qubits; ++q)
+    if (!((marked >> q) & 1ULL)) qc.x(q);
+  append_ccz_like(qc);
+  for (int q = 0; q < num_qubits; ++q)
+    if (!((marked >> q) & 1ULL)) qc.x(q);
+  return qc;
+}
+
+ir::QuantumCircuit grover_diffuser(int num_qubits) {
+  ir::QuantumCircuit qc(num_qubits, "diffuser");
+  for (int q = 0; q < num_qubits; ++q) qc.h(q);
+  for (int q = 0; q < num_qubits; ++q) qc.x(q);
+  append_ccz_like(qc);
+  for (int q = 0; q < num_qubits; ++q) qc.x(q);
+  for (int q = 0; q < num_qubits; ++q) qc.h(q);
+  return qc;
+}
+
+int grover_optimal_iterations(int num_qubits) {
+  const double dim = std::ldexp(1.0, num_qubits);
+  const int it =
+      static_cast<int>(std::round(std::numbers::pi / 4.0 * std::sqrt(dim) - 0.5));
+  return std::max(1, it);
+}
+
+double grover_ideal_success(int num_qubits, int iterations) {
+  const double dim = std::ldexp(1.0, num_qubits);
+  const double theta = std::asin(1.0 / std::sqrt(dim));
+  const double amp = std::sin((2.0 * iterations + 1.0) * theta);
+  return amp * amp;
+}
+
+ir::QuantumCircuit grover_circuit(int num_qubits, std::uint64_t marked,
+                                  int iterations) {
+  if (iterations <= 0) iterations = grover_optimal_iterations(num_qubits);
+  ir::QuantumCircuit qc(num_qubits, "grover");
+  for (int q = 0; q < num_qubits; ++q) qc.h(q);
+  const ir::QuantumCircuit oracle = grover_oracle(num_qubits, marked);
+  const ir::QuantumCircuit diffuser = grover_diffuser(num_qubits);
+  for (int i = 0; i < iterations; ++i) {
+    qc.append(oracle);
+    qc.append(diffuser);
+  }
+  return qc;
+}
+
+}  // namespace qc::algos

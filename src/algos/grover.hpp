@@ -1,0 +1,30 @@
+// Grover's search: oracle + diffuser circuits for a marked basis state.
+//
+// The paper's Figure 5/14 workload: 3 qubits, marked item '111' ("eight
+// boxes"), scored by the probability of measuring the marked state.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/circuit.hpp"
+
+namespace qc::algos {
+
+/// Phase oracle flipping the sign of |marked>.
+ir::QuantumCircuit grover_oracle(int num_qubits, std::uint64_t marked);
+
+/// Inversion-about-the-mean operator.
+ir::QuantumCircuit grover_diffuser(int num_qubits);
+
+/// Full search circuit: H layer + `iterations` x (oracle, diffuser).
+/// `iterations` <= 0 selects the optimal round(pi/4 sqrt(2^n)).
+ir::QuantumCircuit grover_circuit(int num_qubits, std::uint64_t marked,
+                                  int iterations = 0);
+
+/// Optimal iteration count for n qubits / one marked item.
+int grover_optimal_iterations(int num_qubits);
+
+/// Ideal success probability after `iterations` rounds.
+double grover_ideal_success(int num_qubits, int iterations);
+
+}  // namespace qc::algos

@@ -1,0 +1,78 @@
+#include "algos/mct.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "transpile/decompose.hpp"
+
+namespace qc::algos {
+
+ir::QuantumCircuit mct_gate_circuit(int num_qubits) {
+  QC_CHECK(num_qubits >= 3 && num_qubits <= 8);
+  ir::QuantumCircuit qc(num_qubits, "mct" + std::to_string(num_qubits));
+  std::vector<int> controls;
+  for (int q = 0; q + 1 < num_qubits; ++q) controls.push_back(q);
+  qc.mcx(controls, num_qubits - 1);
+  return qc;
+}
+
+ir::QuantumCircuit mct_reference_circuit(int num_qubits) {
+  return transpile::decompose_to_cx_u3(mct_gate_circuit(num_qubits));
+}
+
+ir::QuantumCircuit toffoli_6cx() {
+  // The textbook T-depth-optimal network; exactly 6 CX after lowering.
+  ir::QuantumCircuit qc(3, "toffoli_6cx");
+  qc.h(2);
+  qc.cx(1, 2);
+  qc.tdg(2);
+  qc.cx(0, 2);
+  qc.t(2);
+  qc.cx(1, 2);
+  qc.tdg(2);
+  qc.cx(0, 2);
+  qc.t(1);
+  qc.t(2);
+  qc.h(2);
+  qc.cx(0, 1);
+  qc.t(0);
+  qc.tdg(1);
+  qc.cx(0, 1);
+  return qc;
+}
+
+ir::QuantumCircuit mct_battery_prefix(int num_qubits) {
+  QC_CHECK(num_qubits >= 3 && num_qubits <= 8);
+  ir::QuantumCircuit qc(num_qubits, "mct_battery_prefix");
+  for (int q = 0; q + 1 < num_qubits; ++q) qc.h(q);
+  return qc;
+}
+
+ir::QuantumCircuit mct_battery_circuit(int num_qubits) {
+  ir::QuantumCircuit qc = mct_battery_prefix(num_qubits);
+  qc.set_name("mct_battery" + std::to_string(num_qubits));
+  qc.append(mct_gate_circuit(num_qubits));
+  return qc;
+}
+
+std::vector<double> mct_battery_ideal_distribution(int num_qubits) {
+  QC_CHECK(num_qubits >= 3 && num_qubits <= 8);
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  const std::size_t controls_mask = (std::size_t{1} << (num_qubits - 1)) - 1;
+  const std::size_t target_bit = std::size_t{1} << (num_qubits - 1);
+  std::vector<double> p(dim, 0.0);
+  const double w = 1.0 / static_cast<double>(dim / 2);
+  for (std::size_t controls = 0; controls <= controls_mask; ++controls) {
+    const bool flip = controls == controls_mask;
+    const std::size_t outcome = controls | (flip ? target_bit : 0);
+    p[outcome] = w;
+  }
+  return p;
+}
+
+double mct_random_noise_js() {
+  // JS_e(uniform-over-correct-half, fully mixed) = 3/4 ln(4/3), n-independent.
+  return std::sqrt(0.75 * std::log(4.0 / 3.0));
+}
+
+}  // namespace qc::algos

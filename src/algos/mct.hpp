@@ -1,0 +1,43 @@
+// Multi-control Toffoli workload (paper Figures 6, 7, 15, 17-19).
+//
+// The gate under test is the no-ancilla multi-control X on n qubits (n-1
+// controls, 1 target). The paper's test battery prepares the controls in
+// |+> so a single run exercises every control pattern at once; the ideal
+// output is then uniform over the 2^(n-1) "correct" outcomes, and a
+// completely random device sits at JS distance sqrt((ln 2)(1 - H2(3/4))) ~
+// 0.4645 from it — the paper's 0.465 random-noise line.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qc::algos {
+
+/// The bare multi-control X gate as a circuit (controls 0..n-2, target n-1).
+ir::QuantumCircuit mct_gate_circuit(int num_qubits);
+
+/// Qiskit-style no-ancilla reference: mct_gate_circuit lowered to {CX, U3}.
+ir::QuantumCircuit mct_reference_circuit(int num_qubits);
+
+/// Hand-optimized 6-CNOT Toffoli (3 qubits), the circuit that beats
+/// synthesis on small instances (paper's omitted 3-qubit comparison).
+ir::QuantumCircuit toffoli_6cx();
+
+/// Battery circuit: H on all controls, then the unitary under test appended
+/// via `append_mapped` by the caller. This helper returns only the
+/// preparation prefix.
+ir::QuantumCircuit mct_battery_prefix(int num_qubits);
+
+/// Prep prefix + gate: the full reference battery circuit.
+ir::QuantumCircuit mct_battery_circuit(int num_qubits);
+
+/// Ideal battery output: uniform over outcomes whose target bit equals
+/// (all controls set).
+std::vector<double> mct_battery_ideal_distribution(int num_qubits);
+
+/// JS distance of the fully-mixed (random-noise) output from the ideal
+/// battery distribution: sqrt(ln 2 * (1 - H2(3/4))) for every n.
+double mct_random_noise_js();
+
+}  // namespace qc::algos

@@ -1,0 +1,57 @@
+// Quantum Volume (Cross/Bishop/Gambetta et al.) — the hardware-evolution
+// metric the paper's roadmap (§6.5) proposes correlating circuit-approximation
+// benefit with.
+//
+// Protocol: for width m, run random "square" model circuits (m layers; each
+// layer pairs qubits under a random permutation and applies a Haar-random
+// SU(4) to every pair). A width passes if the mean heavy-output probability
+// (probability mass on outcomes above the ideal distribution's median)
+// exceeds 2/3. QV = 2^m for the largest passing m.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "noise/device.hpp"
+
+namespace qc::algos {
+
+/// One QV model circuit of the given width (width >= 2).
+ir::QuantumCircuit qv_model_circuit(int width, common::Rng& rng);
+
+/// Outcomes whose ideal probability strictly exceeds the median ideal
+/// probability (the protocol's heavy set).
+std::vector<std::uint64_t> qv_heavy_set(const std::vector<double>& ideal_probs);
+
+/// Probability mass `measured` assigns to the heavy set of `ideal`.
+double heavy_output_probability(const std::vector<double>& ideal,
+                                const std::vector<double>& measured);
+
+struct QvOptions {
+  int num_circuits = 20;
+  int max_width = 5;
+  std::uint64_t seed = 0x5156u;
+  bool hardware_mode = false;  // simulator noise model vs hardware surplus
+  double pass_threshold = 2.0 / 3.0;
+};
+
+struct QvWidthResult {
+  int width = 0;
+  double mean_heavy_probability = 0.0;
+  bool pass = false;
+};
+
+struct QvResult {
+  std::vector<QvWidthResult> widths;
+  /// log2 of the measured quantum volume (largest consecutive passing width
+  /// starting from 2); 0 when even width 2 fails.
+  int log2_qv = 0;
+};
+
+/// Measures QV on a catalog device through the standard execution pipeline
+/// (level-3 transpilation, restricted noise model). Deterministic in seed.
+QvResult measure_quantum_volume(const noise::DeviceProperties& device,
+                                const QvOptions& options = {});
+
+}  // namespace qc::algos

@@ -1,0 +1,67 @@
+#include "algos/tfim.hpp"
+
+#include "common/error.hpp"
+#include "linalg/embed.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/factories.hpp"
+
+namespace qc::algos {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+double TfimModel::field_at(int step) const {
+  QC_CHECK(step >= 1 && step <= num_steps);
+  return h_max * static_cast<double>(step) / static_cast<double>(num_steps);
+}
+
+ir::QuantumCircuit TfimModel::step_circuit(int step) const {
+  QC_CHECK(num_qubits >= 2);
+  ir::QuantumCircuit qc(num_qubits, "tfim_step" + std::to_string(step));
+  // exp(-i H dt) ~ exp(+i J dt sum ZZ) * exp(+i h dt sum X)
+  //   RZZ(theta) = exp(-i theta/2 ZZ)  =>  theta = -2 J dt
+  //   RX(theta)  = exp(-i theta/2 X)   =>  theta = -2 h dt
+  const double theta_zz = -2.0 * coupling_j * dt;
+  const double theta_x = -2.0 * field_at(step) * dt;
+  for (int q = 0; q + 1 < num_qubits; ++q) qc.rzz(theta_zz, q, q + 1);
+  for (int q = 0; q < num_qubits; ++q) qc.rx(theta_x, q);
+  return qc;
+}
+
+ir::QuantumCircuit TfimModel::circuit_up_to(int step) const {
+  QC_CHECK(step >= 1 && step <= num_steps);
+  ir::QuantumCircuit qc(num_qubits, "tfim_t" + std::to_string(step));
+  for (int k = 1; k <= step; ++k) qc.append(step_circuit(k));
+  return qc;
+}
+
+Matrix TfimModel::hamiltonian(double h) const {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  Matrix ham(dim, dim);
+  const Matrix z = linalg::pauli_z();
+  const Matrix x = linalg::pauli_x();
+  for (int q = 0; q + 1 < num_qubits; ++q) {
+    ham -= coupling_j * cplx{1.0, 0.0} *
+           linalg::embed(linalg::kron(z, z), {q, q + 1}, num_qubits);
+  }
+  for (int q = 0; q < num_qubits; ++q)
+    ham -= h * cplx{1.0, 0.0} * linalg::embed(x, {q}, num_qubits);
+  return ham;
+}
+
+Matrix TfimModel::exact_step_unitary(int step) const {
+  return linalg::expm_hermitian_propagator(hamiltonian(field_at(step)), dt);
+}
+
+Matrix TfimModel::exact_unitary_up_to(int step) const {
+  QC_CHECK(step >= 1 && step <= num_steps);
+  Matrix u = Matrix::identity(std::size_t{1} << num_qubits);
+  for (int k = 1; k <= step; ++k) u = exact_step_unitary(k) * u;
+  return u;
+}
+
+Matrix TfimModel::trotter_unitary_up_to(int step) const {
+  return circuit_up_to(step).to_unitary();
+}
+
+}  // namespace qc::algos

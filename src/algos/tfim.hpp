@@ -1,0 +1,49 @@
+// Time-dependent Transverse Field Ising Model circuits.
+//
+// H(t) = -J sum_i Z_i Z_{i+1} - h(t) sum_i X_i on a line of qubits, with a
+// linear field ramp h(t) (a quantum quench). Following the paper's domain
+// generator [Bassman et al.], each timestep appends one first-order Trotter
+// step, so the circuit for timestep m contains m steps and its CNOT count
+// grows linearly in m — exactly the depth explosion that makes this workload
+// the prime candidate for approximate circuits. The observable is the
+// average Z magnetization, which starts at +1 (all spins up) and collapses
+// under the growing transverse field.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qc::algos {
+
+struct TfimModel {
+  int num_qubits = 3;
+  double coupling_j = 1.0;  // ZZ coupling strength
+  double h_max = 2.0;       // transverse field at the end of the ramp
+  double dt = 0.15;         // Trotter step duration (the paper's "3ns" slot)
+  int num_steps = 21;       // timesteps evaluated (the paper's 21)
+
+  /// Transverse field during step k (1-based): linear ramp to h_max.
+  double field_at(int step) const;
+
+  /// One first-order Trotter step for step index k (1-based):
+  /// exp(+i J dt sum ZZ) then exp(+i h_k dt sum X).
+  ir::QuantumCircuit step_circuit(int step) const;
+
+  /// Reference circuit for timestep m: steps 1..m concatenated.
+  ir::QuantumCircuit circuit_up_to(int step) const;
+
+  /// Hamiltonian matrix at field value h.
+  linalg::Matrix hamiltonian(double h) const;
+
+  /// Exact propagator for step k (dense expm of the piecewise-constant H).
+  linalg::Matrix exact_step_unitary(int step) const;
+
+  /// Exact propagator for timesteps 1..m.
+  linalg::Matrix exact_unitary_up_to(int step) const;
+
+  /// Trotterized unitary for timestep m (the synthesis target used by the
+  /// paper: the unitary of the domain-generated circuit).
+  linalg::Matrix trotter_unitary_up_to(int step) const;
+};
+
+}  // namespace qc::algos

@@ -1,0 +1,75 @@
+#include "approx/archive.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "ir/qasm.hpp"
+
+namespace qc::approx {
+
+namespace fs = std::filesystem;
+
+void save_circuit_set(const std::string& directory,
+                      const std::vector<synth::ApproxCircuit>& circuits) {
+  fs::create_directories(directory);
+
+  std::ostringstream manifest;
+  manifest << "index,file,cnots,hs_distance,source\n";
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "circuit_%04zu.qasm", i);
+    const fs::path path = fs::path(directory) / name;
+    std::ofstream out(path, std::ios::trunc);
+    QC_CHECK_MSG(out.good(), "cannot open " + path.string());
+    out << ir::to_qasm(circuits[i].circuit);
+    QC_CHECK_MSG(out.good(), "write failed for " + path.string());
+
+    char hs[40];
+    std::snprintf(hs, sizeof(hs), "%.17g", circuits[i].hs_distance);
+    manifest << i << ',' << name << ',' << circuits[i].cnot_count << ',' << hs << ','
+             << circuits[i].source << '\n';
+  }
+  const fs::path manifest_path = fs::path(directory) / "manifest.csv";
+  std::ofstream out(manifest_path, std::ios::trunc);
+  QC_CHECK_MSG(out.good(), "cannot open " + manifest_path.string());
+  out << manifest.str();
+  QC_CHECK_MSG(out.good(), "write failed for " + manifest_path.string());
+}
+
+std::vector<synth::ApproxCircuit> load_circuit_set(const std::string& directory) {
+  const fs::path manifest_path = fs::path(directory) / "manifest.csv";
+  std::ifstream in(manifest_path);
+  QC_CHECK_MSG(in.good(), "cannot open " + manifest_path.string());
+
+  std::vector<synth::ApproxCircuit> circuits;
+  std::string line;
+  std::getline(in, line);  // header
+  QC_CHECK_MSG(common::starts_with(line, "index,"), "unrecognized manifest header");
+  while (std::getline(in, line)) {
+    if (common::trim(line).empty()) continue;
+    const auto fields = common::split(line, ',');
+    QC_CHECK_MSG(fields.size() == 5, "malformed manifest row: " + line);
+
+    const fs::path path = fs::path(directory) / fields[1];
+    std::ifstream qasm(path);
+    QC_CHECK_MSG(qasm.good(), "cannot open " + path.string());
+    std::ostringstream text;
+    text << qasm.rdbuf();
+
+    synth::ApproxCircuit c;
+    c.circuit = ir::from_qasm(text.str());
+    c.cnot_count = static_cast<std::size_t>(std::strtoull(fields[2].c_str(), nullptr, 10));
+    c.hs_distance = std::atof(fields[3].c_str());
+    c.source = fields[4];
+    QC_CHECK_MSG(c.circuit.count(ir::GateKind::CX) == c.cnot_count,
+                 "manifest CNOT count disagrees with " + path.string());
+    circuits.push_back(std::move(c));
+  }
+  return circuits;
+}
+
+}  // namespace qc::approx

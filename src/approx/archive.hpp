@@ -1,0 +1,26 @@
+// Persistence for approximate-circuit sets.
+//
+// Synthesis harvests are expensive; the archive stores a set as one OpenQASM
+// file per circuit plus a CSV manifest (index, file, cnots, hs, source), so
+// studies can reuse clouds across runs and exchange them with external
+// tooling (the QASM dialect matches Qiskit's).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/qsearch.hpp"
+
+namespace qc::approx {
+
+/// Writes the set under `directory` (created if missing) as
+/// circuit_<index>.qasm files plus manifest.csv. Overwrites existing files.
+void save_circuit_set(const std::string& directory,
+                      const std::vector<synth::ApproxCircuit>& circuits);
+
+/// Loads a set written by save_circuit_set. The stored HS distances are
+/// trusted (recompute against a target with metrics::hs_distance if
+/// provenance is uncertain). Throws on missing/malformed files.
+std::vector<synth::ApproxCircuit> load_circuit_set(const std::string& directory);
+
+}  // namespace qc::approx

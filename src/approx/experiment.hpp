@@ -1,0 +1,81 @@
+// Execution layer: run logical circuits through the device pipeline
+// (transpile -> restricted noise model -> simulate -> un-permute outcomes)
+// and score them with the paper's metrics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "noise/catalog.hpp"
+#include "synth/qsearch.hpp"
+#include "transpile/pipeline.hpp"
+
+namespace qc::approx {
+
+/// How a circuit reaches "hardware".
+struct ExecutionConfig {
+  noise::DeviceProperties device;
+  noise::NoiseModelOptions noise_options;  // set hardware extras / sweeps here
+  /// Skip all noise (the "noise free reference" runs).
+  bool ideal = false;
+  int optimization_level = 1;
+  std::optional<transpile::Layout> initial_layout;
+  /// true: shot-sampled trajectory engine (hardware realism); false: exact
+  /// density-matrix engine (noise-model simulation).
+  bool use_trajectories = false;
+  std::size_t shots = 8192;
+  std::uint64_t seed = 11;
+
+  /// Simulator run under a catalog device's noise model (the paper's
+  /// "<device> noise model" setting: optimization level 1, DM engine).
+  static ExecutionConfig simulator(const noise::DeviceProperties& device);
+  /// Hardware-mode run (the paper's "<device> physical machine" setting:
+  /// optimization level 3, trajectory engine, surplus noise on).
+  static ExecutionConfig hardware(const noise::DeviceProperties& device);
+  /// Noise-free reference execution on the same device topology.
+  static ExecutionConfig noise_free(const noise::DeviceProperties& device);
+};
+
+/// Output metrics used by the paper's figures.
+struct MetricSpec {
+  enum class Kind {
+    Magnetization,        // TFIM: average Z magnetization
+    SuccessProbability,   // Grover: P(marked)
+    JsDistance,           // Toffoli: JS(output, ideal battery distribution)
+  } kind = Kind::Magnetization;
+  std::uint64_t target_outcome = 0;       // SuccessProbability
+  std::vector<double> ideal_distribution; // JsDistance
+};
+
+/// Runs one logical circuit end to end; returns the outcome distribution in
+/// the circuit's own (virtual) bit order.
+std::vector<double> execute_distribution(const ir::QuantumCircuit& logical,
+                                         const ExecutionConfig& config);
+
+/// Scores a distribution under the metric.
+double score_distribution(const std::vector<double>& probs, const MetricSpec& metric);
+
+/// One scored circuit of a scatter study.
+struct CircuitScore {
+  std::size_t index = 0;       // into the approximation set
+  std::size_t cnot_count = 0;  // logical CX count of the approximation
+  double hs_distance = 0.0;
+  double metric = 0.0;
+};
+
+/// Scatter study (Grover / Toffoli figures): scores the reference and every
+/// approximation under the same execution config and metric.
+struct ScatterStudy {
+  double reference_metric = 0.0;
+  std::size_t reference_cnots = 0;  // CX count after transpilation
+  std::vector<CircuitScore> scores;
+};
+
+ScatterStudy run_scatter_study(const ir::QuantumCircuit& reference,
+                               const std::vector<synth::ApproxCircuit>& approximations,
+                               const ExecutionConfig& execution,
+                               const MetricSpec& metric);
+
+}  // namespace qc::approx

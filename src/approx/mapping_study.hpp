@@ -1,0 +1,52 @@
+// Qubit-mapping sensitivity study (Figures 16-19).
+//
+// Enumerates connected physical placements for a circuit on a device,
+// ranks them by calibrated cost (the Figure 16 "circles"), then runs the
+// approximate-circuit scatter under each pinned mapping plus under the
+// automatic level-3 transpiler mapping.
+#pragma once
+
+#include <string>
+
+#include "approx/experiment.hpp"
+#include "common/table.hpp"
+
+namespace qc::approx {
+
+struct MappingCandidate {
+  std::string label;          // "best", "worst", "auto", ...
+  transpile::Layout layout;   // empty for the automatic mapping
+  double cost = 0.0;          // layout_cost; 0 for automatic
+};
+
+/// Ranks all connected placements of `circuit` on `device` by layout_cost
+/// and returns the best and worst (plus evenly spaced middles up to
+/// `num_manual`), followed by the automatic candidate.
+std::vector<MappingCandidate> enumerate_mappings(const ir::QuantumCircuit& circuit,
+                                                 const noise::DeviceProperties& device,
+                                                 std::size_t num_manual = 4);
+
+struct MappingStudyEntry {
+  MappingCandidate mapping;
+  ScatterStudy scatter;
+};
+
+struct MappingStudyResult {
+  std::vector<MappingStudyEntry> entries;
+};
+
+/// Runs the scatter study once per mapping candidate. Manual mappings pin
+/// `initial_layout` (optimization level 1 so the pin survives); the
+/// automatic candidate uses level 3 with free layout.
+MappingStudyResult run_mapping_study(const ir::QuantumCircuit& reference,
+                                     const std::vector<synth::ApproxCircuit>& approximations,
+                                     const ExecutionConfig& base_execution,
+                                     const MetricSpec& metric,
+                                     std::size_t num_manual = 4);
+
+/// Figure 16: the device noise report (per-qubit readout error, per-edge CX
+/// error) as printable tables.
+common::Table device_readout_report(const noise::DeviceProperties& device);
+common::Table device_cx_report(const noise::DeviceProperties& device);
+
+}  // namespace qc::approx

@@ -1,0 +1,32 @@
+#include "approx/sweep.hpp"
+
+namespace qc::approx {
+
+SweepResult run_cx_error_sweep(const SweepConfig& config) {
+  SweepResult result;
+  result.levels.reserve(config.cx_error_levels.size());
+  for (double level : config.cx_error_levels) {
+    TfimStudyConfig cfg = config.base;
+    cfg.execution.noise_options.uniform_cx_error = level;
+    SweepLevelResult out;
+    out.cx_error = level;
+    out.study = run_tfim_study(cfg);
+    result.levels.push_back(std::move(out));
+  }
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> SweepResult::best_depth_series() const {
+  std::vector<std::vector<std::size_t>> series;
+  series.reserve(levels.size());
+  for (const auto& level : levels) {
+    std::vector<std::size_t> depths;
+    depths.reserve(level.study.timesteps.size());
+    for (const auto& ts : level.study.timesteps)
+      depths.push_back(ts.scores[ts.best_output].cnot_count);
+    series.push_back(std::move(depths));
+  }
+  return series;
+}
+
+}  // namespace qc::approx

@@ -1,0 +1,34 @@
+// CNOT-error sensitivity sweep (Figures 8-11).
+//
+// Re-runs the TFIM study with the device's two-qubit depolarizing
+// probability overridden to fixed levels (every other noise source intact,
+// as in the paper's Ourense-based sweep), then extracts the paper's
+// Figure 11 statistic: the CNOT depth of the best-performing circuit per
+// timestep per error level.
+#pragma once
+
+#include "approx/tfim_study.hpp"
+
+namespace qc::approx {
+
+struct SweepConfig {
+  TfimStudyConfig base;                       // execution.device = sweep base
+  std::vector<double> cx_error_levels = {0.0, 0.03, 0.06, 0.12, 0.24};
+};
+
+struct SweepLevelResult {
+  double cx_error = 0.0;
+  TfimStudyResult study;
+};
+
+struct SweepResult {
+  std::vector<SweepLevelResult> levels;
+
+  /// best_depth[level][timestep_index] = CNOT count of the best-output
+  /// approximation (Figure 11's series).
+  std::vector<std::vector<std::size_t>> best_depth_series() const;
+};
+
+SweepResult run_cx_error_sweep(const SweepConfig& config);
+
+}  // namespace qc::approx

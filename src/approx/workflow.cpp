@@ -1,0 +1,118 @@
+#include "approx/workflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qc::approx {
+
+using synth::ApproxCircuit;
+
+std::vector<ApproxCircuit> select_candidates(std::vector<ApproxCircuit> harvest,
+                                             double hs_threshold,
+                                             std::size_t max_circuits) {
+  const double threshold = std::max(hs_threshold, 0.1);  // the paper's floor
+  std::vector<ApproxCircuit> kept;
+  kept.reserve(harvest.size());
+  for (auto& c : harvest)
+    if (c.hs_distance <= threshold) kept.push_back(std::move(c));
+
+  // Near-duplicate removal: same CNOT count and HS within 1e-6 adds nothing
+  // to the study.
+  std::sort(kept.begin(), kept.end(), [](const ApproxCircuit& a, const ApproxCircuit& b) {
+    if (a.cnot_count != b.cnot_count) return a.cnot_count < b.cnot_count;
+    return a.hs_distance < b.hs_distance;
+  });
+  std::vector<ApproxCircuit> dedup;
+  for (auto& c : kept) {
+    if (!dedup.empty() && dedup.back().cnot_count == c.cnot_count &&
+        std::abs(dedup.back().hs_distance - c.hs_distance) < 1e-6)
+      continue;
+    dedup.push_back(std::move(c));
+  }
+
+  if (dedup.size() <= max_circuits) return dedup;
+
+  // Keep the per-depth champions first, then backfill by ascending HS.
+  std::map<std::size_t, std::size_t> champion;  // cnot count -> index
+  for (std::size_t i = 0; i < dedup.size(); ++i) {
+    const auto it = champion.find(dedup[i].cnot_count);
+    if (it == champion.end() || dedup[i].hs_distance < dedup[it->second].hs_distance)
+      champion[dedup[i].cnot_count] = i;
+  }
+  std::vector<bool> selected(dedup.size(), false);
+  std::size_t count = 0;
+  for (const auto& [depth, idx] : champion) {
+    if (count >= max_circuits) break;
+    selected[idx] = true;
+    ++count;
+  }
+  std::vector<std::size_t> by_hs(dedup.size());
+  for (std::size_t i = 0; i < by_hs.size(); ++i) by_hs[i] = i;
+  std::sort(by_hs.begin(), by_hs.end(), [&](std::size_t a, std::size_t b) {
+    return dedup[a].hs_distance < dedup[b].hs_distance;
+  });
+  for (std::size_t i : by_hs) {
+    if (count >= max_circuits) break;
+    if (!selected[i]) {
+      selected[i] = true;
+      ++count;
+    }
+  }
+  std::vector<ApproxCircuit> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < dedup.size(); ++i)
+    if (selected[i]) out.push_back(std::move(dedup[i]));
+  return out;
+}
+
+std::vector<ApproxCircuit> generate_approximations(const linalg::Matrix& target,
+                                                   int num_qubits,
+                                                   const GeneratorConfig& config,
+                                                   const noise::CouplingMap* coupling) {
+  std::vector<ApproxCircuit> harvest;
+  auto collect = [&harvest](const ApproxCircuit& c) { harvest.push_back(c); };
+
+  if (config.use_qsearch) {
+    synth::QSearchOptions opts = config.qsearch;
+    opts.intermediate_callback = collect;
+    synth::qsearch_synthesize(target, num_qubits, opts, coupling);
+  }
+  if (config.use_qfast) {
+    synth::QFastOptions opts = config.qfast;
+    opts.partial_solution_callback = collect;
+    synth::qfast_synthesize(target, num_qubits, opts, coupling);
+  }
+  return select_candidates(std::move(harvest), config.hs_threshold,
+                           config.max_circuits);
+}
+
+std::vector<ApproxCircuit> generate_from_reference(const ir::QuantumCircuit& reference,
+                                                   const GeneratorConfig& config,
+                                                   const noise::CouplingMap* coupling) {
+  const linalg::Matrix target = reference.unitary_part().to_unitary();
+  std::vector<ApproxCircuit> harvest;
+  auto collect = [&harvest](const ApproxCircuit& c) { harvest.push_back(c); };
+
+  if (config.use_qsearch) {
+    synth::QSearchOptions opts = config.qsearch;
+    opts.intermediate_callback = collect;
+    synth::qsearch_synthesize(target, reference.num_qubits(), opts, coupling);
+  }
+  if (config.use_qfast) {
+    synth::QFastOptions opts = config.qfast;
+    opts.partial_solution_callback = collect;
+    synth::qfast_synthesize(target, reference.num_qubits(), opts, coupling);
+  }
+  if (config.use_reducer) {
+    synth::ReducerOptions opts = config.reducer;
+    opts.callback = {};
+    for (auto& c : synth::reduce_circuit(reference, opts)) harvest.push_back(std::move(c));
+  }
+  return select_candidates(std::move(harvest), config.hs_threshold,
+                           config.max_circuits);
+}
+
+}  // namespace qc::approx

@@ -1,0 +1,57 @@
+// The paper's workflow (its Figure 1), as a library:
+//
+//   1. obtain the target unitary (from a circuit or directly),
+//   2. run instrumented synthesis tools to harvest every circuit they check,
+//   3. select candidates under an HS-distance threshold (never below 0.1),
+//   4. hand the selected set to the execution layer (experiment.hpp).
+//
+// This module covers steps 1-3.
+#pragma once
+
+#include <vector>
+
+#include "synth/qfast.hpp"
+#include "synth/qsearch.hpp"
+#include "synth/reducer.hpp"
+
+namespace qc::approx {
+
+struct GeneratorConfig {
+  bool use_qsearch = true;
+  synth::QSearchOptions qsearch;
+
+  bool use_qfast = false;
+  synth::QFastOptions qfast;
+
+  bool use_reducer = false;
+  synth::ReducerOptions reducer;
+
+  /// Selection threshold on HS distance. The paper never selects below 0.1,
+  /// so values under 0.1 are clamped up to 0.1.
+  double hs_threshold = 0.5;
+
+  /// Cap on the selected set (keeps downstream execution bounded). When the
+  /// harvest exceeds it, the lowest-HS circuit per CNOT count is kept first,
+  /// then remaining slots fill by ascending HS.
+  std::size_t max_circuits = 300;
+};
+
+/// Harvested + filtered approximate circuits for a target unitary.
+/// Deterministic in (target, config). Sorted by CNOT count, then HS.
+std::vector<synth::ApproxCircuit> generate_approximations(
+    const linalg::Matrix& target, int num_qubits, const GeneratorConfig& config,
+    const noise::CouplingMap* coupling = nullptr);
+
+/// Convenience: target extracted from a reference circuit (its unitary
+/// part); the reducer, when enabled, perturbs this same reference.
+std::vector<synth::ApproxCircuit> generate_from_reference(
+    const ir::QuantumCircuit& reference, const GeneratorConfig& config,
+    const noise::CouplingMap* coupling = nullptr);
+
+/// Step-3 selection on an existing harvest (exposed for the HS-threshold
+/// ablation): clamps the threshold to >= 0.1, filters, dedups, caps.
+std::vector<synth::ApproxCircuit> select_candidates(
+    std::vector<synth::ApproxCircuit> harvest, double hs_threshold,
+    std::size_t max_circuits);
+
+}  // namespace qc::approx

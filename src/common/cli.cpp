@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qc::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) continue;
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::uint64_t CliArgs::get_seed(const std::string& name, std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+}  // namespace qc::common

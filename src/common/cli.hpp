@@ -1,0 +1,26 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Syntax: --name=value or --name value; bare --flag sets "true".
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace qc::common {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace qc::common

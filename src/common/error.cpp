@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace qc::common {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& detail) {
+  std::ostringstream os;
+  os << "qapprox check failed: (" << expr << ") at " << file << ":" << line;
+  if (!detail.empty()) os << " — " << detail;
+  throw Error(os.str());
+}
+
+}  // namespace qc::common

@@ -1,0 +1,46 @@
+// Error handling for the qapprox library.
+//
+// All precondition/invariant failures throw qc::common::Error, carrying the
+// failing expression and source location. Library code never calls abort()
+// or exit(); recoverable misuse is always reported through exceptions so
+// hosts (tests, benches, long experiment drivers) can continue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qc::common {
+
+/// Exception thrown on any contract violation or runtime failure inside qapprox.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the message for a failed QC_CHECK and throws Error.
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& detail);
+
+}  // namespace qc::common
+
+/// Precondition / invariant check. Always on (cheap relative to simulation
+/// kernels; hot inner loops use QC_DCHECK instead).
+#define QC_CHECK(expr)                                                              \
+  do {                                                                              \
+    if (!(expr)) ::qc::common::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Check with a formatted detail message (detail evaluated lazily).
+#define QC_CHECK_MSG(expr, detail)                                                      \
+  do {                                                                                  \
+    if (!(expr)) ::qc::common::throw_check_failure(#expr, __FILE__, __LINE__, detail); \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define QC_DCHECK(expr) QC_CHECK(expr)
+#else
+#define QC_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#endif

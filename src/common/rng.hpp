@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (trajectory simulator, synthetic
+// calibration data, optimizer restarts, shot sampling) draws from an Rng
+// seeded explicitly by the caller, so experiments are bit-reproducible.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 so that nearby seeds give unrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qc::common {
+
+/// splitmix64 step; used for seeding and cheap hash-like mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with explicit seeding and stream splitting.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Samples an index from an unnormalized non-negative weight vector.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  /// Derives an independent child stream; deterministic in (parent seed, salt).
+  Rng split(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace qc::common

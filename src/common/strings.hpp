@@ -1,0 +1,28 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qc::common {
+
+/// Splits on a single character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Formats a double with fixed precision, trimming trailing zeros
+/// ("0.120000" -> "0.12", "3.000000" -> "3").
+std::string format_double(double v, int max_precision = 6);
+
+/// Zero-padded binary rendering of `value` over `bits` bits, MSB first.
+std::string to_bitstring(std::uint64_t value, int bits);
+
+}  // namespace qc::common

@@ -1,0 +1,98 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qc::common {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  QC_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QC_CHECK_MSG(cells.size() == headers_.size(), "row arity must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_values(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v));
+  add_row(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  QC_CHECK(i < rows_.size());
+  return rows_[i];
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    return os.str();
+  };
+  auto rule = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << rule() << "\n" << render_row(headers_) << "\n" << rule() << "\n";
+  for (const auto& r : rows_) os << render_row(r) << "\n";
+  os << rule() << "\n";
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(r[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  QC_CHECK_MSG(f.good(), "cannot open " + path);
+  f << to_csv();
+  QC_CHECK_MSG(f.good(), "write failed for " + path);
+}
+
+}  // namespace qc::common

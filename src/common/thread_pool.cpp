@@ -1,0 +1,104 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace qc::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t num_chunks = std::min(n, workers_.size());
+  if (num_chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{num_chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      tasks_.push([&, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> dlock(done_mutex);
+  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("QAPPROX_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace qc::common

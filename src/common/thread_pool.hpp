@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// Experiment drivers fan per-circuit / per-timestep work across the pool.
+// Work is partitioned statically by index, and each task writes only its own
+// output slot, so results are identical for any thread count (including 1).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qc::common {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [begin, end), partitioned across workers; blocks
+  /// until all iterations finish. Exceptions from fn are rethrown (first one
+  /// wins) after all workers drain.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized from QAPPROX_THREADS or hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace qc::common

@@ -1,0 +1,23 @@
+// OpenQASM 2.0 serialization.
+//
+// Emits circuits in the dialect Qiskit produces, and parses the subset this
+// library emits (single register, the gate set in ir/gate.hpp, measure,
+// barrier). Enables interchange of the approximate-circuit sets with
+// external tooling.
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qc::ir {
+
+/// Renders the circuit as an OpenQASM 2.0 program (register name "q",
+/// classical register "c" sized to the qubit count when measurements exist).
+std::string to_qasm(const QuantumCircuit& circuit);
+
+/// Parses an OpenQASM 2.0 program of the emitted subset. Throws
+/// common::Error with a line-numbered message on malformed input.
+QuantumCircuit from_qasm(const std::string& text);
+
+}  // namespace qc::ir

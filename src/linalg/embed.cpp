@@ -1,0 +1,144 @@
+#include "linalg/embed.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qc::linalg {
+
+namespace {
+
+void check_qubits(const std::vector<int>& qubits, std::size_t dim_needed,
+                  std::size_t space_dim) {
+  QC_CHECK(!qubits.empty());
+  QC_CHECK_MSG(dim_needed == (std::size_t{1} << qubits.size()),
+               "operator dimension must be 2^#qubits");
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    QC_CHECK(qubits[i] >= 0);
+    QC_CHECK_MSG((std::size_t{1} << qubits[i]) < space_dim, "qubit index out of range");
+    for (std::size_t j = i + 1; j < qubits.size(); ++j)
+      QC_CHECK_MSG(qubits[i] != qubits[j], "duplicate qubit index");
+  }
+}
+
+/// Enumerates the 2^k sub-basis offsets for the given qubits within `base`,
+/// where `base` has zeros at all `qubits` positions.
+/// offsets[m] = base | bits of m scattered into qubit positions.
+inline std::size_t scatter(std::size_t m, const std::vector<int>& qubits) {
+  std::size_t out = 0;
+  for (std::size_t b = 0; b < qubits.size(); ++b)
+    if ((m >> b) & 1U) out |= (std::size_t{1} << qubits[b]);
+  return out;
+}
+
+}  // namespace
+
+Matrix embed(const Matrix& op, const std::vector<int>& qubits, int num_qubits) {
+  QC_CHECK(num_qubits > 0 && num_qubits <= 24);
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  check_qubits(qubits, op.rows(), dim);
+  QC_CHECK(op.rows() == op.cols());
+
+  const std::size_t k = qubits.size();
+  const std::size_t sub = std::size_t{1} << k;
+  std::size_t mask = 0;
+  for (int q : qubits) mask |= (std::size_t{1} << q);
+
+  Matrix out(dim, dim);
+  for (std::size_t base = 0; base < dim; ++base) {
+    if (base & mask) continue;  // visit each coset once via its zeroed representative
+    for (std::size_t r = 0; r < sub; ++r) {
+      const std::size_t row = base | scatter(r, qubits);
+      for (std::size_t c = 0; c < sub; ++c) {
+        out(row, base | scatter(c, qubits)) = op(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+void apply_gate_inplace(std::vector<cplx>& state, const Matrix& op,
+                        const std::vector<int>& qubits) {
+  const std::size_t dim = state.size();
+  QC_CHECK_MSG(std::has_single_bit(dim), "state dimension must be a power of two");
+  check_qubits(qubits, op.rows(), dim);
+  QC_CHECK(op.rows() == op.cols());
+
+  const std::size_t k = qubits.size();
+  const std::size_t sub = std::size_t{1} << k;
+  std::size_t mask = 0;
+  for (int q : qubits) mask |= (std::size_t{1} << q);
+
+  // Precompute scatter table for the sub-space indices.
+  std::vector<std::size_t> offs(sub);
+  for (std::size_t m = 0; m < sub; ++m) offs[m] = scatter(m, qubits);
+
+  std::vector<cplx> tmp(sub);
+  for (std::size_t base = 0; base < dim; ++base) {
+    if (base & mask) continue;
+    for (std::size_t m = 0; m < sub; ++m) tmp[m] = state[base | offs[m]];
+    for (std::size_t r = 0; r < sub; ++r) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t c = 0; c < sub; ++c) acc += op(r, c) * tmp[c];
+      state[base | offs[r]] = acc;
+    }
+  }
+}
+
+void left_apply_inplace(Matrix& u, const Matrix& op, const std::vector<int>& qubits) {
+  const std::size_t dim = u.rows();
+  QC_CHECK(u.rows() == u.cols());
+  QC_CHECK_MSG(std::has_single_bit(dim), "matrix dimension must be a power of two");
+  check_qubits(qubits, op.rows(), dim);
+
+  const std::size_t k = qubits.size();
+  const std::size_t sub = std::size_t{1} << k;
+  std::size_t mask = 0;
+  for (int q : qubits) mask |= (std::size_t{1} << q);
+  std::vector<std::size_t> offs(sub);
+  for (std::size_t m = 0; m < sub; ++m) offs[m] = scatter(m, qubits);
+
+  std::vector<cplx> tmp(sub);
+  for (std::size_t col = 0; col < dim; ++col) {
+    for (std::size_t base = 0; base < dim; ++base) {
+      if (base & mask) continue;
+      for (std::size_t m = 0; m < sub; ++m) tmp[m] = u(base | offs[m], col);
+      for (std::size_t r = 0; r < sub; ++r) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t c = 0; c < sub; ++c) acc += op(r, c) * tmp[c];
+        u(base | offs[r], col) = acc;
+      }
+    }
+  }
+}
+
+void right_apply_inplace(Matrix& u, const Matrix& op, const std::vector<int>& qubits) {
+  const std::size_t dim = u.cols();
+  QC_CHECK(u.rows() == u.cols());
+  QC_CHECK_MSG(std::has_single_bit(dim), "matrix dimension must be a power of two");
+  check_qubits(qubits, op.rows(), dim);
+
+  const std::size_t k = qubits.size();
+  const std::size_t sub = std::size_t{1} << k;
+  std::size_t mask = 0;
+  for (int q : qubits) mask |= (std::size_t{1} << q);
+  std::vector<std::size_t> offs(sub);
+  for (std::size_t m = 0; m < sub; ++m) offs[m] = scatter(m, qubits);
+
+  // (u * E)(r, c) = sum_k u(r, k) E(k, c): per row, the sub-vector transforms
+  // by op^T.
+  std::vector<cplx> tmp(sub);
+  for (std::size_t row = 0; row < dim; ++row) {
+    for (std::size_t base = 0; base < dim; ++base) {
+      if (base & mask) continue;
+      for (std::size_t m = 0; m < sub; ++m) tmp[m] = u(row, base | offs[m]);
+      for (std::size_t c = 0; c < sub; ++c) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t r = 0; r < sub; ++r) acc += op(r, c) * tmp[r];
+        u(row, base | offs[c]) = acc;
+      }
+    }
+  }
+}
+
+}  // namespace qc::linalg

@@ -1,0 +1,32 @@
+// Embedding small operators into n-qubit spaces, and the shared
+// apply-gate kernels used by the unitary builder and the simulators.
+//
+// Bit convention (Qiskit-compatible): qubit 0 is the least-significant bit
+// of a basis index, so |q_{n-1} ... q_1 q_0>.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+
+/// Embeds a 2^k x 2^k operator acting on `qubits` (distinct, each in
+/// [0, num_qubits)) into the full 2^n x 2^n space.
+Matrix embed(const Matrix& op, const std::vector<int>& qubits, int num_qubits);
+
+/// state := (op on qubits) * state, in place. `state.size()` must be a power
+/// of two with at least max(qubits)+1 qubits. Core state-vector kernel.
+void apply_gate_inplace(std::vector<cplx>& state, const Matrix& op,
+                        const std::vector<int>& qubits);
+
+/// u := embed(op) * u without forming the embedded matrix (applies the
+/// state-vector kernel to each column of u). Used by the circuit->unitary
+/// builder where it is asymptotically cheaper than GEMM with an embedding.
+void left_apply_inplace(Matrix& u, const Matrix& op, const std::vector<int>& qubits);
+
+/// u := u * embed(op). With left_apply_inplace this gives the density-matrix
+/// Kraus update rho := K rho K† without forming embedded matrices.
+void right_apply_inplace(Matrix& u, const Matrix& op, const std::vector<int>& qubits);
+
+}  // namespace qc::linalg

@@ -1,0 +1,113 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qc::linalg {
+
+Matrix solve(const Matrix& a, const Matrix& b) {
+  QC_CHECK(a.rows() == a.cols());
+  QC_CHECK(a.rows() == b.rows());
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  Matrix x = b;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    QC_CHECK_MSG(best > 1e-300, "singular matrix in solve()");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      for (std::size_t c = 0; c < x.cols(); ++c) std::swap(x(col, c), x(pivot, c));
+    }
+    const cplx inv_p = cplx{1.0, 0.0} / lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const cplx f = lu(r, col) * inv_p;
+      if (f == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = col; c < n; ++c) lu(r, c) -= f * lu(col, c);
+      for (std::size_t c = 0; c < x.cols(); ++c) x(r, c) -= f * x(col, c);
+    }
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      cplx acc = x(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) acc -= lu(ri, k) * x(k, c);
+      x(ri, c) = acc / lu(ri, ri);
+    }
+  }
+  return x;
+}
+
+namespace {
+
+/// 1-norm (max column sum), the norm used by the Higham scaling heuristic.
+double one_norm(const Matrix& a) {
+  double best = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) s += std::abs(a(r, c));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  QC_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+
+  // Scaling: bring ||A/2^s|| under the Padé-13 threshold (~5.37).
+  const double theta13 = 5.371920351148152;
+  const double nrm = one_norm(a);
+  int s = 0;
+  if (nrm > theta13) {
+    s = static_cast<int>(std::ceil(std::log2(nrm / theta13)));
+    if (s < 0) s = 0;
+  }
+  Matrix as = a * cplx{std::ldexp(1.0, -s), 0.0};
+
+  // Padé-13 coefficients.
+  static const double b[] = {64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+                             1187353796428800.0,  129060195264000.0,   10559470521600.0,
+                             670442572800.0,      33522128640.0,       1323241920.0,
+                             40840800.0,          960960.0,            16380.0,
+                             182.0,               1.0};
+
+  const Matrix ident = Matrix::identity(n);
+  const Matrix a2 = as * as;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a4 * a2;
+
+  // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+  Matrix tmp = a6 * cplx{b[13], 0} + a4 * cplx{b[11], 0} + a2 * cplx{b[9], 0};
+  Matrix u = a6 * tmp + a6 * cplx{b[7], 0} + a4 * cplx{b[5], 0} + a2 * cplx{b[3], 0} +
+             ident * cplx{b[1], 0};
+  u = as * u;
+  // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+  tmp = a6 * cplx{b[12], 0} + a4 * cplx{b[10], 0} + a2 * cplx{b[8], 0};
+  Matrix v = a6 * tmp + a6 * cplx{b[6], 0} + a4 * cplx{b[4], 0} + a2 * cplx{b[2], 0} +
+             ident * cplx{b[0], 0};
+
+  // R = (V - U)^-1 (V + U); then square s times.
+  Matrix r = solve(v - u, v + u);
+  for (int i = 0; i < s; ++i) r = r * r;
+  return r;
+}
+
+Matrix expm_hermitian_propagator(const Matrix& h, double t) {
+  QC_CHECK_MSG(h.is_hermitian(1e-8), "propagator requires Hermitian H");
+  return expm(h * cplx{0.0, -t});
+}
+
+}  // namespace qc::linalg

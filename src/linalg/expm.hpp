@@ -1,0 +1,20 @@
+// Matrix exponential, used to build exact TFIM propagators
+// (U(t) = exp(-i H t)) as noise-free references.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+
+/// exp(A) by scaling-and-squaring with a [13/13] Padé approximant
+/// (Higham 2005). A must be square; sized for the <=64x64 matrices used here.
+Matrix expm(const Matrix& a);
+
+/// exp(-i * H * t) for Hermitian H (checked), via expm.
+Matrix expm_hermitian_propagator(const Matrix& h, double t);
+
+/// Solves A X = B by partial-pivot LU (helper for the Padé solve; exposed for
+/// tests). A is square and must be non-singular.
+Matrix solve(const Matrix& a, const Matrix& b);
+
+}  // namespace qc::linalg

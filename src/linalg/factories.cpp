@@ -1,0 +1,84 @@
+#include "linalg/factories.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qc::linalg {
+
+Matrix pauli_i() { return Matrix(2, 2, {{1, 0}, {0, 0}, {0, 0}, {1, 0}}); }
+Matrix pauli_x() { return Matrix(2, 2, {{0, 0}, {1, 0}, {1, 0}, {0, 0}}); }
+Matrix pauli_y() { return Matrix(2, 2, {{0, 0}, {0, -1}, {0, 1}, {0, 0}}); }
+Matrix pauli_z() { return Matrix(2, 2, {{1, 0}, {0, 0}, {0, 0}, {-1, 0}}); }
+
+Matrix hadamard2() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return Matrix(2, 2, {{s, 0}, {s, 0}, {s, 0}, {-s, 0}});
+}
+
+Matrix pauli_string(const std::string& s) {
+  QC_CHECK(!s.empty());
+  Matrix out(1, 1, {{1, 0}});
+  for (char ch : s) {
+    Matrix p;
+    switch (ch) {
+      case 'I': p = pauli_i(); break;
+      case 'X': p = pauli_x(); break;
+      case 'Y': p = pauli_y(); break;
+      case 'Z': p = pauli_z(); break;
+      default: QC_CHECK_MSG(false, std::string("bad Pauli char: ") + ch);
+    }
+    out = kron(out, p);
+  }
+  return out;
+}
+
+Matrix random_unitary(std::size_t dim, common::Rng& rng) {
+  QC_CHECK(dim > 0);
+  // Ginibre ensemble.
+  Matrix g(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r)
+    for (std::size_t c = 0; c < dim; ++c) g(r, c) = cplx{rng.normal(), rng.normal()};
+
+  // Modified Gram–Schmidt QR; unitary part with R-diagonal phase fix gives
+  // the Haar measure.
+  Matrix q(dim, dim);
+  std::vector<cplx> col(dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    for (std::size_t r = 0; r < dim; ++r) col[r] = g(r, c);
+    for (std::size_t prev = 0; prev < c; ++prev) {
+      cplx proj{0.0, 0.0};
+      for (std::size_t r = 0; r < dim; ++r) proj += std::conj(q(r, prev)) * col[r];
+      for (std::size_t r = 0; r < dim; ++r) col[r] -= proj * q(r, prev);
+    }
+    double nrm = 0.0;
+    for (const auto& v : col) nrm += std::norm(v);
+    nrm = std::sqrt(nrm);
+    QC_CHECK_MSG(nrm > 1e-12, "degenerate Ginibre sample");
+    // Phase correction: divide by the phase of the diagonal entry of R,
+    // which here is the inner product of q-column with the original column.
+    for (std::size_t r = 0; r < dim; ++r) q(r, c) = col[r] / nrm;
+  }
+  // Apply random diagonal phases to wash out the Gram–Schmidt sign convention.
+  for (std::size_t c = 0; c < dim; ++c) {
+    const double phi = rng.uniform(0.0, 2.0 * 3.141592653589793);
+    const cplx ph{std::cos(phi), std::sin(phi)};
+    for (std::size_t r = 0; r < dim; ++r) q(r, c) *= ph;
+  }
+  return q;
+}
+
+Matrix random_hermitian(std::size_t dim, common::Rng& rng) {
+  Matrix h(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    h(r, r) = cplx{rng.normal(), 0.0};
+    for (std::size_t c = r + 1; c < dim; ++c) {
+      const cplx v{rng.normal(), rng.normal()};
+      h(r, c) = v;
+      h(c, r) = std::conj(v);
+    }
+  }
+  return h;
+}
+
+}  // namespace qc::linalg

@@ -1,0 +1,28 @@
+// Matrix factories: Pauli operators and Haar-random unitaries
+// (random unitaries drive property tests and synthesis fuzzing).
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+
+/// 2x2 Pauli matrices and friends.
+Matrix pauli_i();
+Matrix pauli_x();
+Matrix pauli_y();
+Matrix pauli_z();
+Matrix hadamard2();
+
+/// n-qubit Pauli string, e.g. "XZI" (leftmost char = highest qubit index,
+/// matching ket ordering |q_{n-1}..q_0>).
+Matrix pauli_string(const std::string& s);
+
+/// Haar-random unitary of dimension `dim` via QR of a complex Ginibre matrix
+/// with phase-corrected R diagonal.
+Matrix random_unitary(std::size_t dim, common::Rng& rng);
+
+/// Random Hermitian matrix with entries ~ N(0,1).
+Matrix random_hermitian(std::size_t dim, common::Rng& rng);
+
+}  // namespace qc::linalg

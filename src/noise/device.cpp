@@ -1,0 +1,46 @@
+#include "noise/device.hpp"
+
+#include "common/error.hpp"
+
+namespace qc::noise {
+
+double DeviceProperties::average_cx_error() const {
+  QC_CHECK(!cx_error.empty());
+  double s = 0.0;
+  for (double e : cx_error) s += e;
+  return s / static_cast<double>(cx_error.size());
+}
+
+double DeviceProperties::average_readout_error() const {
+  QC_CHECK(!readout.empty());
+  double s = 0.0;
+  for (const auto& r : readout) s += r.average();
+  return s / static_cast<double>(readout.size());
+}
+
+double DeviceProperties::cx_error_for(int a, int b) const {
+  return cx_error[coupling.edge_index(a, b)];
+}
+
+void DeviceProperties::validate() const {
+  const auto n = static_cast<std::size_t>(coupling.num_qubits());
+  QC_CHECK_MSG(t1.size() == n && t2.size() == n && sq_error.size() == n &&
+                   readout.size() == n,
+               "per-qubit calibration arrays must match qubit count");
+  QC_CHECK_MSG(cx_error.size() == coupling.num_edges() &&
+                   cx_duration.size() == coupling.num_edges(),
+               "per-edge calibration arrays must match edge count");
+  for (std::size_t q = 0; q < n; ++q) {
+    QC_CHECK(t1[q] > 0.0 && t2[q] > 0.0 && t2[q] <= 2.0 * t1[q] + 1e-9);
+    QC_CHECK(sq_error[q] >= 0.0 && sq_error[q] < 1.0);
+    QC_CHECK(readout[q].p_meas1_given0 >= 0.0 && readout[q].p_meas1_given0 < 1.0);
+    QC_CHECK(readout[q].p_meas0_given1 >= 0.0 && readout[q].p_meas0_given1 < 1.0);
+  }
+  for (std::size_t e = 0; e < cx_error.size(); ++e) {
+    QC_CHECK(cx_error[e] >= 0.0 && cx_error[e] < 1.0);
+    QC_CHECK(cx_duration[e] > 0.0);
+  }
+  QC_CHECK(sq_duration > 0.0);
+}
+
+}  // namespace qc::noise

@@ -1,0 +1,47 @@
+// Device calibration snapshots.
+//
+// DeviceProperties mirrors the per-qubit / per-edge calibration data IBM
+// publishes for its machines (and which Qiskit Aer turns into noise models):
+// T1/T2, single-qubit gate error, per-edge CX error and duration, per-qubit
+// readout error. The catalog (catalog.hpp) instantiates the five machines
+// from the paper's Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "noise/readout.hpp"
+#include "noise/topology.hpp"
+
+namespace qc::noise {
+
+struct DeviceProperties {
+  std::string name;
+  CouplingMap coupling;
+
+  // Per-qubit calibration. Times in nanoseconds.
+  std::vector<double> t1;
+  std::vector<double> t2;
+  std::vector<double> sq_error;  // single-qubit gate depolarizing probability
+  std::vector<ReadoutError> readout;
+
+  // Per-edge calibration, indexed by coupling.edge_index().
+  std::vector<double> cx_error;     // two-qubit depolarizing probability
+  std::vector<double> cx_duration;  // ns
+
+  double sq_duration = 35.0;  // ns, uniform across qubits
+
+  int num_qubits() const { return coupling.num_qubits(); }
+
+  /// The Table 1 statistic: mean CX error over all edges.
+  double average_cx_error() const;
+  double average_readout_error() const;
+
+  /// CX error of a specific (coupled) pair.
+  double cx_error_for(int a, int b) const;
+
+  /// Validates vector sizes and value ranges; throws on inconsistency.
+  void validate() const;
+};
+
+}  // namespace qc::noise

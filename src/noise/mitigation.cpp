@@ -1,0 +1,60 @@
+#include "noise/mitigation.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qc::noise {
+
+ReadoutMitigator::ReadoutMitigator(const std::vector<ReadoutError>& errors) {
+  QC_CHECK(!errors.empty());
+  inverse_.reserve(errors.size());
+  for (const ReadoutError& e : errors) {
+    // Confusion matrix M[read][true]:
+    //   [ 1-e01   e10 ]
+    //   [ e01   1-e10 ]
+    const double e01 = e.p_meas1_given0;
+    const double e10 = e.p_meas0_given1;
+    const double det = (1.0 - e01) * (1.0 - e10) - e01 * e10;
+    QC_CHECK_MSG(std::abs(det) > 1e-9,
+                 "confusion matrix is singular (errors ~50%): cannot mitigate");
+    inverse_.push_back({(1.0 - e10) / det, -e10 / det, -e01 / det, (1.0 - e01) / det});
+  }
+}
+
+std::vector<double> ReadoutMitigator::apply(const std::vector<double>& measured) const {
+  QC_CHECK_MSG(std::has_single_bit(measured.size()),
+               "distribution must have 2^n entries");
+  const int n = std::countr_zero(measured.size());
+  QC_CHECK_MSG(static_cast<int>(inverse_.size()) >= n,
+               "mitigator covers fewer qubits than the distribution");
+
+  std::vector<double> p = measured;
+  std::vector<double> next(p.size());
+  for (int q = 0; q < n; ++q) {
+    const auto& inv = inverse_[q];
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (i & bit) continue;
+      const double p0 = p[i];
+      const double p1 = p[i | bit];
+      next[i] = inv[0] * p0 + inv[1] * p1;
+      next[i | bit] = inv[2] * p0 + inv[3] * p1;
+    }
+    std::swap(p, next);
+  }
+
+  // Clip negative quasi-probabilities and renormalize.
+  double total = 0.0;
+  for (double& v : p) {
+    if (v < 0.0) v = 0.0;
+    total += v;
+  }
+  QC_CHECK_MSG(total > 0.0, "mitigation produced an empty distribution");
+  for (double& v : p) v /= total;
+  return p;
+}
+
+}  // namespace qc::noise

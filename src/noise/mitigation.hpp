@@ -1,0 +1,35 @@
+// Measurement-error mitigation by confusion-matrix inversion.
+//
+// The paper's related-work section leaves open whether approximate-circuit
+// gains survive error-mitigation post-processing ("these may end up
+// interfering with the noise which the approximate circuits rely on").
+// This module provides the standard per-qubit tensored mitigator so the
+// question can be answered experimentally (bench_ablation_mitigation).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "noise/readout.hpp"
+
+namespace qc::noise {
+
+class ReadoutMitigator {
+ public:
+  /// Builds the tensored inverse of the per-qubit confusion matrices (the
+  /// calibration a real mitigation run measures with |0..0> / |1..1| prep).
+  explicit ReadoutMitigator(const std::vector<ReadoutError>& errors);
+
+  /// Applies the inverse to a measured distribution; negative quasi-
+  /// probabilities are clipped to zero and the result renormalized (the
+  /// standard least-disturbance projection).
+  std::vector<double> apply(const std::vector<double>& measured) const;
+
+  int num_qubits() const { return static_cast<int>(inverse_.size()); }
+
+ private:
+  // Per-qubit inverse confusion matrices, row-major 2x2.
+  std::vector<std::array<double, 4>> inverse_;
+};
+
+}  // namespace qc::noise

@@ -1,0 +1,46 @@
+#include "noise/readout.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qc::noise {
+
+std::vector<double> apply_readout_error(const std::vector<double>& probs,
+                                        const std::vector<ReadoutError>& errors) {
+  QC_CHECK_MSG(std::has_single_bit(probs.size()), "distribution must have 2^n entries");
+  const int n = std::countr_zero(probs.size());
+  QC_CHECK_MSG(errors.size() >= static_cast<std::size_t>(n),
+               "need a ReadoutError per measured qubit");
+
+  std::vector<double> p = probs;
+  std::vector<double> next(p.size());
+  for (int q = 0; q < n; ++q) {
+    const double e01 = errors[q].p_meas1_given0;
+    const double e10 = errors[q].p_meas0_given1;
+    QC_CHECK(e01 >= 0.0 && e01 <= 1.0 && e10 >= 0.0 && e10 <= 1.0);
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (i & bit) continue;
+      const double p0 = p[i];
+      const double p1 = p[i | bit];
+      next[i] = p0 * (1.0 - e01) + p1 * e10;
+      next[i | bit] = p0 * e01 + p1 * (1.0 - e10);
+    }
+    std::swap(p, next);
+  }
+  return p;
+}
+
+std::uint64_t sample_readout_flip(std::uint64_t outcome,
+                                  const std::vector<ReadoutError>& errors,
+                                  common::Rng& rng) {
+  for (std::size_t q = 0; q < errors.size(); ++q) {
+    const bool is_one = (outcome >> q) & 1ULL;
+    const double flip_p = is_one ? errors[q].p_meas0_given1 : errors[q].p_meas1_given0;
+    if (flip_p > 0.0 && rng.bernoulli(flip_p)) outcome ^= (1ULL << q);
+  }
+  return outcome;
+}
+
+}  // namespace qc::noise

@@ -1,0 +1,96 @@
+// Execution backends.
+//
+// A Backend turns a circuit into an output distribution. Three engines:
+//
+//  * IdealBackend        — state vector, no noise (the "noise free reference").
+//  * DensityMatrixBackend — exact noisy evolution under a NoiseModel
+//                           (the "noisy simulator" / "noise model" runs).
+//  * TrajectoryBackend   — Monte-Carlo quantum trajectories + shot sampling
+//                           under a NoiseModel (shot-limited realism; with a
+//                           hardware-mode NoiseModel this is the "physical
+//                           machine" substitute).
+//
+// All backends require circuits whose multi-qubit content is in the CX/U3
+// basis when a noise model is attached (transpile first, as on real devices).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qc::sim {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Exact (or shot-estimated, for trajectory engines) outcome distribution
+  /// of the circuit, measurement/readout error included.
+  virtual std::vector<double> run_probabilities(const ir::QuantumCircuit& circuit) = 0;
+
+  /// Shot counts indexed by outcome. Deterministic in (circuit, seed).
+  virtual std::vector<std::uint64_t> run_counts(const ir::QuantumCircuit& circuit,
+                                                std::size_t shots) = 0;
+};
+
+class IdealBackend final : public Backend {
+ public:
+  explicit IdealBackend(std::uint64_t seed = 1);
+  const std::string& name() const override { return name_; }
+  std::vector<double> run_probabilities(const ir::QuantumCircuit& circuit) override;
+  std::vector<std::uint64_t> run_counts(const ir::QuantumCircuit& circuit,
+                                        std::size_t shots) override;
+
+ private:
+  std::string name_ = "ideal";
+  common::Rng rng_;
+};
+
+class DensityMatrixBackend final : public Backend {
+ public:
+  DensityMatrixBackend(noise::NoiseModel model, std::uint64_t seed = 1);
+  const std::string& name() const override { return name_; }
+  std::vector<double> run_probabilities(const ir::QuantumCircuit& circuit) override;
+  std::vector<std::uint64_t> run_counts(const ir::QuantumCircuit& circuit,
+                                        std::size_t shots) override;
+  const noise::NoiseModel& noise_model() const { return model_; }
+
+ private:
+  std::string name_;
+  noise::NoiseModel model_;
+  common::Rng rng_;
+};
+
+class TrajectoryBackend final : public Backend {
+ public:
+  /// `shots` used by run_probabilities (counts normalized).
+  TrajectoryBackend(noise::NoiseModel model, std::size_t shots = 8192,
+                    std::uint64_t seed = 1);
+  const std::string& name() const override { return name_; }
+  std::vector<double> run_probabilities(const ir::QuantumCircuit& circuit) override;
+  std::vector<std::uint64_t> run_counts(const ir::QuantumCircuit& circuit,
+                                        std::size_t shots) override;
+
+ private:
+  std::string name_;
+  noise::NoiseModel model_;
+  std::size_t default_shots_;
+  common::Rng rng_;
+};
+
+/// Factory helpers used throughout the experiments.
+std::unique_ptr<Backend> make_ideal_backend(std::uint64_t seed = 1);
+std::unique_ptr<Backend> make_noisy_backend(const noise::NoiseModel& model,
+                                            std::uint64_t seed = 1);
+std::unique_ptr<Backend> make_trajectory_backend(const noise::NoiseModel& model,
+                                                 std::size_t shots = 8192,
+                                                 std::uint64_t seed = 1);
+
+}  // namespace qc::sim

@@ -1,0 +1,83 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/embed.hpp"
+
+namespace qc::sim {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits),
+      rho_(std::size_t{1} << num_qubits, std::size_t{1} << num_qubits) {
+  QC_CHECK(num_qubits > 0 && num_qubits <= 12);
+  rho_(0, 0) = cplx{1.0, 0.0};
+}
+
+DensityMatrix::DensityMatrix(int num_qubits, const std::vector<cplx>& amplitudes)
+    : num_qubits_(num_qubits),
+      rho_(std::size_t{1} << num_qubits, std::size_t{1} << num_qubits) {
+  QC_CHECK(num_qubits > 0 && num_qubits <= 12);
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  QC_CHECK(amplitudes.size() == dim);
+  for (std::size_t r = 0; r < dim; ++r)
+    for (std::size_t c = 0; c < dim; ++c)
+      rho_(r, c) = amplitudes[r] * std::conj(amplitudes[c]);
+}
+
+void DensityMatrix::apply(const ir::Gate& gate) {
+  if (gate.kind == ir::GateKind::Barrier || gate.kind == ir::GateKind::Measure) return;
+  const Matrix u = gate.matrix();
+  linalg::left_apply_inplace(rho_, u, gate.qubits);
+  linalg::right_apply_inplace(rho_, u.adjoint(), gate.qubits);
+}
+
+void DensityMatrix::apply(const ir::QuantumCircuit& circuit) {
+  QC_CHECK(circuit.num_qubits() <= num_qubits_);
+  for (const ir::Gate& g : circuit.gates()) apply(g);
+}
+
+void DensityMatrix::apply_channel(const noise::Channel& channel,
+                                  const std::vector<int>& qubits) {
+  QC_CHECK(static_cast<std::size_t>(channel.num_qubits()) == qubits.size());
+  const std::size_t dim = rho_.rows();
+  Matrix out(dim, dim);
+  for (const Matrix& k : channel.kraus()) {
+    Matrix term = rho_;
+    linalg::left_apply_inplace(term, k, qubits);
+    linalg::right_apply_inplace(term, k.adjoint(), qubits);
+    out += term;
+  }
+  rho_ = std::move(out);
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  const std::size_t dim = rho_.rows();
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < dim; ++i) p[i] = std::max(0.0, rho_(i, i).real());
+  return p;
+}
+
+double DensityMatrix::expectation_z(int q) const {
+  QC_CHECK(q >= 0 && q < num_qubits_);
+  const std::size_t bit = std::size_t{1} << q;
+  double e = 0.0;
+  for (std::size_t i = 0; i < rho_.rows(); ++i)
+    e += ((i & bit) ? -1.0 : 1.0) * rho_(i, i).real();
+  return e;
+}
+
+double DensityMatrix::purity() const {
+  // Tr(rho^2) = sum_ij |rho_ij|^2 for Hermitian rho.
+  double s = 0.0;
+  for (std::size_t r = 0; r < rho_.rows(); ++r)
+    for (std::size_t c = 0; c < rho_.cols(); ++c) s += std::norm(rho_(r, c));
+  return s;
+}
+
+double DensityMatrix::trace_real() const { return rho_.trace().real(); }
+
+}  // namespace qc::sim

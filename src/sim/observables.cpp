@@ -1,0 +1,28 @@
+#include "sim/observables.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qc::sim {
+
+double z_expectation_from_probs(const std::vector<double>& probs, int qubit) {
+  QC_CHECK_MSG(std::has_single_bit(probs.size()), "distribution must have 2^n entries");
+  QC_CHECK(qubit >= 0 && (std::size_t{1} << qubit) < probs.size());
+  const std::size_t bit = std::size_t{1} << qubit;
+  double e = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    e += ((i & bit) ? -1.0 : 1.0) * probs[i];
+  return e;
+}
+
+double average_z_magnetization(const std::vector<double>& probs) {
+  QC_CHECK_MSG(std::has_single_bit(probs.size()), "distribution must have 2^n entries");
+  const int n = std::countr_zero(probs.size());
+  QC_CHECK(n > 0);
+  double m = 0.0;
+  for (int q = 0; q < n; ++q) m += z_expectation_from_probs(probs, q);
+  return m / static_cast<double>(n);
+}
+
+}  // namespace qc::sim

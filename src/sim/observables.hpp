@@ -1,0 +1,18 @@
+// Observables computed from output distributions.
+//
+// The TFIM experiments condense each circuit's output to one number, the
+// average Z magnetization; Grover uses success probability (metrics module);
+// Toffoli uses JS distance (metrics module).
+#pragma once
+
+#include <vector>
+
+namespace qc::sim {
+
+/// (1/n) sum_q <Z_q> evaluated from an outcome distribution over 2^n states.
+double average_z_magnetization(const std::vector<double>& probs);
+
+/// <Z_q> from an outcome distribution.
+double z_expectation_from_probs(const std::vector<double>& probs, int qubit);
+
+}  // namespace qc::sim

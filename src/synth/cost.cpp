@@ -1,0 +1,55 @@
+#include "synth/cost.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qc::synth {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+HsCost::HsCost(const TemplateCircuit& tpl, Matrix target)
+    : tpl_(tpl), target_(std::move(target)) {
+  QC_CHECK(target_.rows() == target_.cols());
+  QC_CHECK_MSG(target_.rows() == (std::size_t{1} << tpl_.num_qubits()),
+               "target dimension must match template width");
+  QC_CHECK_MSG(target_.is_unitary(1e-6), "synthesis target must be unitary");
+}
+
+double HsCost::operator()(const std::vector<double>& params) const {
+  tpl_.unitary(params, scratch_);
+  const cplx* t = target_.data();
+  const cplx* v = scratch_.data();
+  const std::size_t n = target_.rows() * target_.cols();
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc += std::conj(t[i]) * v[i];
+  const double fid = std::abs(acc) / static_cast<double>(target_.rows());
+  return 1.0 - std::min(fid, 1.0);
+}
+
+double cost_to_hs_distance(double cost) {
+  const double fid = 1.0 - cost;
+  return std::sqrt(std::max(0.0, 1.0 - fid * fid));
+}
+
+double HsCost::hs_distance(const std::vector<double>& params) const {
+  return cost_to_hs_distance((*this)(params));
+}
+
+void HsCost::gradient(const std::vector<double>& params,
+                      std::vector<double>& grad) const {
+  constexpr double h = 1e-6;
+  grad.resize(params.size());
+  std::vector<double> x = params;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    x[i] = params[i] + h;
+    const double fp = (*this)(x);
+    x[i] = params[i] - h;
+    const double fm = (*this)(x);
+    x[i] = params[i];
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+}
+
+}  // namespace qc::synth

@@ -1,0 +1,45 @@
+// Synthesis cost functions.
+//
+// The objective is the smooth fidelity gap
+//     f(x) = 1 - |Tr(T† V(x))| / d
+// whose zero set coincides with hs_distance = 0; hs_distance follows as
+// sqrt(f (1 + |Tr|/d)) = sqrt(1 - (1-f)^2). Gradients are central-difference
+// numerical (the template rebuild is cheap by construction).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "synth/template.hpp"
+
+namespace qc::synth {
+
+class HsCost {
+ public:
+  HsCost(const TemplateCircuit& tpl, linalg::Matrix target);
+
+  int dim() const { return static_cast<int>(target_.rows()); }
+  int num_params() const { return tpl_.num_params(); }
+
+  /// 1 - |Tr(T† V(x))| / d, in [0, 1].
+  double operator()(const std::vector<double>& params) const;
+
+  /// HS distance at x: sqrt(1 - (1 - f)^2).
+  double hs_distance(const std::vector<double>& params) const;
+
+  /// Central-difference gradient (step 1e-6 radians).
+  void gradient(const std::vector<double>& params, std::vector<double>& grad) const;
+
+  const TemplateCircuit& circuit_template() const { return tpl_; }
+  const linalg::Matrix& target() const { return target_; }
+
+ private:
+  TemplateCircuit tpl_;
+  linalg::Matrix target_;
+  mutable linalg::Matrix scratch_;
+};
+
+/// Converts a smooth cost value to the HS distance it implies.
+double cost_to_hs_distance(double cost);
+
+}  // namespace qc::synth

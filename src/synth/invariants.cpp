@@ -1,0 +1,96 @@
+#include "synth/invariants.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+
+namespace qc::synth {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+namespace {
+
+/// The magic basis (Makhlin), mapping the Bell basis onto the computational
+/// one; columns are the magic states.
+const Matrix& magic_basis() {
+  static const Matrix b = [] {
+    const double s = 1.0 / std::sqrt(2.0);
+    Matrix m(4, 4);
+    const cplx i{0.0, 1.0};
+    m(0, 0) = s;
+    m(0, 3) = s * i;
+    m(1, 1) = s * i;
+    m(1, 2) = s;
+    m(2, 1) = s * i;
+    m(2, 2) = -s;
+    m(3, 0) = s;
+    m(3, 3) = -s * i;
+    return m;
+  }();
+  return b;
+}
+
+/// det of a 4x4 complex matrix by cofactor expansion over 3x3 minors.
+cplx det3(const Matrix& m, int r0, int r1, int r2, int c0, int c1, int c2) {
+  return m(r0, c0) * (m(r1, c1) * m(r2, c2) - m(r1, c2) * m(r2, c1)) -
+         m(r0, c1) * (m(r1, c0) * m(r2, c2) - m(r1, c2) * m(r2, c0)) +
+         m(r0, c2) * (m(r1, c0) * m(r2, c1) - m(r1, c1) * m(r2, c0));
+}
+
+cplx det4(const Matrix& m) {
+  cplx d{0.0, 0.0};
+  double sign = 1.0;
+  for (int c = 0; c < 4; ++c) {
+    int cols[3];
+    int k = 0;
+    for (int cc = 0; cc < 4; ++cc)
+      if (cc != c) cols[k++] = cc;
+    d += sign * m(0, c) * det3(m, 1, 2, 3, cols[0], cols[1], cols[2]);
+    sign = -sign;
+  }
+  return d;
+}
+
+}  // namespace
+
+Matrix gamma_invariant(const Matrix& u) {
+  QC_CHECK(u.rows() == 4 && u.cols() == 4);
+  QC_CHECK_MSG(u.is_unitary(1e-8), "gamma invariant requires a unitary");
+  const cplx det = det4(u);
+  // Principal 4th root; the remaining i^k ambiguity is the caller's to scan.
+  const cplx root = std::polar(std::pow(std::abs(det), 0.25), std::arg(det) / 4.0);
+  const Matrix su = u * (cplx{1.0, 0.0} / root);
+  const Matrix m = magic_basis().adjoint() * su * magic_basis();
+  return m.transpose() * m;
+}
+
+int minimal_cx_count(const Matrix& u, double tol) {
+  // All tests below use tr^2(gamma) and gamma^2, which are invariant under
+  // the SU(4) 4th-root phase ambiguity (gamma -> -gamma at worst).
+  const Matrix gamma = gamma_invariant(u);
+  const cplx tr = gamma.trace();
+  const cplx tr2 = tr * tr;
+  const Matrix g2 = gamma * gamma;
+
+  // 0 CNOTs (local): gamma = +-I, i.e. tr^2 = 16 and gamma^2 = I. The
+  // tr^2 test is what separates local gates from SWAP (gamma = iI,
+  // tr^2 = -16).
+  if (std::abs(tr2 - cplx{16.0, 0.0}) < tol * 64.0 &&
+      g2.max_abs_diff(Matrix::identity(4)) < tol * 16.0)
+    return 0;
+
+  // 1 CNOT: tr gamma = 0 and gamma^2 = -I.
+  if (std::abs(tr) < tol * 8.0 &&
+      g2.max_abs_diff(Matrix::identity(4) * cplx{-1.0, 0.0}) < tol * 16.0)
+    return 1;
+
+  // 2 CNOTs: tr^2 real and non-negative (equivalently, tr gamma real —
+  // the Weyl chamber's c = 0 plane). SWAP's tr^2 = -16 fails the sign test.
+  if (std::abs(tr2.imag()) < tol * 64.0 && tr2.real() > -tol * 64.0) return 2;
+
+  return 3;
+}
+
+}  // namespace qc::synth

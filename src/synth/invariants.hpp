@@ -1,0 +1,30 @@
+// Two-qubit circuit-structure invariants (Makhlin; Shende-Bullock-Markov).
+//
+// In the magic basis, gamma(U) = M^T M (with M = B† U B, U normalized into
+// SU(4)) is invariant under local gates, and its trace classifies how many
+// CNOTs a two-qubit unitary *requires*:
+//
+//   0 CNOTs  iff  |tr gamma| = 4            (U is local)
+//   1 CNOT   iff  tr gamma = 0 and gamma^2 = -I
+//   2 CNOTs  iff  tr gamma is real (for some SU(4) phase choice)
+//   3 CNOTs  otherwise (every U(4) element needs at most 3)
+//
+// This gives synthesis an analytic optimality certificate: when QSearch
+// finds a k-CNOT circuit and minimal_cx_count(target) == k, the search is
+// provably depth-optimal; and partitioned resynthesis can skip blocks that
+// already sit at their lower bound.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qc::synth {
+
+/// gamma(U) = (B† U' B)^T (B† U' B) with U' = U / det(U)^{1/4} — defined up
+/// to the 4th-root phase, which the classification functions handle.
+linalg::Matrix gamma_invariant(const linalg::Matrix& u);
+
+/// Minimal number of CNOTs (0-3) required to implement the 4x4 unitary `u`
+/// exactly with CNOTs + single-qubit gates.
+int minimal_cx_count(const linalg::Matrix& u, double tol = 1e-9);
+
+}  // namespace qc::synth

@@ -1,0 +1,128 @@
+#include "synth/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "synth/qfactor.hpp"
+#include "transpile/decompose.hpp"
+
+namespace qc::synth {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+
+std::vector<Partition> partition_circuit(const QuantumCircuit& circuit,
+                                         int block_qubits) {
+  QC_CHECK(block_qubits >= 2);
+  std::vector<Partition> out;
+
+  // Current open block state.
+  std::set<int> support;
+  std::vector<const Gate*> pending;
+  std::size_t block_start = 0;
+
+  auto flush = [&](std::size_t end_index) {
+    if (pending.empty()) return;
+    Partition p;
+    p.qubits.assign(support.begin(), support.end());
+    p.first_gate = block_start;
+    p.last_gate = end_index;
+    std::map<int, int> compact;
+    for (std::size_t i = 0; i < p.qubits.size(); ++i)
+      compact[p.qubits[i]] = static_cast<int>(i);
+    QuantumCircuit sub(static_cast<int>(p.qubits.size()));
+    for (const Gate* g : pending) {
+      std::vector<int> qs;
+      qs.reserve(g->qubits.size());
+      for (int q : g->qubits) qs.push_back(compact.at(q));
+      sub.append(Gate(g->kind, std::move(qs), g->params));
+    }
+    p.sub_circuit = std::move(sub);
+    out.push_back(std::move(p));
+    support.clear();
+    pending.clear();
+  };
+
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.gate(i);
+    QC_CHECK_MSG(g.kind != GateKind::Measure,
+                 "partition_circuit expects the unitary part of a circuit");
+    if (g.kind == GateKind::Barrier) {
+      flush(i == 0 ? 0 : i - 1);
+      block_start = i + 1;
+      continue;
+    }
+    QC_CHECK_MSG(static_cast<int>(g.qubits.size()) <= block_qubits,
+                 "gate wider than the partition block size");
+
+    std::set<int> grown = support;
+    grown.insert(g.qubits.begin(), g.qubits.end());
+    if (static_cast<int>(grown.size()) > block_qubits) {
+      flush(i - 1);
+      block_start = i;
+      grown.clear();
+      grown.insert(g.qubits.begin(), g.qubits.end());
+    }
+    support = std::move(grown);
+    pending.push_back(&g);
+  }
+  flush(circuit.size() == 0 ? 0 : circuit.size() - 1);
+  return out;
+}
+
+PartitionedSynthesisResult resynthesize_partitioned(
+    const QuantumCircuit& circuit, const PartitionedSynthesisOptions& options) {
+  const QuantumCircuit basis =
+      transpile::decompose_to_cx_u3(circuit).unitary_part();
+  const auto partitions = partition_circuit(basis, options.block_qubits);
+
+  PartitionedSynthesisResult result;
+  result.blocks_total = partitions.size();
+  result.cnots_before = basis.count(GateKind::CX);
+  QuantumCircuit rebuilt(basis.num_qubits(), basis.name());
+
+  for (const Partition& p : partitions) {
+    const QuantumCircuit& sub = p.sub_circuit;
+    const std::size_t sub_cx = sub.count(GateKind::CX);
+
+    bool replaced = false;
+    if (sub.num_qubits() >= 2 && sub_cx >= 2) {
+      const linalg::Matrix target = sub.to_unitary();
+      QSearchOptions qopts = options.qsearch;
+      qopts.success_threshold = std::max(qopts.success_threshold, 1e-8);
+      qopts.max_cnots = std::min<int>(qopts.max_cnots, static_cast<int>(sub_cx) - 1);
+      if (qopts.max_cnots >= 0) {
+        QSearchResult found = qsearch_synthesize(target, sub.num_qubits(), qopts);
+        if (options.qfactor_polish && !found.best.circuit.is_null()) {
+          QFactorResult polished = qfactor_optimize(found.best.circuit, target);
+          if (polished.hs_distance < found.best.hs_distance) {
+            found.best.circuit = std::move(polished.circuit);
+            found.best.hs_distance = polished.hs_distance;
+          }
+        }
+        const bool acceptable = !found.best.circuit.is_null() &&
+                                found.best.hs_distance <= options.block_hs_budget &&
+                                found.best.cnot_count < sub_cx;
+        if (acceptable) {
+          std::vector<int> mapping = p.qubits;
+          rebuilt.append_mapped(found.best.circuit, mapping);
+          result.accumulated_hs += found.best.hs_distance;
+          ++result.blocks_resynthesized;
+          replaced = true;
+        }
+      }
+    }
+    if (!replaced) {
+      rebuilt.append_mapped(sub, p.qubits);
+    }
+  }
+
+  result.cnots_after = rebuilt.count(GateKind::CX);
+  result.circuit = std::move(rebuilt);
+  return result;
+}
+
+}  // namespace qc::synth

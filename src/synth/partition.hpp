@@ -1,0 +1,60 @@
+// Partitioned (re)synthesis — the paper's §6.5 scaling proposal:
+// "it may be possible to create a large circuit out of many small circuits".
+//
+// The circuit is cut into contiguous blocks that each touch at most
+// `block_qubits` qubits; each block's unitary is then resynthesized
+// independently (QSearch under a per-block HS budget, optionally polished
+// by QFactor), and the shortened blocks are stitched back together. Because
+// HS distance is sub-additive under composition (the triangle inequality on
+// the global phase-invariant metric holds up to small cross terms), a
+// per-block budget of eps/num_blocks keeps the whole-circuit distance near
+// eps while the CNOT count drops block by block. This extends approximate
+// synthesis to widths where whole-unitary search is hopeless.
+#pragma once
+
+#include "ir/circuit.hpp"
+#include "synth/qsearch.hpp"
+
+namespace qc::synth {
+
+/// One contiguous block of the partition.
+struct Partition {
+  std::vector<int> qubits;          // sorted circuit qubits the block touches
+  ir::QuantumCircuit sub_circuit;   // over compact indices 0..qubits.size()-1
+  std::size_t first_gate = 0;       // gate range in the source circuit
+  std::size_t last_gate = 0;        // inclusive
+};
+
+/// Greedy maximal partitioning: scan gates in order, open a block, and keep
+/// absorbing gates while the block's qubit support stays within
+/// `block_qubits`. Barriers close blocks; measurements terminate
+/// partitioning. Every unitary gate lands in exactly one block.
+std::vector<Partition> partition_circuit(const ir::QuantumCircuit& circuit,
+                                         int block_qubits);
+
+struct PartitionedSynthesisOptions {
+  int block_qubits = 3;
+  /// Per-block HS budget; blocks that synthesis cannot bring under it are
+  /// kept in their original form (never a regression).
+  double block_hs_budget = 0.05;
+  QSearchOptions qsearch;
+  /// Polish each accepted block with QFactor sweeps.
+  bool qfactor_polish = true;
+};
+
+struct PartitionedSynthesisResult {
+  ir::QuantumCircuit circuit;
+  std::size_t blocks_total = 0;
+  std::size_t blocks_resynthesized = 0;
+  std::size_t cnots_before = 0;
+  std::size_t cnots_after = 0;
+  /// Sum of accepted per-block HS distances (upper-bounds the whole-circuit
+  /// drift up to cross terms).
+  double accumulated_hs = 0.0;
+};
+
+/// Rewrites `circuit` block by block. Deterministic.
+PartitionedSynthesisResult resynthesize_partitioned(
+    const ir::QuantumCircuit& circuit, const PartitionedSynthesisOptions& options = {});
+
+}  // namespace qc::synth

@@ -1,0 +1,202 @@
+#include "synth/qfactor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/embed.hpp"
+#include "metrics/process.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/euler.hpp"
+
+namespace qc::synth {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+using linalg::cplx;
+using linalg::Matrix;
+
+namespace {
+
+/// Hermitian 2x2 eigendecomposition: returns eigenvalues (ascending) and
+/// orthonormal eigenvector columns in q.
+void eig_hermitian_2x2(const Matrix& h, double& l0, double& l1, Matrix& q) {
+  const double a = h(0, 0).real();
+  const double d = h(1, 1).real();
+  const cplx b = h(0, 1);
+  const double tr = a + d;
+  const double det = a * d - std::norm(b);
+  const double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - det));
+  l0 = tr / 2.0 - disc;
+  l1 = tr / 2.0 + disc;
+
+  q = Matrix::identity(2);
+  if (std::abs(b) < 1e-300 && std::abs(a - d) < 1e-300) return;  // scalar
+  // Eigenvector for l1: (b, l1 - a) or (l1 - d, conj(b)).
+  cplx v0 = b, v1 = cplx{l1 - a, 0.0};
+  if (std::abs(v0) + std::abs(v1) < 1e-150) {
+    v0 = cplx{l1 - d, 0.0};
+    v1 = std::conj(b);
+  }
+  const double n = std::sqrt(std::norm(v0) + std::norm(v1));
+  if (n < 1e-150) return;
+  v0 /= n;
+  v1 /= n;
+  // q columns: [v_perp, v] with eigenvalues (l0, l1).
+  q(0, 0) = -std::conj(v1);
+  q(1, 0) = std::conj(v0);
+  q(0, 1) = v0;
+  q(1, 1) = v1;
+}
+
+}  // namespace
+
+Matrix best_unitary_for_environment(const Matrix& k) {
+  QC_CHECK(k.rows() == 2 && k.cols() == 2);
+  // SVD K = P S Q†; |Tr(U K)| is maximized by U = Q P†.
+  const Matrix ktk = k.adjoint() * k;
+  double s0sq, s1sq;
+  Matrix q;
+  eig_hermitian_2x2(ktk, s0sq, s1sq, q);
+  const double s1 = std::sqrt(std::max(0.0, s1sq));
+  const double s0 = std::sqrt(std::max(0.0, s0sq));
+
+  // P columns: p_i = K q_i / s_i; complete orthonormally when singular.
+  Matrix p(2, 2);
+  auto set_col = [&](int col, cplx x0, cplx x1) {
+    p(0, col) = x0;
+    p(1, col) = x1;
+  };
+  // Column 1 (largest singular value) first.
+  if (s1 > 1e-150) {
+    const cplx x0 = (k(0, 0) * q(0, 1) + k(0, 1) * q(1, 1)) / s1;
+    const cplx x1 = (k(1, 0) * q(0, 1) + k(1, 1) * q(1, 1)) / s1;
+    set_col(1, x0, x1);
+  } else {
+    set_col(1, cplx{1, 0}, cplx{0, 0});  // K ~ 0: any unitary works
+  }
+  if (s0 > 1e-12 * std::max(1.0, s1)) {
+    const cplx x0 = (k(0, 0) * q(0, 0) + k(0, 1) * q(1, 0)) / s0;
+    const cplx x1 = (k(1, 0) * q(0, 0) + k(1, 1) * q(1, 0)) / s0;
+    set_col(0, x0, x1);
+  } else {
+    // Orthogonal complement of column 1.
+    set_col(0, -std::conj(p(1, 1)), std::conj(p(0, 1)));
+  }
+  Matrix u = q * p.adjoint();
+  // Re-unitarize (2x2 Gram-Schmidt): the SVD route accumulates ~1e-7 error,
+  // which would compound over sweeps and break the exact ZYZ rebuild.
+  {
+    double n0 = std::sqrt(std::norm(u(0, 0)) + std::norm(u(1, 0)));
+    QC_CHECK_MSG(n0 > 1e-12, "degenerate environment update");
+    u(0, 0) /= n0;
+    u(1, 0) /= n0;
+    const cplx proj = std::conj(u(0, 0)) * u(0, 1) + std::conj(u(1, 0)) * u(1, 1);
+    u(0, 1) -= proj * u(0, 0);
+    u(1, 1) -= proj * u(1, 0);
+    const double n1 = std::sqrt(std::norm(u(0, 1)) + std::norm(u(1, 1)));
+    QC_CHECK_MSG(n1 > 1e-12, "degenerate environment update");
+    u(0, 1) /= n1;
+    u(1, 1) /= n1;
+  }
+  QC_CHECK_MSG(u.is_unitary(1e-9), "environment update lost unitarity");
+  return u;
+}
+
+QFactorResult qfactor_optimize(const QuantumCircuit& structure, const Matrix& target,
+                               const QFactorOptions& options) {
+  const QuantumCircuit basis =
+      transpile::decompose_to_cx_u3(structure).unitary_part();
+  const int n = basis.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  QC_CHECK_MSG(target.rows() == dim && target.cols() == dim,
+               "target dimension must match circuit width");
+  const double d = static_cast<double>(dim);
+
+  // Mutable gate matrices (U3 slots get rewritten; CX stays).
+  std::vector<Matrix> mats;
+  std::vector<const Gate*> gates;
+  for (const Gate& g : basis.gates()) {
+    mats.push_back(g.matrix());
+    gates.push_back(&g);
+  }
+  const std::size_t m = mats.size();
+
+  QFactorResult result;
+  result.circuit = basis;
+  if (m == 0) {
+    result.hs_distance = metrics::hs_distance(target, Matrix::identity(dim));
+    return result;
+  }
+
+  const Matrix t_dag = target.adjoint();
+  double prev_overlap = -1.0;
+
+  std::vector<Matrix> suffix(m + 1);  // suffix[k] = O_{m-1} ... O_k (embedded)
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    ++result.sweeps;
+
+    // suffix[k] = product of ops k..m-1 applied after slot k-1.
+    suffix[m] = Matrix::identity(dim);
+    for (std::size_t k = m; k-- > 0;) {
+      suffix[k] = suffix[k + 1];
+      linalg::right_apply_inplace(suffix[k], mats[k], gates[k]->qubits);
+      // right-apply builds suffix[k] = suffix[k+1] * embed(O_k)  (= O_{m-1}..O_k
+      // when read as an operator product).
+    }
+
+    // Forward pass: B accumulates O_{k-1} ... O_0.
+    Matrix b = Matrix::identity(dim);
+    for (std::size_t k = 0; k < m; ++k) {
+      if (gates[k]->qubits.size() == 1) {
+        // M = B T† A with A = suffix[k+1]; Tr(T† A U_k B) = Tr(U_emb M).
+        Matrix mmat = b * t_dag * suffix[k + 1];
+        // Environment K[a][b] = sum_rest M[(b,rest),(a,rest)]; Tr = Tr(U K^T).
+        const int qb = gates[k]->qubits[0];
+        const std::size_t bit = std::size_t{1} << qb;
+        Matrix kt(2, 2);  // K^T directly: kt[b][a] = K[a][b]
+        for (std::size_t base = 0; base < dim; ++base) {
+          if (base & bit) continue;
+          kt(0, 0) += mmat(base, base);
+          kt(0, 1) += mmat(base, base | bit);
+          kt(1, 0) += mmat(base | bit, base);
+          kt(1, 1) += mmat(base | bit, base | bit);
+        }
+        // kt currently holds K[a][b] at (b? ...) — M[(b,rest),(a,rest)] with
+        // row index carrying b: kt(row=b, col=a) = K[a][b] = (K^T)(b, a). OK.
+        mats[k] = best_unitary_for_environment(kt);
+      }
+      linalg::left_apply_inplace(b, mats[k], gates[k]->qubits);
+    }
+
+    // b now holds the full circuit unitary; overlap = |Tr(T† V)|.
+    cplx acc{0.0, 0.0};
+    const Matrix full = t_dag * b;
+    for (std::size_t i = 0; i < dim; ++i) acc += full(i, i);
+    const double overlap = std::abs(acc) / d;
+    const double fid = std::min(1.0, overlap);
+    result.hs_distance = std::sqrt(std::max(0.0, 1.0 - fid * fid));
+    if (result.hs_distance < options.success_threshold) {
+      result.converged = true;
+      break;
+    }
+    if (overlap - prev_overlap < options.tolerance && sweep > 0) break;
+    prev_overlap = overlap;
+  }
+
+  // Rebuild the circuit with the optimized single-qubit gates.
+  QuantumCircuit out(n, structure.name());
+  for (std::size_t k = 0; k < m; ++k) {
+    if (gates[k]->qubits.size() == 1) {
+      out.append(transpile::u3_from_matrix(mats[k], gates[k]->qubits[0]));
+    } else {
+      out.append(*gates[k]);
+    }
+  }
+  result.circuit = std::move(out);
+  result.hs_distance = metrics::hs_distance(target, result.circuit.to_unitary());
+  result.converged = result.hs_distance < options.success_threshold;
+  return result;
+}
+
+}  // namespace qc::synth

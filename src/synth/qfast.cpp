@@ -1,0 +1,82 @@
+#include "synth/qfast.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "synth/cost.hpp"
+
+namespace qc::synth {
+
+QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
+                             const QFastOptions& options,
+                             const noise::CouplingMap* coupling) {
+  QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
+  QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
+
+  std::vector<std::pair<int, int>> edges;
+  if (coupling) {
+    for (const auto& e : coupling->edges())
+      if (e.first < num_qubits && e.second < num_qubits) edges.push_back(e);
+  } else {
+    for (int a = 0; a < num_qubits; ++a)
+      for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
+  }
+  QC_CHECK_MSG(!edges.empty(), "no usable edges for synthesis");
+
+  common::Rng rng(options.seed);
+  QFastResult result;
+
+  std::vector<double> warm;  // parameters carried across depths
+  for (int depth = 1; depth <= options.max_blocks; ++depth) {
+    ++result.depths_tried;
+
+    TemplateCircuit tpl(num_qubits);
+    for (int d = 0; d < depth; ++d) {
+      const auto& e = edges[static_cast<std::size_t>(d) % edges.size()];
+      tpl.add_generic_block(e.first, e.second);
+    }
+    const HsCost cost(tpl, target);
+    const CostFn f = [&cost](const std::vector<double>& x) { return cost(x); };
+    const GradFn g = [&cost](const std::vector<double>& x, std::vector<double>& out) {
+      cost.gradient(x, out);
+    };
+
+    std::vector<double> x0 = warm;
+    x0.resize(static_cast<std::size_t>(tpl.num_params()), 0.0);
+
+    // Optionally surface a cheap coarse pass first (short optimization) —
+    // these are the "circuits it checks along the way".
+    if (options.emit_coarse_passes && options.partial_solution_callback) {
+      OptimizeOptions coarse = options.optimizer;
+      coarse.max_iterations = std::max(5, options.optimizer.max_iterations / 6);
+      const OptimizeResult quick = lbfgs_minimize(f, g, x0, coarse);
+      ApproxCircuit snap{tpl.instantiate(quick.params),
+                         cost_to_hs_distance(quick.value), tpl.cx_count(), "qfast"};
+      options.partial_solution_callback(snap);
+      x0 = quick.params;
+    }
+
+    MultistartOptions ms;
+    ms.inner = options.optimizer;
+    ms.num_starts = options.restarts_per_depth;
+    common::Rng depth_rng = rng.split(static_cast<std::uint64_t>(depth));
+    const OptimizeResult opt = multistart_minimize(f, g, x0, depth_rng, ms);
+    warm = opt.params;
+
+    ApproxCircuit record{tpl.instantiate(opt.params), cost_to_hs_distance(opt.value),
+                         tpl.cx_count(), "qfast"};
+    if (options.partial_solution_callback) options.partial_solution_callback(record);
+
+    const bool better = result.best.circuit.is_null() ||
+                        record.hs_distance < result.best.hs_distance;
+    if (better) result.best = std::move(record);
+
+    if (result.best.hs_distance < options.success_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace qc::synth

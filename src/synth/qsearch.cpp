@@ -1,0 +1,127 @@
+#include "synth/qsearch.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "synth/cost.hpp"
+
+namespace qc::synth {
+
+namespace {
+
+struct Node {
+  std::vector<std::pair<int, int>> blocks;  // CX edges, in order
+  std::vector<double> params;               // optimized parameters
+  double hs = 1.0;
+  double priority = 0.0;
+  std::uint64_t order = 0;  // insertion index: deterministic tie-break
+
+  bool operator<(const Node& rhs) const {
+    // std::priority_queue is a max-heap; invert for min-priority.
+    if (priority != rhs.priority) return priority > rhs.priority;
+    return order > rhs.order;
+  }
+};
+
+TemplateCircuit build_template(int num_qubits,
+                               const std::vector<std::pair<int, int>>& blocks) {
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(num_qubits);
+  for (const auto& [a, b] : blocks) tpl.add_qsearch_block(a, b);
+  return tpl;
+}
+
+}  // namespace
+
+QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
+                                 const QSearchOptions& options,
+                                 const noise::CouplingMap* coupling) {
+  QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
+  QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
+
+  // Expansion edges: coupling-map edges, or all pairs. Both CX directions
+  // are equivalent up to the surrounding U3s, so one orientation suffices.
+  std::vector<std::pair<int, int>> edges;
+  if (coupling) {
+    QC_CHECK(coupling->num_qubits() >= num_qubits);
+    for (const auto& e : coupling->edges())
+      if (e.first < num_qubits && e.second < num_qubits) edges.push_back(e);
+  } else {
+    for (int a = 0; a < num_qubits; ++a)
+      for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
+  }
+  QC_CHECK_MSG(!edges.empty(), "no usable edges for synthesis");
+
+  common::Rng rng(options.seed);
+  QSearchResult result;
+  std::uint64_t insert_counter = 0;
+
+  auto optimize_node = [&](Node& node) {
+    const TemplateCircuit tpl = build_template(num_qubits, node.blocks);
+    const HsCost cost(tpl, target);
+    const CostFn f = [&cost](const std::vector<double>& x) { return cost(x); };
+    const GradFn g = [&cost](const std::vector<double>& x, std::vector<double>& out) {
+      cost.gradient(x, out);
+    };
+
+    // Warm start: parent parameters extended with identity angles for the
+    // new block (node.params may already hold them).
+    std::vector<double> x0 = node.params;
+    x0.resize(static_cast<std::size_t>(tpl.num_params()), 0.0);
+
+    MultistartOptions ms;
+    ms.inner = options.optimizer;
+    ms.num_starts = options.restarts_per_node;
+    common::Rng node_rng = rng.split(insert_counter + 1);
+    const OptimizeResult opt = multistart_minimize(f, g, x0, node_rng, ms);
+
+    node.params = opt.params;
+    node.hs = cost_to_hs_distance(opt.value);
+    node.priority = node.hs + options.depth_weight * static_cast<double>(node.blocks.size());
+    ++result.nodes_optimized;
+
+    ApproxCircuit record{tpl.instantiate(node.params), node.hs, tpl.cx_count(),
+                         "qsearch"};
+    if (options.intermediate_callback) options.intermediate_callback(record);
+
+    const bool better =
+        result.best.circuit.is_null() || node.hs < result.best.hs_distance ||
+        (node.hs == result.best.hs_distance && tpl.cx_count() < result.best.cnot_count);
+    if (better) result.best = std::move(record);
+  };
+
+  std::priority_queue<Node> open;
+  Node root;
+  root.order = insert_counter++;
+  optimize_node(root);
+  open.push(std::move(root));
+
+  while (!open.empty()) {
+    if (result.best.hs_distance < options.success_threshold) break;
+    if (result.nodes_expanded >= options.max_nodes) break;
+
+    Node current = open.top();
+    open.pop();
+    ++result.nodes_expanded;
+    if (static_cast<int>(current.blocks.size()) >= options.max_cnots) continue;
+
+    for (const auto& edge : edges) {
+      Node child;
+      child.blocks = current.blocks;
+      child.blocks.push_back(edge);
+      child.params = current.params;  // warm start; extended in optimize_node
+      child.order = insert_counter++;
+      optimize_node(child);
+      if (child.hs < options.success_threshold) {
+        result.converged = true;
+        return result;
+      }
+      open.push(std::move(child));
+    }
+  }
+
+  result.converged = result.best.hs_distance < options.success_threshold;
+  return result;
+}
+
+}  // namespace qc::synth

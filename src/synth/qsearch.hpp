@@ -1,0 +1,75 @@
+// QSearch-style optimal-depth synthesis, instrumented.
+//
+// Faithful to the search the paper modified: an A*-style best-first search
+// over circuit structures, starting from a U3 layer and expanding by one
+// {CNOT + U3 + U3} block per step on a coupling-map edge; each structure's
+// continuous parameters are optimized numerically against the target's
+// Hilbert–Schmidt cost before scoring.
+//
+// The paper's enhancement is built in rather than patched in: every
+// intermediate structure the search optimizes is reported through
+// `intermediate_callback` with its bound circuit and HS distance — that
+// stream *is* the set of approximate circuits the study evaluates.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "linalg/matrix.hpp"
+#include "noise/topology.hpp"
+#include "synth/optimize.hpp"
+
+namespace qc::synth {
+
+/// One synthesized (possibly approximate) circuit.
+struct ApproxCircuit {
+  ir::QuantumCircuit circuit;
+  double hs_distance = 1.0;
+  std::size_t cnot_count = 0;
+  std::string source;  // "qsearch", "qfast", "reducer"
+};
+
+using IntermediateCallback = std::function<void(const ApproxCircuit&)>;
+
+struct QSearchOptions {
+  /// Search succeeds when the HS distance drops below this. The original
+  /// tool's "distance zero" default of 1e-10 is stated on its *fidelity gap*
+  /// scale; on the hs = sqrt(1 - f^2) scale used here that corresponds to
+  /// hs ~ sqrt(2e-10), and double precision floors hs near 1e-8 — so the
+  /// practical zero is 1e-5 (fidelity gap ~5e-11).
+  double success_threshold = 1e-5;
+  /// Hard caps keeping the search bounded.
+  int max_cnots = 8;
+  int max_nodes = 120;
+  /// A* priority = hs_distance + depth_weight * cnot_count; small weight
+  /// preserves near-depth-optimality while pruning hopeless deep branches.
+  double depth_weight = 0.0125;
+  /// Continuous optimization budget per node.
+  OptimizeOptions optimizer;
+  int restarts_per_node = 2;
+  std::uint64_t seed = 0x51534541;  // deterministic searches
+  /// Report every optimized structure (the paper's modification).
+  IntermediateCallback intermediate_callback;
+};
+
+struct QSearchResult {
+  /// Best circuit found (lowest HS distance; ties broken by CNOT count).
+  ApproxCircuit best;
+  /// True if best.hs_distance < success_threshold.
+  bool converged = false;
+  int nodes_expanded = 0;
+  int nodes_optimized = 0;
+};
+
+/// Synthesizes `target` over `num_qubits` qubits. If `coupling` is given,
+/// expansion blocks are restricted to its edges (machine-aware synthesis);
+/// otherwise all qubit pairs are allowed.
+QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
+                                 const QSearchOptions& options = {},
+                                 const noise::CouplingMap* coupling = nullptr);
+
+}  // namespace qc::synth

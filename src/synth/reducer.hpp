@@ -1,0 +1,43 @@
+// Perturbative circuit reducer: the third approximation generator.
+//
+// Takes a reference circuit, deletes subsets of its CNOTs, and re-optimizes
+// single-qubit freedom against the reference unitary. Two regimes:
+//
+//  * "full"     — the kept CX skeleton is re-dressed with a fresh U3 layer
+//                 everywhere (QSearch-shaped template) and fully optimized.
+//                 Best quality; cost grows with the skeleton, so it is used
+//                 for shallow results.
+//  * "boundary" — the kept sub-circuit (original angles) is frozen and only
+//                 a leading and trailing U3 layer are optimized. O(6n)
+//                 parameters regardless of depth, so it populates the deep
+//                 end (tens-hundreds of CNOTs) of the approximation clouds
+//                 that the 4/5-qubit Toffoli and hardware figures show,
+//                 where tree search cannot reach in bounded time (see
+//                 DESIGN.md substitution notes).
+#pragma once
+
+#include "synth/qsearch.hpp"
+
+namespace qc::synth {
+
+struct ReducerOptions {
+  /// CX-count targets as fractions of the reference CX count; each fraction
+  /// produces `variants_per_size` different subsets.
+  std::vector<double> keep_fractions = {0.0, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0};
+  int variants_per_size = 3;
+  /// Skeletons at or below this CX count use the "full" regime.
+  int full_reopt_max_cx = 7;
+  /// Qubit widths above this always use "boundary" (cost control).
+  int full_reopt_max_qubits = 3;
+  OptimizeOptions optimizer;
+  std::uint64_t seed = 0x52454455;
+  IntermediateCallback callback;
+};
+
+/// Generates approximations of `reference` (any gate set; lowered
+/// internally). Deterministic in (reference, options.seed). Results are
+/// sorted by CNOT count, deduplicated by (cx count, variant).
+std::vector<ApproxCircuit> reduce_circuit(const ir::QuantumCircuit& reference,
+                                          const ReducerOptions& options = {});
+
+}  // namespace qc::synth

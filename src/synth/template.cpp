@@ -1,0 +1,129 @@
+#include "synth/template.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qc::synth {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+TemplateCircuit::TemplateCircuit(int num_qubits) : num_qubits_(num_qubits) {
+  QC_CHECK(num_qubits > 0 && num_qubits <= 10);
+}
+
+void TemplateCircuit::add_u3(int q) {
+  QC_CHECK(q >= 0 && q < num_qubits_);
+  ops_.push_back(Op{false, q, -1, 3 * num_u3_});
+  ++num_u3_;
+}
+
+void TemplateCircuit::add_cx(int control, int target) {
+  QC_CHECK(control >= 0 && control < num_qubits_ && target >= 0 &&
+           target < num_qubits_ && control != target);
+  ops_.push_back(Op{true, control, target, -1});
+  ++num_cx_;
+}
+
+void TemplateCircuit::add_qsearch_block(int control, int target) {
+  add_cx(control, target);
+  add_u3(control);
+  add_u3(target);
+}
+
+void TemplateCircuit::add_generic_block(int a, int b) {
+  add_u3(a);
+  add_u3(b);
+  for (int rep = 0; rep < 3; ++rep) {
+    add_cx(a, b);
+    add_u3(a);
+    add_u3(b);
+  }
+}
+
+TemplateCircuit TemplateCircuit::u3_layer(int num_qubits) {
+  TemplateCircuit t(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) t.add_u3(q);
+  return t;
+}
+
+namespace {
+
+/// Left-multiplies the row-major dim x dim matrix `m` by a U3 on qubit `q`:
+/// rows r (bit q clear) and r|bit mix through the 2x2 gate.
+void apply_u3_rows(cplx* m, std::size_t dim, int q, double theta, double phi,
+                   double lambda) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  const cplx g00{c, 0.0};
+  const cplx g01 = -std::polar(s, lambda);
+  const cplx g10 = std::polar(s, phi);
+  const cplx g11 = std::polar(c, phi + lambda);
+
+  const std::size_t bit = std::size_t{1} << q;
+  for (std::size_t r = 0; r < dim; ++r) {
+    if (r & bit) continue;
+    cplx* row0 = m + r * dim;
+    cplx* row1 = m + (r | bit) * dim;
+    for (std::size_t col = 0; col < dim; ++col) {
+      const cplx v0 = row0[col];
+      const cplx v1 = row1[col];
+      row0[col] = g00 * v0 + g01 * v1;
+      row1[col] = g10 * v0 + g11 * v1;
+    }
+  }
+}
+
+/// Left-multiplies by CX: for rows with the control bit set, swap the pair
+/// of rows that differ in the target bit.
+void apply_cx_rows(cplx* m, std::size_t dim, int control, int target) {
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t r = 0; r < dim; ++r) {
+    if (!(r & cbit) || (r & tbit)) continue;
+    cplx* row0 = m + r * dim;
+    cplx* row1 = m + (r | tbit) * dim;
+    for (std::size_t col = 0; col < dim; ++col) std::swap(row0[col], row1[col]);
+  }
+}
+
+}  // namespace
+
+void TemplateCircuit::unitary(const std::vector<double>& params, Matrix& out) const {
+  QC_CHECK(params.size() == static_cast<std::size_t>(num_params()));
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  if (out.rows() != dim || out.cols() != dim) out = Matrix(dim, dim);
+  cplx* m = out.data();
+  for (std::size_t i = 0; i < dim * dim; ++i) m[i] = cplx{0.0, 0.0};
+  for (std::size_t i = 0; i < dim; ++i) m[i * dim + i] = cplx{1.0, 0.0};
+
+  for (const Op& op : ops_) {
+    if (op.is_cx) {
+      apply_cx_rows(m, dim, op.a, op.b);
+    } else {
+      apply_u3_rows(m, dim, op.a, params[op.param_offset],
+                    params[op.param_offset + 1], params[op.param_offset + 2]);
+    }
+  }
+}
+
+ir::QuantumCircuit TemplateCircuit::instantiate(const std::vector<double>& params) const {
+  QC_CHECK(params.size() == static_cast<std::size_t>(num_params()));
+  ir::QuantumCircuit circuit(num_qubits_);
+  for (const Op& op : ops_) {
+    if (op.is_cx) {
+      circuit.cx(op.a, op.b);
+    } else {
+      circuit.u3(params[op.param_offset], params[op.param_offset + 1],
+                 params[op.param_offset + 2], op.a);
+    }
+  }
+  return circuit;
+}
+
+std::vector<double> TemplateCircuit::identity_params() const {
+  return std::vector<double>(static_cast<std::size_t>(num_params()), 0.0);
+}
+
+}  // namespace qc::synth

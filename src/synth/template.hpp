@@ -1,0 +1,66 @@
+// Parameterized circuit templates (ansätze) for numerical synthesis.
+//
+// A TemplateCircuit is a fixed gate *structure* — CX gates at fixed
+// positions, U3 gates whose three angles are free parameters — exactly the
+// search space QSearch/QFast explore. The unitary builder here is the hot
+// loop of synthesis (called hundreds of thousands of times per search), so
+// it uses dedicated row-operation kernels with no per-gate heap allocation.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qc::synth {
+
+class TemplateCircuit {
+ public:
+  explicit TemplateCircuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  /// Total free parameters (3 per U3 slot).
+  int num_params() const { return 3 * num_u3_; }
+  /// Number of CX gates in the structure.
+  std::size_t cx_count() const { return num_cx_; }
+  std::size_t num_ops() const { return ops_.size(); }
+
+  /// Appends a parameterized U3 on qubit q.
+  void add_u3(int q);
+  /// Appends a fixed CX.
+  void add_cx(int control, int target);
+  /// Appends the QSearch expansion block: CX(control, target) then a U3 on
+  /// each of the two qubits.
+  void add_qsearch_block(int control, int target);
+  /// Appends the QFast generic two-qubit block: {U3 pair, CX} x3 followed by
+  /// a final U3 pair — enough structure to express any SU(4) element.
+  void add_generic_block(int a, int b);
+
+  /// U3 layer on every qubit (the root of a QSearch search).
+  static TemplateCircuit u3_layer(int num_qubits);
+
+  /// Builds the full unitary for the given parameter vector into `out`
+  /// (resized if needed). params.size() must equal num_params().
+  void unitary(const std::vector<double>& params, linalg::Matrix& out) const;
+
+  /// Concrete circuit with the parameters bound.
+  ir::QuantumCircuit instantiate(const std::vector<double>& params) const;
+
+  /// Reasonable starting parameters: zero angles (U3 = identity).
+  std::vector<double> identity_params() const;
+
+ private:
+  struct Op {
+    bool is_cx;
+    int a;             // U3 qubit, or CX control
+    int b;             // CX target (unused for U3)
+    int param_offset;  // first of 3 params (U3 only)
+  };
+
+  int num_qubits_;
+  int num_u3_ = 0;
+  std::size_t num_cx_ = 0;
+  std::vector<Op> ops_;
+};
+
+}  // namespace qc::synth

@@ -1,0 +1,247 @@
+#include "transpile/decompose.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "transpile/euler.hpp"
+
+namespace qc::transpile {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+using linalg::cplx;
+using linalg::Matrix;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Matrix rz_matrix(double a) { return ir::gate_matrix(GateKind::RZ, {a}, 1); }
+Matrix ry_matrix(double a) { return ir::gate_matrix(GateKind::RY, {a}, 1); }
+
+/// Principal square root of a 2x2 unitary via its (orthogonal) eigensystem.
+Matrix sqrt_unitary_2x2(const Matrix& u) {
+  QC_CHECK(u.rows() == 2 && u.cols() == 2);
+  const cplx tr = u(0, 0) + u(1, 1);
+  const cplx det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  const cplx disc = std::sqrt(tr * tr - 4.0 * det);
+  const cplx l1 = 0.5 * (tr + disc);
+  const cplx l2 = 0.5 * (tr - disc);
+
+  auto sqrt_phase = [](cplx lambda) {
+    // Unit-modulus eigenvalue; principal root keeps arg in (-pi/2, pi/2].
+    return std::polar(std::sqrt(std::abs(lambda)), 0.5 * std::arg(lambda));
+  };
+
+  if (std::abs(l1 - l2) < 1e-12) {
+    // U = lambda * I (the only normal 2x2 with a repeated eigenvalue whose
+    // eigenspace is full) or a defective-looking numerical case; handle the
+    // scalar case and fall back on a series-free formula otherwise.
+    if (u.max_abs_diff(Matrix::identity(2) * l1) < 1e-9)
+      return Matrix::identity(2) * sqrt_phase(l1);
+  }
+
+  auto eigvec = [&](cplx lambda) {
+    // (U - lambda I) v = 0; pick the larger of the two candidate solutions.
+    cplx v0 = u(0, 1);
+    cplx v1 = lambda - u(0, 0);
+    if (std::abs(v0) + std::abs(v1) < 1e-9) {
+      v0 = lambda - u(1, 1);
+      v1 = u(1, 0);
+    }
+    const double n = std::sqrt(std::norm(v0) + std::norm(v1));
+    QC_CHECK_MSG(n > 1e-12, "degenerate eigenvector in sqrt_unitary_2x2");
+    return std::pair<cplx, cplx>{v0 / n, v1 / n};
+  };
+
+  const auto [a0, a1] = eigvec(l1);
+  const auto [b0, b1] = eigvec(l2);
+  const cplx s1 = sqrt_phase(l1);
+  const cplx s2 = sqrt_phase(l2);
+
+  Matrix v(2, 2);
+  v(0, 0) = s1 * a0 * std::conj(a0) + s2 * b0 * std::conj(b0);
+  v(0, 1) = s1 * a0 * std::conj(a1) + s2 * b0 * std::conj(b1);
+  v(1, 0) = s1 * a1 * std::conj(a0) + s2 * b1 * std::conj(b0);
+  v(1, 1) = s1 * a1 * std::conj(a1) + s2 * b1 * std::conj(b1);
+  QC_CHECK_MSG((v * v).max_abs_diff(u) < 1e-7, "sqrt_unitary_2x2 failed to converge");
+  return v;
+}
+
+void lower_into(QuantumCircuit& out, const Gate& g);
+
+void lower_circuit_into(QuantumCircuit& out, const QuantumCircuit& src) {
+  for (const Gate& g : src.gates()) lower_into(out, g);
+}
+
+/// Emits the standard 6-CX Toffoli network (controls a, b; target c).
+void emit_ccx(QuantumCircuit& tmp, int a, int b, int c) {
+  tmp.h(c);
+  tmp.cx(b, c);
+  tmp.tdg(c);
+  tmp.cx(a, c);
+  tmp.t(c);
+  tmp.cx(b, c);
+  tmp.tdg(c);
+  tmp.cx(a, c);
+  tmp.t(b);
+  tmp.t(c);
+  tmp.h(c);
+  tmp.cx(a, b);
+  tmp.t(a);
+  tmp.tdg(b);
+  tmp.cx(a, b);
+}
+
+/// Multi-controlled arbitrary 2x2 unitary, Barenco et al. Lemma 7.5.
+void emit_mcu(QuantumCircuit& out, const std::vector<int>& controls, int target,
+              const Matrix& u) {
+  QC_CHECK(!controls.empty());
+  if (controls.size() == 1) {
+    emit_controlled_unitary(out, u, controls[0], target);
+    return;
+  }
+  const Matrix v = sqrt_unitary_2x2(u);
+  const int last = controls.back();
+  std::vector<int> rest(controls.begin(), controls.end() - 1);
+
+  emit_controlled_unitary(out, v, last, target);
+  emit_mcx_no_ancilla(out, rest, last);
+  emit_controlled_unitary(out, v.adjoint(), last, target);
+  emit_mcx_no_ancilla(out, rest, last);
+  emit_mcu(out, rest, target, v);
+}
+
+void lower_into(QuantumCircuit& out, const Gate& g) {
+  switch (g.kind) {
+    case GateKind::CX:
+    case GateKind::U3:
+    case GateKind::Barrier:
+    case GateKind::Measure:
+      out.append(g);
+      return;
+    case GateKind::I:
+      return;  // no-op
+    default:
+      break;
+  }
+
+  if (g.qubits.size() == 1) {
+    const Gate u3 = u3_from_matrix(g.matrix(), g.qubits[0]);
+    // Drop angles that reduce to the identity (e.g. rz(0)).
+    if (std::abs(u3.params[0]) > 1e-12 ||
+        std::abs(std::remainder(u3.params[1] + u3.params[2], 2.0 * kPi)) > 1e-12) {
+      out.append(u3);
+    }
+    return;
+  }
+
+  QuantumCircuit tmp(out.num_qubits());
+  const auto& q = g.qubits;
+  switch (g.kind) {
+    case GateKind::CZ:
+      tmp.h(q[1]).cx(q[0], q[1]).h(q[1]);
+      break;
+    case GateKind::CY:
+      tmp.sdg(q[1]).cx(q[0], q[1]).s(q[1]);
+      break;
+    case GateKind::CH:
+    case GateKind::CP:
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ: {
+      // Controlled named unitary: generic A-B-C construction on the base
+      // gate's matrix. The base kind of cU is the kind without the control.
+      GateKind base;
+      switch (g.kind) {
+        case GateKind::CH: base = GateKind::H; break;
+        case GateKind::CP: base = GateKind::P; break;
+        case GateKind::CRX: base = GateKind::RX; break;
+        case GateKind::CRY: base = GateKind::RY; break;
+        default: base = GateKind::RZ; break;
+      }
+      emit_controlled_unitary(tmp, ir::gate_matrix(base, g.params, 1), q[0], q[1]);
+      break;
+    }
+    case GateKind::SWAP:
+      tmp.cx(q[0], q[1]).cx(q[1], q[0]).cx(q[0], q[1]);
+      break;
+    case GateKind::RZZ:
+      tmp.cx(q[0], q[1]).rz(g.params[0], q[1]).cx(q[0], q[1]);
+      break;
+    case GateKind::RXX:
+      tmp.h(q[0]).h(q[1]).cx(q[0], q[1]).rz(g.params[0], q[1]).cx(q[0], q[1]).h(q[0]).h(
+          q[1]);
+      break;
+    case GateKind::RYY:
+      tmp.rx(kPi / 2, q[0]).rx(kPi / 2, q[1]).cx(q[0], q[1]).rz(g.params[0], q[1]).cx(
+          q[0], q[1]).rx(-kPi / 2, q[0]).rx(-kPi / 2, q[1]);
+      break;
+    case GateKind::CCX:
+      emit_ccx(tmp, q[0], q[1], q[2]);
+      break;
+    case GateKind::CSWAP:
+      tmp.cx(q[2], q[1]);
+      emit_ccx(tmp, q[0], q[1], q[2]);
+      tmp.cx(q[2], q[1]);
+      break;
+    case GateKind::MCX: {
+      std::vector<int> controls(q.begin(), q.end() - 1);
+      emit_mcx_no_ancilla(tmp, controls, q.back());
+      break;
+    }
+    default:
+      QC_CHECK_MSG(false, "no decomposition rule for gate " + ir::gate_name(g.kind));
+  }
+  lower_circuit_into(out, tmp);
+}
+
+}  // namespace
+
+void emit_controlled_unitary(QuantumCircuit& out, const Matrix& u, int control,
+                             int target) {
+  const ZyzAngles z = zyz_decompose(u);
+  // U = e^{ia} Rz(p) Ry(t) Rz(l); with
+  //   C = Rz((l-p)/2), B = Ry(-t/2) Rz(-(l+p)/2), A = Rz(p) Ry(t/2)
+  // we have A X B X C = e^{-ia} U and A B C = I, so
+  //   CU = [P(a) on control] A_t CX B_t CX C_t.
+  const Matrix c_mat = rz_matrix(0.5 * (z.lambda - z.phi));
+  const Matrix b_mat = ry_matrix(-0.5 * z.theta) * rz_matrix(-0.5 * (z.lambda + z.phi));
+  const Matrix a_mat = rz_matrix(z.phi) * ry_matrix(0.5 * z.theta);
+
+  auto emit_u3 = [&](const Matrix& m, int qb) {
+    if (!is_identity_up_to_phase(m, 1e-12)) out.append(u3_from_matrix(m, qb));
+  };
+  emit_u3(c_mat, target);
+  out.cx(control, target);
+  emit_u3(b_mat, target);
+  out.cx(control, target);
+  emit_u3(a_mat, target);
+  if (std::abs(std::remainder(z.alpha, 2.0 * kPi)) > 1e-12)
+    out.u3(0.0, 0.0, z.alpha, control);
+}
+
+void emit_mcx_no_ancilla(QuantumCircuit& out, const std::vector<int>& controls,
+                         int target) {
+  QC_CHECK(!controls.empty());
+  if (controls.size() == 1) {
+    out.cx(controls[0], target);
+    return;
+  }
+  if (controls.size() == 2) {
+    QuantumCircuit tmp(out.num_qubits());
+    emit_ccx(tmp, controls[0], controls[1], target);
+    lower_circuit_into(out, tmp);
+    return;
+  }
+  emit_mcu(out, controls, target, ir::gate_matrix(GateKind::X, {}, 1));
+}
+
+QuantumCircuit decompose_to_cx_u3(const QuantumCircuit& circuit) {
+  QuantumCircuit out(circuit.num_qubits(), circuit.name());
+  lower_circuit_into(out, circuit);
+  return out;
+}
+
+}  // namespace qc::transpile

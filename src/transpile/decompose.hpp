@@ -1,0 +1,28 @@
+// Basis decomposition: lower any circuit to the {CX, U3} hardware basis.
+//
+// Mirrors the translation stage of IBM's transpiler: every named 1-qubit
+// gate becomes a U3; two-qubit gates expand into their textbook CX
+// constructions; Toffoli uses the standard 6-CX network; multi-control X
+// without ancillas uses the Barenco et al. recursion over controlled square
+// roots, giving the rapidly growing CX counts the paper's 4/5-qubit Toffoli
+// references exhibit.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qc::transpile {
+
+/// Rewrites `circuit` so every unitary gate is CX or U3 (barriers and
+/// measures pass through). Unitary-equivalent up to global phase.
+ir::QuantumCircuit decompose_to_cx_u3(const ir::QuantumCircuit& circuit);
+
+/// Emits a controlled version of an arbitrary 2x2 unitary as {CX, U3}
+/// (standard A-B-C construction with a phase correction on the control).
+void emit_controlled_unitary(ir::QuantumCircuit& out, const linalg::Matrix& u,
+                             int control, int target);
+
+/// Emits the no-ancilla multi-control X on (controls..., target).
+void emit_mcx_no_ancilla(ir::QuantumCircuit& out, const std::vector<int>& controls,
+                         int target);
+
+}  // namespace qc::transpile

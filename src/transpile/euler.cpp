@@ -1,0 +1,61 @@
+#include "transpile/euler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qc::transpile {
+
+using linalg::cplx;
+using linalg::Matrix;
+
+ZyzAngles zyz_decompose(const Matrix& u) {
+  QC_CHECK(u.rows() == 2 && u.cols() == 2);
+  QC_CHECK_MSG(u.is_unitary(1e-8), "zyz_decompose requires a unitary");
+
+  // e^{i a} Rz(p) Ry(t) Rz(l) =
+  //   [ e^{i(a - (p+l)/2)} cos(t/2)   -e^{i(a - (p-l)/2)} sin(t/2) ]
+  //   [ e^{i(a + (p-l)/2)} sin(t/2)    e^{i(a + (p+l)/2)} cos(t/2) ]
+  ZyzAngles out;
+  const double abs00 = std::abs(u(0, 0));
+  const double abs10 = std::abs(u(1, 0));
+  out.theta = 2.0 * std::atan2(abs10, abs00);
+
+  constexpr double eps = 1e-12;
+  if (abs10 < eps) {
+    // Diagonal: theta ~ 0; only p + l is determined. Choose lambda = 0.
+    out.lambda = 0.0;
+    out.phi = std::arg(u(1, 1)) - std::arg(u(0, 0));
+    out.alpha = 0.5 * (std::arg(u(1, 1)) + std::arg(u(0, 0)));
+  } else if (abs00 < eps) {
+    // Anti-diagonal: theta ~ pi; only p - l is determined. Choose lambda = 0.
+    out.lambda = 0.0;
+    out.phi = std::arg(u(1, 0)) - std::arg(-u(0, 1));
+    out.alpha = 0.5 * (std::arg(u(1, 0)) + std::arg(-u(0, 1)));
+  } else {
+    const double a00 = std::arg(u(0, 0));
+    const double a11 = std::arg(u(1, 1));
+    const double a10 = std::arg(u(1, 0));
+    out.alpha = 0.5 * (a00 + a11);
+    const double p_plus_l = a11 - a00;
+    const double p_minus_l = 2.0 * (a10 - out.alpha);
+    out.phi = 0.5 * (p_plus_l + p_minus_l);
+    out.lambda = 0.5 * (p_plus_l - p_minus_l);
+  }
+  return out;
+}
+
+ir::Gate u3_from_matrix(const Matrix& u, int qubit) {
+  const ZyzAngles a = zyz_decompose(u);
+  return ir::Gate(ir::GateKind::U3, {qubit}, {a.theta, a.phi, a.lambda});
+}
+
+bool is_identity_up_to_phase(const Matrix& u, double tol) {
+  QC_CHECK(u.rows() == u.cols());
+  if (std::abs(u(0, 0)) < tol) return false;
+  const cplx phase = u(0, 0) / std::abs(u(0, 0));
+  Matrix probe = u * std::conj(phase);
+  return probe.max_abs_diff(Matrix::identity(u.rows())) <= tol;
+}
+
+}  // namespace qc::transpile

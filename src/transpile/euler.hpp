@@ -1,0 +1,30 @@
+// Euler-angle (ZYZ) decomposition of 2x2 unitaries.
+//
+// Any single-qubit unitary U = e^{i alpha} Rz(phi) Ry(theta) Rz(lambda),
+// which is exactly a U3(theta, phi, lambda) up to the global phase
+// e^{i(alpha - (phi+lambda)/2)}. This is the workhorse of single-qubit gate
+// fusion and of controlled-unitary decomposition.
+#pragma once
+
+#include "ir/gate.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qc::transpile {
+
+struct ZyzAngles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+  double alpha = 0.0;  // global phase
+};
+
+/// Decomposes a 2x2 unitary. Throws if `u` is not unitary within 1e-8.
+ZyzAngles zyz_decompose(const linalg::Matrix& u);
+
+/// U3 gate equivalent (global phase dropped) acting on `qubit`.
+ir::Gate u3_from_matrix(const linalg::Matrix& u, int qubit);
+
+/// True if `u` is the identity up to global phase within tol.
+bool is_identity_up_to_phase(const linalg::Matrix& u, double tol = 1e-9);
+
+}  // namespace qc::transpile

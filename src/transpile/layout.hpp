@@ -1,0 +1,44 @@
+// Initial layout selection: which physical qubits host the virtual ones.
+//
+// TrivialLayout pins virtual qubit i to physical qubit i (the paper's
+// optimization-level-1 setting, "mappings to qubits 0,1,2,3,4").
+// NoiseAwareLayout reproduces the level-3 behaviour: enumerate connected
+// physical subsets, score candidate placements by the calibrated CX error
+// of the edges the circuit actually exercises plus readout error, and pick
+// the cheapest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "noise/device.hpp"
+
+namespace qc::noise {
+class CouplingMap;
+}
+
+namespace qc::transpile {
+
+/// virtual qubit i -> layout[i] = physical qubit.
+using Layout = std::vector<int>;
+
+/// Identity placement; throws if the device is narrower than the circuit.
+Layout trivial_layout(const ir::QuantumCircuit& circuit,
+                      const noise::DeviceProperties& device);
+
+/// Calibration-aware placement. `max_candidates` caps the number of
+/// (subset, permutation) scorings for big devices; enumeration order is
+/// deterministic.
+Layout noise_aware_layout(const ir::QuantumCircuit& circuit,
+                          const noise::DeviceProperties& device,
+                          std::size_t max_candidates = 20000);
+
+/// Cost used by noise_aware_layout, exposed for tests and the mapping-
+/// sensitivity study: expected error of running `circuit` with `layout`.
+/// Interactions on uncoupled pairs are charged the routed (shortest-path)
+/// cost of 3 CX per hop.
+double layout_cost(const ir::QuantumCircuit& circuit,
+                   const noise::DeviceProperties& device, const Layout& layout);
+
+}  // namespace qc::transpile

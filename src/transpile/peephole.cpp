@@ -1,0 +1,94 @@
+#include "transpile/peephole.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+#include "transpile/euler.hpp"
+
+namespace qc::transpile {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+using linalg::Matrix;
+
+bool fuse_single_qubit_runs(QuantumCircuit& circuit) {
+  const int n = circuit.num_qubits();
+  // Pending accumulated 1q unitary per wire (empty matrix = nothing pending)
+  // plus the number of source gates it absorbed.
+  std::vector<Matrix> pending(static_cast<std::size_t>(n));
+  std::vector<int> absorbed(static_cast<std::size_t>(n), 0);
+
+  QuantumCircuit out(n, circuit.name());
+  bool changed = false;
+
+  auto flush = [&](int q) {
+    if (absorbed[q] == 0) return;
+    if (is_identity_up_to_phase(pending[q], 1e-10)) {
+      changed = true;  // gates deleted outright
+    } else {
+      out.append(u3_from_matrix(pending[q], q));
+      if (absorbed[q] > 1) changed = true;
+    }
+    pending[q] = Matrix();
+    absorbed[q] = 0;
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    const bool unitary_1q = ir::gate_is_unitary(g.kind) && g.qubits.size() == 1;
+    if (unitary_1q) {
+      const int q = g.qubits[0];
+      pending[q] = absorbed[q] == 0 ? g.matrix() : g.matrix() * pending[q];
+      ++absorbed[q];
+      continue;
+    }
+    for (int q : g.qubits) flush(q);
+    out.append(g);
+  }
+  for (int q = 0; q < n; ++q) flush(q);
+
+  if (changed) circuit = std::move(out);
+  return changed;
+}
+
+bool cancel_adjacent_cx(QuantumCircuit& circuit) {
+  const ir::DagView dag(circuit);
+  std::vector<bool> removed(circuit.size(), false);
+  bool changed = false;
+
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    if (removed[i]) continue;
+    const Gate& g = circuit.gate(i);
+    if (g.kind != GateKind::CX) continue;
+    const std::size_t next_c = dag.next_on_qubit(i, g.qubits[0]);
+    const std::size_t next_t = dag.next_on_qubit(i, g.qubits[1]);
+    if (next_c == ir::DagView::kNone || next_c != next_t) continue;
+    if (removed[next_c]) continue;
+    const Gate& h = circuit.gate(next_c);
+    if (h.kind == GateKind::CX && h.qubits == g.qubits) {
+      removed[i] = removed[next_c] = true;
+      changed = true;
+    }
+  }
+
+  if (changed) {
+    QuantumCircuit out(circuit.num_qubits(), circuit.name());
+    for (std::size_t i = 0; i < circuit.size(); ++i)
+      if (!removed[i]) out.append(circuit.gate(i));
+    circuit = std::move(out);
+  }
+  return changed;
+}
+
+QuantumCircuit optimize_peephole(const QuantumCircuit& circuit) {
+  QuantumCircuit out = circuit;
+  for (int round = 0; round < 64; ++round) {
+    const bool fused = fuse_single_qubit_runs(out);
+    const bool cancelled = cancel_adjacent_cx(out);
+    if (!fused && !cancelled) break;
+  }
+  return out;
+}
+
+}  // namespace qc::transpile

@@ -1,0 +1,25 @@
+// Peephole optimization on {CX, U3} circuits.
+//
+// Two rewrites, iterated to a fixpoint:
+//  * u3-fusion: runs of single-qubit gates on one wire collapse into one U3
+//    (via ZYZ of the product); identity products are deleted.
+//  * cx-cancellation: adjacent identical CX pairs (same control & target on
+//    both wires, nothing in between on either wire) annihilate.
+//
+// Both preserve the circuit unitary up to global phase.
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qc::transpile {
+
+/// One fusion sweep; returns true if anything changed.
+bool fuse_single_qubit_runs(ir::QuantumCircuit& circuit);
+
+/// One cancellation sweep; returns true if anything changed.
+bool cancel_adjacent_cx(ir::QuantumCircuit& circuit);
+
+/// Runs both sweeps until neither fires. Returns the optimized circuit.
+ir::QuantumCircuit optimize_peephole(const ir::QuantumCircuit& circuit);
+
+}  // namespace qc::transpile

@@ -1,0 +1,140 @@
+#include "transpile/pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/peephole.hpp"
+#include "transpile/routing.hpp"
+
+namespace qc::transpile {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+
+noise::DeviceProperties restrict_device(const noise::DeviceProperties& device,
+                                        const std::vector<int>& physical_qubits) {
+  QC_CHECK(!physical_qubits.empty());
+  QC_CHECK(std::is_sorted(physical_qubits.begin(), physical_qubits.end()));
+
+  std::vector<int> compact_of_phys(static_cast<std::size_t>(device.num_qubits()), -1);
+  for (std::size_t i = 0; i < physical_qubits.size(); ++i) {
+    const int p = physical_qubits[i];
+    QC_CHECK(p >= 0 && p < device.num_qubits());
+    compact_of_phys[p] = static_cast<int>(i);
+  }
+
+  std::vector<std::pair<int, int>> edges;
+  std::vector<double> cx_error, cx_duration;
+  for (std::size_t e = 0; e < device.coupling.edges().size(); ++e) {
+    const auto [a, b] = device.coupling.edges()[e];
+    if (compact_of_phys[a] < 0 || compact_of_phys[b] < 0) continue;
+    edges.emplace_back(compact_of_phys[a], compact_of_phys[b]);
+    cx_error.push_back(device.cx_error[e]);
+    cx_duration.push_back(device.cx_duration[e]);
+  }
+  // Edge order after CouplingMap construction is sorted-pair order; rebuild
+  // the per-edge arrays to match it.
+  noise::CouplingMap coupling(static_cast<int>(physical_qubits.size()), edges);
+  std::vector<double> cx_error_sorted(coupling.num_edges());
+  std::vector<double> cx_duration_sorted(coupling.num_edges());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::size_t idx = coupling.edge_index(edges[i].first, edges[i].second);
+    cx_error_sorted[idx] = cx_error[i];
+    cx_duration_sorted[idx] = cx_duration[i];
+  }
+
+  noise::DeviceProperties sub{device.name + ":sub", std::move(coupling), {}, {}, {}, {},
+                              std::move(cx_error_sorted), std::move(cx_duration_sorted),
+                              device.sq_duration};
+  for (int p : physical_qubits) {
+    sub.t1.push_back(device.t1[p]);
+    sub.t2.push_back(device.t2[p]);
+    sub.sq_error.push_back(device.sq_error[p]);
+    sub.readout.push_back(device.readout[p]);
+  }
+  sub.validate();
+  return sub;
+}
+
+noise::DeviceProperties TranspileResult::restricted_device(
+    const noise::DeviceProperties& full) const {
+  return restrict_device(full, active_physical);
+}
+
+QuantumCircuit transpile_all_to_all(const QuantumCircuit& circuit,
+                                    int optimization_level) {
+  QC_CHECK(optimization_level >= 0 && optimization_level <= 3);
+  QuantumCircuit basis = decompose_to_cx_u3(circuit);
+  if (optimization_level >= 2) basis = optimize_peephole(basis);
+  if (optimization_level == 1) cancel_adjacent_cx(basis);
+  return basis;
+}
+
+TranspileResult transpile(const QuantumCircuit& circuit,
+                          const noise::DeviceProperties& device,
+                          const TranspileOptions& options) {
+  QC_CHECK(options.optimization_level >= 0 && options.optimization_level <= 3);
+
+  QuantumCircuit basis = decompose_to_cx_u3(circuit);
+  if (options.optimization_level >= 2) basis = optimize_peephole(basis);
+
+  Layout layout;
+  if (options.initial_layout) {
+    layout = *options.initial_layout;
+    QC_CHECK_MSG(layout.size() == static_cast<std::size_t>(circuit.num_qubits()),
+                 "initial_layout size must equal circuit width");
+  } else if (options.optimization_level >= 3) {
+    layout = noise_aware_layout(basis, device);
+  } else {
+    layout = trivial_layout(basis, device);
+  }
+
+  RoutingResult routed = options.router == TranspileOptions::Router::Sabre
+                             ? route_sabre(basis, device.coupling, layout)
+                             : route(basis, device.coupling, layout);
+  QuantumCircuit physical = decompose_to_cx_u3(routed.circuit);  // expand SWAPs
+  if (options.optimization_level >= 2) {
+    physical = optimize_peephole(physical);
+  } else if (options.optimization_level >= 1) {
+    cancel_adjacent_cx(physical);
+  }
+
+  // Compact onto the physical qubits actually touched (plus all layout
+  // targets, so an idle virtual qubit still owns a wire).
+  std::set<int> used(layout.begin(), layout.end());
+  for (int p : routed.final_layout) used.insert(p);
+  for (const Gate& g : physical.gates())
+    if (g.kind != GateKind::Barrier)
+      for (int q : g.qubits) used.insert(q);
+
+  TranspileResult result{QuantumCircuit(static_cast<int>(used.size()), circuit.name()),
+                         {used.begin(), used.end()},
+                         layout,
+                         {},
+                         routed.added_swaps};
+
+  std::vector<int> compact_of_phys(static_cast<std::size_t>(device.num_qubits()), -1);
+  for (std::size_t i = 0; i < result.active_physical.size(); ++i)
+    compact_of_phys[result.active_physical[i]] = static_cast<int>(i);
+
+  for (const Gate& g : physical.gates()) {
+    if (g.kind == GateKind::Barrier) {
+      result.circuit.barrier();
+      continue;
+    }
+    std::vector<int> qs;
+    qs.reserve(g.qubits.size());
+    for (int q : g.qubits) qs.push_back(compact_of_phys[q]);
+    result.circuit.append(Gate(g.kind, std::move(qs), g.params));
+  }
+
+  result.wire_of_virtual.reserve(routed.final_layout.size());
+  for (int p : routed.final_layout)
+    result.wire_of_virtual.push_back(compact_of_phys[p]);
+  return result;
+}
+
+}  // namespace qc::transpile

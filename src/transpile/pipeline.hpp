@@ -1,0 +1,68 @@
+// Preset transpilation pipelines, mirroring the Qiskit optimization levels
+// the paper uses:
+//
+//   level 0 — translate to {CX, U3} only (all-to-all; no layout).
+//   level 1 — trivial layout (virtual i -> physical i), route, light cleanup
+//             (CX cancellation). The paper's simulator setting.
+//   level 2 — level 1 plus full peephole (U3 fusion to a fixpoint).
+//   level 3 — noise-aware layout from device calibration, route, full
+//             peephole. The paper's hardware setting.
+//
+// The returned circuit is *compacted* onto the physical qubits actually
+// used (so a 4-qubit job on a 65-qubit device simulates over 4 qubits, as
+// on real hardware where idle qubits stay in |0>). The mapping data needed
+// to build a restricted noise model and to read outcomes in virtual bit
+// order is part of the result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "noise/device.hpp"
+#include "transpile/layout.hpp"
+
+namespace qc::transpile {
+
+struct TranspileOptions {
+  int optimization_level = 1;
+  /// Forces an initial placement (virtual i -> physical). Used by the
+  /// mapping-sensitivity study (Figs 17/18) to pin manual mappings.
+  std::optional<Layout> initial_layout;
+  /// SWAP insertion strategy: the default greedy shortest-path walker, or
+  /// the SABRE-style lookahead router (see bench_ablation_routers).
+  enum class Router { Greedy, Sabre } router = Router::Greedy;
+};
+
+struct TranspileResult {
+  /// Compact circuit in the {CX, U3} basis; width = active_physical.size().
+  ir::QuantumCircuit circuit;
+  /// Physical qubit ids backing each compact wire (sorted ascending).
+  std::vector<int> active_physical;
+  /// Initial layout chosen (virtual -> physical).
+  Layout initial_layout;
+  /// Compact wire holding virtual qubit v at the end (for outcome
+  /// unpermutation; equals identity when no SWAPs were inserted).
+  std::vector<int> wire_of_virtual;
+  std::size_t added_swaps = 0;
+
+  /// Sub-device over active_physical, for building a restricted noise model.
+  noise::DeviceProperties restricted_device(const noise::DeviceProperties& full) const;
+};
+
+/// Full device-targeted pipeline.
+TranspileResult transpile(const ir::QuantumCircuit& circuit,
+                          const noise::DeviceProperties& device,
+                          const TranspileOptions& options = {});
+
+/// Device-free lowering (all-to-all connectivity): translate + optional
+/// peephole. Levels 0/1 translate; >=2 adds full peephole.
+ir::QuantumCircuit transpile_all_to_all(const ir::QuantumCircuit& circuit,
+                                        int optimization_level = 1);
+
+/// Extracts the sub-device induced by a physical qubit subset (sorted ids).
+noise::DeviceProperties restrict_device(const noise::DeviceProperties& device,
+                                        const std::vector<int>& physical_qubits);
+
+}  // namespace qc::transpile

@@ -1,0 +1,207 @@
+#include "transpile/routing.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qc::transpile {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+
+RoutingResult route(const QuantumCircuit& circuit, const noise::CouplingMap& coupling,
+                    const Layout& initial_layout) {
+  QC_CHECK(initial_layout.size() == static_cast<std::size_t>(circuit.num_qubits()));
+  for (int p : initial_layout)
+    QC_CHECK_MSG(p >= 0 && p < coupling.num_qubits(), "layout outside device");
+
+  // phys_of_virt / virt_of_phys evolve as SWAPs are inserted.
+  std::vector<int> phys_of_virt = initial_layout;
+  std::vector<int> virt_of_phys(static_cast<std::size_t>(coupling.num_qubits()), -1);
+  for (int v = 0; v < circuit.num_qubits(); ++v) virt_of_phys[phys_of_virt[v]] = v;
+
+  RoutingResult result{QuantumCircuit(coupling.num_qubits(), circuit.name()), {}, 0};
+
+  auto apply_swap = [&](int pa, int pb) {
+    result.circuit.swap(pa, pb);
+    ++result.added_swaps;
+    const int va = virt_of_phys[pa];
+    const int vb = virt_of_phys[pb];
+    std::swap(virt_of_phys[pa], virt_of_phys[pb]);
+    if (va >= 0) phys_of_virt[va] = pb;
+    if (vb >= 0) phys_of_virt[vb] = pa;
+  };
+
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind == GateKind::Barrier) {
+      result.circuit.barrier();
+      continue;
+    }
+    if (g.kind == GateKind::Measure || g.qubits.size() == 1) {
+      std::vector<int> phys;
+      phys.reserve(g.qubits.size());
+      for (int v : g.qubits) phys.push_back(phys_of_virt[v]);
+      result.circuit.append(Gate(g.kind, std::move(phys), g.params));
+      continue;
+    }
+    QC_CHECK_MSG(g.qubits.size() == 2, "route() expects gates lowered to <=2 qubits");
+
+    int pa = phys_of_virt[g.qubits[0]];
+    int pb = phys_of_virt[g.qubits[1]];
+    // Walk pa toward pb along a BFS-shortest path.
+    while (!coupling.are_coupled(pa, pb)) {
+      const int d = coupling.distance(pa, pb);
+      QC_CHECK_MSG(d > 0, "interacting qubits placed in disconnected components");
+      int step = -1;
+      for (int nb : coupling.neighbors(pa)) {
+        if (coupling.distance(nb, pb) == d - 1) {
+          step = nb;
+          break;  // neighbors() is sorted: deterministic tie-break
+        }
+      }
+      QC_CHECK(step >= 0);
+      apply_swap(pa, step);
+      pa = phys_of_virt[g.qubits[0]];
+      pb = phys_of_virt[g.qubits[1]];
+    }
+    result.circuit.append(Gate(g.kind, {pa, pb}, g.params));
+  }
+
+  result.final_layout = phys_of_virt;
+  return result;
+}
+
+RoutingResult route_sabre(const QuantumCircuit& circuit,
+                          const noise::CouplingMap& coupling,
+                          const Layout& initial_layout) {
+  QC_CHECK(initial_layout.size() == static_cast<std::size_t>(circuit.num_qubits()));
+  for (int p : initial_layout)
+    QC_CHECK_MSG(p >= 0 && p < coupling.num_qubits(), "layout outside device");
+
+  std::vector<int> phys_of_virt = initial_layout;
+  std::vector<int> virt_of_phys(static_cast<std::size_t>(coupling.num_qubits()), -1);
+  for (int v = 0; v < circuit.num_qubits(); ++v) virt_of_phys[phys_of_virt[v]] = v;
+
+  RoutingResult result{QuantumCircuit(coupling.num_qubits(), circuit.name()), {}, 0};
+
+  auto apply_swap = [&](int pa, int pb) {
+    result.circuit.swap(pa, pb);
+    ++result.added_swaps;
+    const int va = virt_of_phys[pa];
+    const int vb = virt_of_phys[pb];
+    std::swap(virt_of_phys[pa], virt_of_phys[pb]);
+    if (va >= 0) phys_of_virt[va] = pb;
+    if (vb >= 0) phys_of_virt[vb] = pa;
+  };
+
+  // The scan emits 1q/measure gates eagerly; 2q gates define the front layer
+  // (the first blocked gate per wire pair) and the lookahead window.
+  std::size_t cursor = 0;
+  const std::size_t n = circuit.size();
+
+  auto emit_ready = [&]() {
+    // Emit gates from the cursor while they are 1q, barriers, measures, or
+    // adjacent 2q gates. (Program order is preserved — simpler than full
+    // DAG-SABRE and sufficient for the linear-ish circuits here.)
+    while (cursor < n) {
+      const Gate& g = circuit.gate(cursor);
+      if (g.kind == GateKind::Barrier) {
+        result.circuit.barrier();
+        ++cursor;
+        continue;
+      }
+      std::vector<int> phys;
+      phys.reserve(g.qubits.size());
+      for (int v : g.qubits) phys.push_back(phys_of_virt[v]);
+      if (g.qubits.size() == 2 && ir::gate_is_unitary(g.kind) &&
+          !coupling.are_coupled(phys[0], phys[1]))
+        return;  // blocked: SWAP selection takes over
+      QC_CHECK_MSG(g.qubits.size() <= 2, "route_sabre expects <=2 qubit gates");
+      result.circuit.append(Gate(g.kind, std::move(phys), g.params));
+      ++cursor;
+    }
+  };
+
+  constexpr double kLookaheadWeight = 0.5;
+  constexpr int kLookaheadWindow = 8;
+  std::pair<int, int> last_swap{-1, -1};
+  const std::size_t swap_budget =
+      16 + circuit.size() * static_cast<std::size_t>(coupling.num_qubits());
+
+  emit_ready();
+  while (cursor < n) {
+    // Front gate + lookahead window of upcoming 2q gates.
+    std::vector<std::pair<int, int>> pending;  // physical pairs
+    int seen = 0;
+    for (std::size_t i = cursor; i < n && seen < kLookaheadWindow; ++i) {
+      const Gate& g = circuit.gate(i);
+      if (g.qubits.size() != 2 || !ir::gate_is_unitary(g.kind)) continue;
+      pending.emplace_back(phys_of_virt[g.qubits[0]], phys_of_virt[g.qubits[1]]);
+      ++seen;
+    }
+    QC_CHECK(!pending.empty());
+
+    auto score = [&](int sa, int sb) {
+      // Distance sum after hypothetically swapping (sa, sb).
+      auto mapped = [&](int p) { return p == sa ? sb : (p == sb ? sa : p); };
+      double total = 0.0;
+      double weight = 1.0;
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        total += weight * coupling.distance(mapped(pending[k].first),
+                                            mapped(pending[k].second));
+        if (k == 0) weight = kLookaheadWeight;  // front gate at full weight
+        weight *= 0.9;
+      }
+      return total;
+    };
+
+    // Candidates: edges touching the front gate's qubits. A 1-step tabu on
+    // the previous swap plus a hard budget guard against heuristic
+    // oscillation.
+    const auto [fa, fb] = pending.front();
+    int best_a = -1, best_b = -1;
+    double best_score = 0.0;
+    for (int anchor : {fa, fb}) {
+      for (int nb : coupling.neighbors(anchor)) {
+        const std::pair<int, int> cand{std::min(anchor, nb), std::max(anchor, nb)};
+        if (cand == last_swap) continue;
+        const double s = score(anchor, nb);
+        if (best_a < 0 || s < best_score) {
+          best_a = anchor;
+          best_b = nb;
+          best_score = s;
+        }
+      }
+    }
+    QC_CHECK(best_a >= 0);
+    last_swap = {std::min(best_a, best_b), std::max(best_a, best_b)};
+    apply_swap(best_a, best_b);
+    QC_CHECK_MSG(result.added_swaps < swap_budget, "sabre router failed to converge");
+    emit_ready();
+  }
+
+  result.final_layout = phys_of_virt;
+  return result;
+}
+
+std::vector<double> unpermute_distribution(const std::vector<double>& probs,
+                                           const std::vector<int>& wire_of_virtual) {
+  QC_CHECK_MSG(std::has_single_bit(probs.size()), "distribution must have 2^n entries");
+  const int width = std::countr_zero(probs.size());
+  const int num_virtual = static_cast<int>(wire_of_virtual.size());
+  QC_CHECK(num_virtual <= width);
+  for (int w : wire_of_virtual) QC_CHECK(w >= 0 && w < width);
+
+  std::vector<double> out(std::size_t{1} << num_virtual, 0.0);
+  for (std::size_t idx = 0; idx < probs.size(); ++idx) {
+    std::size_t v_idx = 0;
+    for (int v = 0; v < num_virtual; ++v)
+      if ((idx >> wire_of_virtual[v]) & 1ULL) v_idx |= (std::size_t{1} << v);
+    out[v_idx] += probs[idx];
+  }
+  return out;
+}
+
+}  // namespace qc::transpile

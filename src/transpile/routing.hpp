@@ -1,0 +1,50 @@
+// SWAP routing: make every two-qubit gate act on a coupled physical pair.
+//
+// Greedy shortest-path router (the classic "basic swap" strategy): when a
+// CX targets an uncoupled pair, SWAP the control along a cheapest path until
+// the pair is adjacent, permuting the live virtual->physical map as it goes.
+// The final permutation is returned so measurement outcomes can be mapped
+// back to virtual bit order without appending un-SWAP gates (which would add
+// exactly the CX noise the experiments are trying to measure).
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "noise/topology.hpp"
+#include "transpile/layout.hpp"
+
+namespace qc::transpile {
+
+struct RoutingResult {
+  /// Circuit over physical qubit indices, all 2q gates on coupled pairs.
+  ir::QuantumCircuit circuit;
+  /// Physical qubit holding virtual qubit v at the END of the circuit.
+  Layout final_layout;
+  /// Number of SWAP gates inserted (each later decomposes to 3 CX).
+  std::size_t added_swaps = 0;
+};
+
+/// Routes `circuit` (virtual indices) onto the coupling map starting from
+/// `initial_layout`. The output circuit has the device's width.
+RoutingResult route(const ir::QuantumCircuit& circuit,
+                    const noise::CouplingMap& coupling, const Layout& initial_layout);
+
+/// SABRE-style router: instead of walking each blocked gate's control along
+/// one shortest path, chooses SWAPs by a lookahead heuristic — the candidate
+/// minimizing the summed distance of the *front layer* of blocked two-qubit
+/// gates plus a discounted term over the next gates behind them. Usually
+/// saves SWAPs on congested circuits; `bench_ablation_routers` quantifies
+/// it. Same result contract as route().
+RoutingResult route_sabre(const ir::QuantumCircuit& circuit,
+                          const noise::CouplingMap& coupling,
+                          const Layout& initial_layout);
+
+/// Reorders an outcome distribution over physical wires back to virtual
+/// order: result[v-bit view] with virtual qubit v read from physical wire
+/// final_layout[v]. `probs` must cover 2^(#virtual) compact wires; see
+/// compact_result in pipeline.hpp for the full-width case.
+std::vector<double> unpermute_distribution(const std::vector<double>& probs,
+                                           const std::vector<int>& wire_of_virtual);
+
+}  // namespace qc::transpile

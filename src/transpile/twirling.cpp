@@ -1,0 +1,101 @@
+#include "transpile/twirling.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "linalg/factories.hpp"
+
+namespace qc::transpile {
+
+using ir::Gate;
+using ir::GateKind;
+using ir::QuantumCircuit;
+using linalg::Matrix;
+
+namespace {
+
+/// Pauli index: 0=I, 1=X, 2=Y, 3=Z.
+Matrix pauli(int p) {
+  switch (p) {
+    case 0: return linalg::pauli_i();
+    case 1: return linalg::pauli_x();
+    case 2: return linalg::pauli_y();
+    default: return linalg::pauli_z();
+  }
+}
+
+/// The CX-conjugation table: CX (P_c ⊗ P_t) CX = ± (P_c' ⊗ P_t').
+/// Entry [c][t] = (c', t'); the sign is a global phase and drops out.
+/// Computed once by matching matrices.
+struct Conjugation {
+  int control, target;
+};
+
+const std::array<std::array<Conjugation, 4>, 4>& conjugation_table() {
+  static const auto table = [] {
+    std::array<std::array<Conjugation, 4>, 4> out{};
+    // Sub-basis convention: bit0 = control, bit1 = target (as in
+    // ir::gate_matrix(CX)); kron(target_pauli, control_pauli) realizes
+    // P_t on bit1 and P_c on bit0.
+    const Matrix cx = ir::gate_matrix(GateKind::CX, {}, 2);
+    for (int c = 0; c < 4; ++c) {
+      for (int t = 0; t < 4; ++t) {
+        const Matrix m = cx * linalg::kron(pauli(t), pauli(c)) * cx;
+        bool found = false;
+        for (int c2 = 0; c2 < 4 && !found; ++c2) {
+          for (int t2 = 0; t2 < 4 && !found; ++t2) {
+            const Matrix probe = linalg::kron(pauli(t2), pauli(c2));
+            for (double sign : {1.0, -1.0}) {
+              if (m.max_abs_diff(probe * linalg::cplx{sign, 0.0}) < 1e-12) {
+                out[c][t] = Conjugation{c2, t2};
+                found = true;
+                break;
+              }
+            }
+          }
+        }
+        QC_CHECK_MSG(found, "CX Pauli conjugation table construction failed");
+      }
+    }
+    return out;
+  }();
+  return table;
+}
+
+/// Emits Pauli p on qubit q as a U3 (identity emits nothing).
+void emit_pauli(QuantumCircuit& out, int p, int q) {
+  constexpr double kPi = 3.14159265358979323846;
+  switch (p) {
+    case 0: return;
+    case 1: out.u3(kPi, 0.0, kPi, q); return;           // X
+    case 2: out.u3(kPi, kPi / 2.0, kPi / 2.0, q); return;  // Y
+    default: out.u3(0.0, 0.0, kPi, q); return;          // Z
+  }
+}
+
+}  // namespace
+
+QuantumCircuit pauli_twirl(const QuantumCircuit& circuit, common::Rng& rng) {
+  QuantumCircuit out(circuit.num_qubits(), circuit.name());
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind != GateKind::CX) {
+      QC_CHECK_MSG(g.kind == GateKind::U3 || !ir::gate_is_unitary(g.kind) ||
+                       g.qubits.size() == 1,
+                   "pauli_twirl expects a {CX, 1q} basis circuit");
+      out.append(g);
+      continue;
+    }
+    const int pc = static_cast<int>(rng.uniform_int(4));
+    const int pt = static_cast<int>(rng.uniform_int(4));
+    const Conjugation corr = conjugation_table()[pc][pt];
+
+    emit_pauli(out, pc, g.qubits[0]);
+    emit_pauli(out, pt, g.qubits[1]);
+    out.append(g);
+    emit_pauli(out, corr.control, g.qubits[0]);
+    emit_pauli(out, corr.target, g.qubits[1]);
+  }
+  return out;
+}
+
+}  // namespace qc::transpile

@@ -1,0 +1,39 @@
+// Pauli twirling (randomized compiling).
+//
+// Wraps every CX in a random Pauli frame: P_a ⊗ P_b before the gate and the
+// CX-conjugated correction after it, so each twirled instance implements the
+// same unitary while coherent gate errors average into stochastic Pauli
+// noise across instances. This is the standard technique whose interplay
+// with approximate circuits the paper's related-work section wonders about
+// ("processes which ... manipulate error levels may interfere with the
+// noise approximate circuits rely on") — bench_ablation_twirling measures
+// exactly that on the hardware-mode backend.
+#pragma once
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qc::transpile {
+
+/// One twirled instance of a {CX, U3} circuit: every CX gains a uniformly
+/// random Pauli frame (single-qubit Paulis are emitted as U3). The instance
+/// is unitarily identical to the input up to global phase.
+ir::QuantumCircuit pauli_twirl(const ir::QuantumCircuit& circuit, common::Rng& rng);
+
+/// Averages the output distributions of `num_instances` twirled instances
+/// executed through `run` (any circuit -> distribution functor).
+template <typename RunFn>
+std::vector<double> twirled_average(const ir::QuantumCircuit& circuit,
+                                    int num_instances, common::Rng& rng,
+                                    RunFn&& run) {
+  std::vector<double> total;
+  for (int i = 0; i < num_instances; ++i) {
+    const auto probs = run(pauli_twirl(circuit, rng));
+    if (total.empty()) total.assign(probs.size(), 0.0);
+    for (std::size_t k = 0; k < probs.size(); ++k) total[k] += probs[k];
+  }
+  for (double& v : total) v /= static_cast<double>(num_instances);
+  return total;
+}
+
+}  // namespace qc::transpile

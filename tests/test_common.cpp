@@ -1,0 +1,209 @@
+// Unit tests for qc::common — RNG, thread pool, tables, CLI, strings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qc::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit
+}
+
+TEST(Rng, UniformIntRejectsZero) { EXPECT_THROW(Rng(1).uniform_int(0), Error); }
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rng.discrete(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 30000.0, 0.6, 0.02);
+}
+
+TEST(Rng, DiscreteRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.discrete({}), Error);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.discrete({1.0, -0.5}), Error);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent(123);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  Rng c1_again = parent.split(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, 257, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, SingleThreadFallbackWorks) {
+  ThreadPool pool(1);
+  std::vector<int> out(10, 0);
+  pool.parallel_for(0, 10, [&](std::size_t i) { out[i] = static_cast<int>(i * i); });
+  EXPECT_EQ(out[9], 81);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha | 1"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,2.5\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  t.add_row({"he said \"hi\""});
+  EXPECT_EQ(t.to_csv(), "a\n\"x,y\"\n\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, AddRowValuesFormats) {
+  Table t({"x", "y"});
+  t.add_row_values({1.5, 3.0});
+  EXPECT_EQ(t.row(0)[0], "1.5");
+  EXPECT_EQ(t.row(0)[1], "3");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "x", "--flag"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("beta", ""), "x");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, BoolParsing) {
+  const char* argv[] = {"prog", "--a=yes", "--b=0", "--c=TRUE"};
+  CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+TEST(Strings, SplitTrimLower) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("prefix_tail", "prefix"));
+  EXPECT_FALSE(starts_with("pre", "prefix"));
+}
+
+TEST(Strings, FormatDoubleTrims) {
+  EXPECT_EQ(format_double(0.12), "0.12");
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(-1.25), "-1.25");
+}
+
+TEST(Strings, BitstringMsbFirst) {
+  EXPECT_EQ(to_bitstring(0b101, 3), "101");
+  EXPECT_EQ(to_bitstring(1, 4), "0001");
+  EXPECT_EQ(to_bitstring(0, 2), "00");
+}
+
+TEST(Error, CheckMacroThrowsWithLocation) {
+  try {
+    QC_CHECK_MSG(false, "context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qc::common

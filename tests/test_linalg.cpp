@@ -1,0 +1,242 @@
+// Unit + property tests for qc::linalg — matrices, embedding kernels, expm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/embed.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/factories.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(Matrix, IdentityAndTrace) {
+  const Matrix eye = Matrix::identity(4);
+  EXPECT_EQ(eye.trace(), (cplx{4.0, 0.0}));
+  EXPECT_TRUE(eye.is_unitary());
+  EXPECT_TRUE(eye.is_hermitian());
+}
+
+TEST(Matrix, ArithmeticRoundTrip) {
+  Matrix a(2, 2, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  Matrix b = a * cplx{2.0, 0.0};
+  Matrix c = b - a;
+  EXPECT_NEAR(c.max_abs_diff(a), 0.0, kTol);
+  EXPECT_NEAR((a + a).max_abs_diff(b), 0.0, kTol);
+}
+
+TEST(Matrix, GemmMatchesHandComputation) {
+  Matrix a(2, 3, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}});
+  Matrix b(3, 2, {{7, 0}, {8, 0}, {9, 0}, {10, 0}, {11, 0}, {12, 0}});
+  Matrix c = a * b;
+  EXPECT_NEAR(c(0, 0).real(), 58.0, kTol);
+  EXPECT_NEAR(c(0, 1).real(), 64.0, kTol);
+  EXPECT_NEAR(c(1, 0).real(), 139.0, kTol);
+  EXPECT_NEAR(c(1, 1).real(), 154.0, kTol);
+}
+
+TEST(Matrix, GemmDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, common::Error);
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  Matrix a(2, 2, {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  Matrix ad = a.adjoint();
+  EXPECT_EQ(ad(0, 1), (cplx{5, -6}));
+  EXPECT_EQ(ad(1, 0), (cplx{3, -4}));
+}
+
+TEST(Matrix, ApplyMatchesGemm) {
+  common::Rng rng(5);
+  const Matrix u = random_unitary(8, rng);
+  std::vector<cplx> x(8);
+  for (auto& v : x) v = cplx{rng.normal(), rng.normal()};
+  const auto y = u.apply(x);
+  for (std::size_t r = 0; r < 8; ++r) {
+    cplx expect{0, 0};
+    for (std::size_t c = 0; c < 8; ++c) expect += u(r, c) * x[c];
+    EXPECT_NEAR(std::abs(y[r] - expect), 0.0, 1e-9);
+  }
+}
+
+TEST(Paulis, AlgebraRelations) {
+  const Matrix x = pauli_x(), y = pauli_y(), z = pauli_z();
+  EXPECT_NEAR((x * x).max_abs_diff(Matrix::identity(2)), 0.0, kTol);
+  EXPECT_NEAR((y * y).max_abs_diff(Matrix::identity(2)), 0.0, kTol);
+  EXPECT_NEAR((z * z).max_abs_diff(Matrix::identity(2)), 0.0, kTol);
+  // XY = iZ
+  EXPECT_NEAR((x * y).max_abs_diff(z * cplx{0.0, 1.0}), 0.0, kTol);
+}
+
+TEST(Paulis, StringBuildsKron) {
+  const Matrix zx = pauli_string("ZX");
+  EXPECT_NEAR(zx.max_abs_diff(kron(pauli_z(), pauli_x())), 0.0, kTol);
+  EXPECT_THROW(pauli_string("Q"), common::Error);
+}
+
+TEST(Kron, DimensionsAndValues) {
+  const Matrix a(2, 2, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const Matrix k = kron(a, Matrix::identity(2));
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_EQ(k(0, 0), (cplx{1, 0}));
+  EXPECT_EQ(k(1, 1), (cplx{1, 0}));
+  EXPECT_EQ(k(2, 0), (cplx{3, 0}));
+}
+
+TEST(RandomUnitary, IsUnitaryAcrossDims) {
+  common::Rng rng(21);
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    const Matrix u = random_unitary(dim, rng);
+    EXPECT_TRUE(u.is_unitary(1e-9)) << "dim " << dim;
+  }
+}
+
+TEST(RandomHermitian, IsHermitian) {
+  common::Rng rng(22);
+  EXPECT_TRUE(random_hermitian(8, rng).is_hermitian(1e-12));
+}
+
+// ---- embed ---------------------------------------------------------------
+
+TEST(Embed, SingleQubitMatchesKron) {
+  // X on qubit 0 of 2 qubits = I (x) X in the |q1 q0> kron ordering.
+  const Matrix e = embed(pauli_x(), {0}, 2);
+  EXPECT_NEAR(e.max_abs_diff(kron(pauli_i(), pauli_x())), 0.0, kTol);
+  const Matrix e1 = embed(pauli_x(), {1}, 2);
+  EXPECT_NEAR(e1.max_abs_diff(kron(pauli_x(), pauli_i())), 0.0, kTol);
+}
+
+TEST(Embed, TwoQubitOrderingMatters) {
+  common::Rng rng(31);
+  const Matrix op = random_unitary(4, rng);
+  const Matrix e01 = embed(op, {0, 1}, 3);
+  const Matrix e10 = embed(op, {1, 0}, 3);
+  // Swapping operand order conjugates by SWAP; generically different.
+  EXPECT_GT(e01.max_abs_diff(e10), 1e-3);
+}
+
+TEST(Embed, RejectsBadArguments) {
+  EXPECT_THROW(embed(pauli_x(), {0, 1}, 2), common::Error);   // dim mismatch
+  EXPECT_THROW(embed(pauli_x(), {3}, 2), common::Error);      // out of range
+  EXPECT_THROW(embed(Matrix::identity(4), {1, 1}, 3), common::Error);  // dup
+}
+
+TEST(Embed, ApplyGateMatchesEmbeddedMatrix) {
+  common::Rng rng(33);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Matrix op = random_unitary(4, rng);
+    const std::vector<int> qubits = {static_cast<int>(rng.uniform_int(3)),
+                                     3};  // distinct (0..2, 3)
+    std::vector<cplx> state(16);
+    for (auto& v : state) v = cplx{rng.normal(), rng.normal()};
+    auto expect = embed(op, qubits, 4).apply(state);
+    apply_gate_inplace(state, op, qubits);
+    for (std::size_t i = 0; i < state.size(); ++i)
+      ASSERT_NEAR(std::abs(state[i] - expect[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Embed, LeftApplyMatchesGemm) {
+  common::Rng rng(34);
+  const Matrix op = random_unitary(2, rng);
+  Matrix u = random_unitary(8, rng);
+  const Matrix expect = embed(op, {1}, 3) * u;
+  left_apply_inplace(u, op, {1});
+  EXPECT_NEAR(u.max_abs_diff(expect), 0.0, 1e-9);
+}
+
+TEST(Embed, RightApplyMatchesGemm) {
+  common::Rng rng(35);
+  const Matrix op = random_unitary(4, rng);
+  Matrix u = random_unitary(8, rng);
+  const Matrix expect = u * embed(op, {0, 2}, 3);
+  right_apply_inplace(u, op, {0, 2});
+  EXPECT_NEAR(u.max_abs_diff(expect), 0.0, 1e-9);
+}
+
+// ---- expm / solve ----------------------------------------------------------
+
+TEST(Solve, RecoversKnownSolution) {
+  common::Rng rng(41);
+  const Matrix a = random_unitary(6, rng);
+  const Matrix x_true = random_unitary(6, rng);
+  const Matrix b = a * x_true;
+  const Matrix x = solve(a, b);
+  EXPECT_NEAR(x.max_abs_diff(x_true), 0.0, 1e-9);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);  // zero matrix
+  EXPECT_THROW(solve(a, Matrix::identity(2)), common::Error);
+}
+
+TEST(Expm, ZeroGivesIdentity) {
+  EXPECT_NEAR(expm(Matrix(4, 4)).max_abs_diff(Matrix::identity(4)), 0.0, 1e-12);
+}
+
+TEST(Expm, DiagonalCase) {
+  Matrix d(2, 2);
+  d(0, 0) = cplx{1.0, 0.0};
+  d(1, 1) = cplx{0.0, 2.0};
+  const Matrix e = expm(d);
+  EXPECT_NEAR(std::abs(e(0, 0) - std::exp(cplx{1.0, 0.0})), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(e(1, 1) - std::exp(cplx{0.0, 2.0})), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(e(0, 1)), 0.0, 1e-12);
+}
+
+TEST(Expm, PauliRotationClosedForm) {
+  // exp(-i t X) = cos t I - i sin t X.
+  const double t = 0.7;
+  const Matrix e = expm(pauli_x() * cplx{0.0, -t});
+  Matrix expect = Matrix::identity(2) * cplx{std::cos(t), 0.0};
+  expect += pauli_x() * cplx{0.0, -std::sin(t)};
+  EXPECT_NEAR(e.max_abs_diff(expect), 0.0, 1e-12);
+}
+
+TEST(Expm, LargeNormUsesScaling) {
+  // Norm far above the Pade threshold exercises squaring.
+  const double t = 40.0;
+  const Matrix e = expm(pauli_y() * cplx{0.0, -t});
+  Matrix expect = Matrix::identity(2) * cplx{std::cos(t), 0.0};
+  expect += pauli_y() * cplx{0.0, -std::sin(t)};
+  EXPECT_NEAR(e.max_abs_diff(expect), 0.0, 1e-9);
+}
+
+TEST(Expm, HermitianPropagatorIsUnitary) {
+  common::Rng rng(51);
+  const Matrix h = random_hermitian(8, rng);
+  const Matrix u = expm_hermitian_propagator(h, 0.37);
+  EXPECT_TRUE(u.is_unitary(1e-9));
+}
+
+TEST(Expm, PropagatorComposes) {
+  common::Rng rng(52);
+  const Matrix h = random_hermitian(4, rng);
+  const Matrix u1 = expm_hermitian_propagator(h, 0.2);
+  const Matrix u2 = expm_hermitian_propagator(h, 0.3);
+  const Matrix u3 = expm_hermitian_propagator(h, 0.5);
+  EXPECT_NEAR((u2 * u1).max_abs_diff(u3), 0.0, 1e-9);
+}
+
+TEST(Expm, RejectsNonHermitianPropagator) {
+  Matrix m(2, 2, {{0, 0}, {1, 0}, {0, 0}, {0, 0}});
+  EXPECT_THROW(expm_hermitian_propagator(m, 1.0), common::Error);
+}
+
+TEST(VectorOps, InnerAndNorm) {
+  std::vector<cplx> x = {{1, 0}, {0, 1}};
+  std::vector<cplx> y = {{0, 1}, {1, 0}};
+  EXPECT_NEAR(norm(x), std::sqrt(2.0), kTol);
+  // <x|y> = conj(1)*i + conj(i)*1 = i - i = 0.
+  EXPECT_NEAR(std::abs(inner(x, y)), 0.0, kTol);
+}
+
+}  // namespace
+}  // namespace qc::linalg

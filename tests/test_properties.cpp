@@ -1,0 +1,292 @@
+// Cross-module property tests: randomized and parameterized sweeps over the
+// invariants the figure pipeline rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "ir/qasm.hpp"
+#include "linalg/factories.hpp"
+#include "metrics/distribution.hpp"
+#include "metrics/process.hpp"
+#include "noise/catalog.hpp"
+#include "noise/channel.hpp"
+#include "sim/backend.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/decompose.hpp"
+#include "transpile/peephole.hpp"
+#include "transpile/pipeline.hpp"
+#include "transpile/routing.hpp"
+
+namespace qc {
+namespace {
+
+using ir::GateKind;
+using ir::QuantumCircuit;
+using linalg::Matrix;
+
+QuantumCircuit random_named_circuit(int num_qubits, int num_gates, common::Rng& rng) {
+  QuantumCircuit qc(num_qubits);
+  for (int i = 0; i < num_gates; ++i) {
+    switch (rng.uniform_int(8)) {
+      case 0: qc.h(static_cast<int>(rng.uniform_int(num_qubits))); break;
+      case 1: qc.t(static_cast<int>(rng.uniform_int(num_qubits))); break;
+      case 2:
+        qc.rz(rng.uniform(-3, 3), static_cast<int>(rng.uniform_int(num_qubits)));
+        break;
+      case 3:
+        qc.ry(rng.uniform(-3, 3), static_cast<int>(rng.uniform_int(num_qubits)));
+        break;
+      case 4:
+      case 5: {
+        int a = static_cast<int>(rng.uniform_int(num_qubits));
+        int b = static_cast<int>(rng.uniform_int(num_qubits));
+        while (b == a) b = static_cast<int>(rng.uniform_int(num_qubits));
+        qc.cx(a, b);
+        break;
+      }
+      case 6: {
+        int a = static_cast<int>(rng.uniform_int(num_qubits));
+        int b = static_cast<int>(rng.uniform_int(num_qubits));
+        while (b == a) b = static_cast<int>(rng.uniform_int(num_qubits));
+        qc.rzz(rng.uniform(-2, 2), a, b);
+        break;
+      }
+      default:
+        qc.u3(rng.uniform(0, 3), rng.uniform(-3, 3), rng.uniform(-3, 3),
+              static_cast<int>(rng.uniform_int(num_qubits)));
+    }
+  }
+  return qc;
+}
+
+// ---- randomized round-trip properties ---------------------------------------
+
+class RandomCircuitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuitTest, QasmRoundTripPreservesUnitary) {
+  common::Rng rng(100 + GetParam());
+  const QuantumCircuit qc = random_named_circuit(3, 25, rng);
+  const QuantumCircuit back = ir::from_qasm(ir::to_qasm(qc));
+  EXPECT_LT(metrics::hs_distance(qc.to_unitary(), back.to_unitary()), 1e-7);
+}
+
+TEST_P(RandomCircuitTest, PeepholePreservesUnitary) {
+  common::Rng rng(200 + GetParam());
+  const QuantumCircuit qc = random_named_circuit(3, 30, rng);
+  const QuantumCircuit basis = transpile::decompose_to_cx_u3(qc);
+  const QuantumCircuit opt = transpile::optimize_peephole(basis);
+  EXPECT_LT(metrics::hs_distance(basis.to_unitary(), opt.to_unitary()), 1e-6);
+  EXPECT_LE(opt.size(), basis.size());
+  EXPECT_LE(opt.count(GateKind::CX), basis.count(GateKind::CX));
+}
+
+TEST_P(RandomCircuitTest, TranspilePipelinePreservesOutput) {
+  common::Rng rng(300 + GetParam());
+  const QuantumCircuit qc = random_named_circuit(3, 20, rng);
+  const auto device = noise::device_by_name("ourense");
+  for (int level : {1, 3}) {
+    transpile::TranspileOptions opts;
+    opts.optimization_level = level;
+    const auto tr = transpile::transpile(qc, device, opts);
+    sim::IdealBackend backend(1);
+    const auto physical = transpile::unpermute_distribution(
+        backend.run_probabilities(tr.circuit), tr.wire_of_virtual);
+    sim::StateVector logical(3);
+    logical.apply(transpile::decompose_to_cx_u3(qc));
+    const auto expect = logical.probabilities();
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      ASSERT_NEAR(physical[i], expect[i], 1e-7) << "level " << level;
+  }
+}
+
+TEST_P(RandomCircuitTest, InverseComposesToIdentity) {
+  common::Rng rng(400 + GetParam());
+  const QuantumCircuit qc = random_named_circuit(3, 15, rng);
+  QuantumCircuit both = qc;
+  both.append(qc.inverse());
+  EXPECT_LT(metrics::hs_distance(both.to_unitary(), Matrix::identity(8)), 1e-6);
+}
+
+TEST_P(RandomCircuitTest, DensityMatrixAgreesWithStateVector) {
+  common::Rng rng(500 + GetParam());
+  const QuantumCircuit qc = random_named_circuit(4, 25, rng);
+  sim::StateVector sv(4);
+  sv.apply(qc);
+  sim::DensityMatrix dm(4);
+  dm.apply(qc);
+  const auto ps = sv.probabilities();
+  const auto pd = dm.probabilities();
+  for (std::size_t i = 0; i < ps.size(); ++i) ASSERT_NEAR(ps[i], pd[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitTest, ::testing::Range(0, 8));
+
+// ---- channel-family properties -----------------------------------------------
+
+class ChannelFamilyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelFamilyTest, ChannelsPreserveDensityMatrixValidity) {
+  const double p = GetParam();
+  common::Rng rng(42);
+  // Random pure state rho.
+  sim::DensityMatrix dm(2);
+  dm.apply(ir::Gate(GateKind::U3, {0}, {rng.uniform(0, 3), 0.3, -0.2}));
+  dm.apply(ir::Gate(GateKind::CX, {0, 1}));
+
+  for (const auto& ch :
+       {noise::depolarizing(p, 1), noise::amplitude_damping(p),
+        noise::phase_damping(p), noise::bit_flip(p), noise::phase_flip(p)}) {
+    sim::DensityMatrix probe = dm;
+    probe.apply_channel(ch, {0});
+    EXPECT_NEAR(probe.trace_real(), 1.0, 1e-9);
+    EXPECT_LE(probe.purity(), 1.0 + 1e-9);
+    EXPECT_GE(probe.purity(), 0.25 - 1e-9);
+    for (double prob : probe.probabilities()) EXPECT_GE(prob, -1e-10);
+  }
+}
+
+TEST_P(ChannelFamilyTest, DepolarizingShrinksHsOverlapLinearly) {
+  const double p = GetParam();
+  // rho_+ off-diagonal scales by exactly (1 - p).
+  sim::DensityMatrix dm(1);
+  dm.apply(ir::Gate(GateKind::H, {0}));
+  dm.apply_channel(noise::depolarizing(p, 1), {0});
+  EXPECT_NEAR(std::abs(dm.rho()(0, 1)), 0.5 * (1.0 - p), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, ChannelFamilyTest,
+                         ::testing::Values(0.0, 0.05, 0.12, 0.24, 0.6, 1.0));
+
+// ---- catalog-wide device properties -------------------------------------------
+
+class CatalogDeviceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CatalogDeviceTest, SnapshotIsSelfConsistent) {
+  const auto device = noise::device_by_name(GetParam());
+  device.validate();
+  EXPECT_TRUE(device.coupling.is_connected());
+  for (int q = 0; q < device.num_qubits(); ++q) {
+    EXPECT_GT(device.t1[q], 1000.0);                     // > 1 us
+    EXPECT_LE(device.readout[q].average(), 0.25);        // physical readout
+  }
+}
+
+TEST_P(CatalogDeviceTest, NoiseModelDegradesABellPair) {
+  const auto device = noise::device_by_name(GetParam());
+  const auto model = noise::simulator_noise_model(device);
+  ir::QuantumCircuit bell(2);
+  bell.u3(3.14159265 / 2, 0, 3.14159265, 0);
+  bell.cx(0, 1);
+  sim::DensityMatrixBackend backend(model, 1);
+  const auto probs = backend.run_probabilities(bell);
+  // Still mostly Bell-like, but measurably degraded.
+  EXPECT_GT(probs[0] + probs[3], 0.8);
+  EXPECT_LT(probs[0] + probs[3], 1.0 - 1e-4);
+}
+
+TEST_P(CatalogDeviceTest, HardwareModelIsStrictlyNoisier) {
+  const auto device = noise::device_by_name(GetParam());
+  ir::QuantumCircuit probe(2);
+  for (int i = 0; i < 6; ++i) {
+    probe.cx(0, 1);
+    probe.u3(0.4, 0.1, -0.3, 0);
+  }
+  sim::DensityMatrixBackend sim_backend(noise::simulator_noise_model(device), 1);
+  sim::DensityMatrixBackend hw_backend(noise::hardware_noise_model(device), 1);
+  sim::IdealBackend ideal(1);
+  const auto reference = ideal.run_probabilities(probe);
+  const double sim_tvd =
+      metrics::total_variation(reference, sim_backend.run_probabilities(probe));
+  const double hw_tvd =
+      metrics::total_variation(reference, hw_backend.run_probabilities(probe));
+  EXPECT_GT(hw_tvd, sim_tvd);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, CatalogDeviceTest,
+                         ::testing::Values("manhattan", "toronto", "santiago", "rome",
+                                           "ourense"),
+                         [](const auto& info) { return std::string(info.param); });
+
+// ---- routing on every catalog topology -----------------------------------------
+
+class RoutingTopologyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoutingTopologyTest, AllToAllCircuitRoutesEverywhere) {
+  const auto device = noise::device_by_name(GetParam());
+  common::Rng rng(7);
+  // A 4-qubit circuit using every pair (worst case for routing).
+  QuantumCircuit qc(4);
+  for (int a = 0; a < 4; ++a)
+    for (int b = a + 1; b < 4; ++b) qc.cx(a, b).rz(rng.uniform(-1, 1), b);
+  const auto tr = transpile::transpile(qc, device, {});
+  for (const auto& g : tr.circuit.gates()) {
+    if (g.kind != GateKind::CX) continue;
+    const int pa = tr.active_physical[g.qubits[0]];
+    const int pb = tr.active_physical[g.qubits[1]];
+    ASSERT_TRUE(device.coupling.are_coupled(pa, pb));
+  }
+  // Output equivalence.
+  sim::IdealBackend backend(1);
+  const auto got = transpile::unpermute_distribution(
+      backend.run_probabilities(tr.circuit), tr.wire_of_virtual);
+  sim::StateVector logical(4);
+  logical.apply(transpile::decompose_to_cx_u3(qc));
+  const auto expect = logical.probabilities();
+  for (std::size_t i = 0; i < expect.size(); ++i) ASSERT_NEAR(got[i], expect[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, RoutingTopologyTest,
+                         ::testing::Values("manhattan", "toronto", "santiago", "rome",
+                                           "ourense"),
+                         [](const auto& info) { return std::string(info.param); });
+
+// ---- distribution-metric lattice ------------------------------------------------
+
+TEST(MetricBounds, PinskersInequalityHolds) {
+  common::Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> p(8), q(8);
+    for (auto& v : p) v = rng.uniform() + 0.01;
+    for (auto& v : q) v = rng.uniform() + 0.01;
+    p = metrics::normalized(p);
+    q = metrics::normalized(q);
+    const double tvd = metrics::total_variation(p, q);
+    const double kl = metrics::kl_divergence(p, q);
+    EXPECT_GE(kl + 1e-12, 2.0 * tvd * tvd);  // Pinsker
+    // JS distance is a metric bounded by sqrt(ln 2); Hellinger in [0,1].
+    EXPECT_LE(metrics::js_distance(p, q), std::sqrt(std::log(2.0)) + 1e-12);
+    EXPECT_GE(metrics::hellinger(p, q), 0.0);
+  }
+}
+
+TEST(MetricBounds, JsTriangleInequality) {
+  common::Rng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> p(6), q(6), r(6);
+    for (auto& v : p) v = rng.uniform() + 0.01;
+    for (auto& v : q) v = rng.uniform() + 0.01;
+    for (auto& v : r) v = rng.uniform() + 0.01;
+    p = metrics::normalized(p);
+    q = metrics::normalized(q);
+    r = metrics::normalized(r);
+    EXPECT_LE(metrics::js_distance(p, r),
+              metrics::js_distance(p, q) + metrics::js_distance(q, r) + 1e-12);
+  }
+}
+
+TEST(MetricBounds, HsDistanceTriangleInequality) {
+  common::Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const Matrix a = linalg::random_unitary(4, rng);
+    const Matrix b = linalg::random_unitary(4, rng);
+    const Matrix c = linalg::random_unitary(4, rng);
+    EXPECT_LE(metrics::hs_distance(a, c),
+              metrics::hs_distance(a, b) + metrics::hs_distance(b, c) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qc

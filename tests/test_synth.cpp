@@ -1,0 +1,424 @@
+// Unit + property tests for qc::synth — templates, cost, optimizers,
+// QSearch, QFast, reducer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/factories.hpp"
+#include "metrics/process.hpp"
+#include "synth/cost.hpp"
+#include "synth/invariants.hpp"
+#include "synth/optimize.hpp"
+#include "synth/qfast.hpp"
+#include "synth/qsearch.hpp"
+#include "synth/reducer.hpp"
+#include "synth/template.hpp"
+
+namespace qc::synth {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Template, UnitaryMatchesInstantiatedCircuit) {
+  common::Rng rng(1);
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(3);
+  tpl.add_qsearch_block(0, 1);
+  tpl.add_qsearch_block(1, 2);
+  std::vector<double> params(static_cast<std::size_t>(tpl.num_params()));
+  for (auto& p : params) p = rng.uniform(-3.0, 3.0);
+
+  Matrix fast;
+  tpl.unitary(params, fast);
+  const Matrix slow = tpl.instantiate(params).to_unitary();
+  EXPECT_NEAR(fast.max_abs_diff(slow), 0.0, 1e-10);
+}
+
+TEST(Template, CountsAndLayout) {
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(2);
+  EXPECT_EQ(tpl.num_params(), 6);
+  tpl.add_qsearch_block(0, 1);
+  EXPECT_EQ(tpl.num_params(), 12);
+  EXPECT_EQ(tpl.cx_count(), 1u);
+  tpl.add_generic_block(0, 1);
+  EXPECT_EQ(tpl.cx_count(), 4u);
+  EXPECT_EQ(tpl.num_params(), 12 + 8 * 3);
+}
+
+TEST(Template, IdentityParamsGiveIdentityLayer) {
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(2);
+  Matrix u;
+  tpl.unitary(tpl.identity_params(), u);
+  EXPECT_NEAR(u.max_abs_diff(Matrix::identity(4)), 0.0, 1e-12);
+}
+
+TEST(Template, RejectsBadOperands) {
+  TemplateCircuit tpl(2);
+  EXPECT_THROW(tpl.add_u3(2), common::Error);
+  EXPECT_THROW(tpl.add_cx(0, 0), common::Error);
+}
+
+TEST(Cost, ZeroAtExactTarget) {
+  common::Rng rng(2);
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(2);
+  tpl.add_qsearch_block(0, 1);
+  std::vector<double> params(static_cast<std::size_t>(tpl.num_params()));
+  for (auto& p : params) p = rng.uniform(-2.0, 2.0);
+  Matrix target;
+  tpl.unitary(params, target);
+
+  const HsCost cost(tpl, target);
+  EXPECT_NEAR(cost(params), 0.0, 1e-12);
+  EXPECT_NEAR(cost.hs_distance(params), 0.0, 1e-6);
+}
+
+TEST(Cost, GradientMatchesFiniteDifferenceOfItself) {
+  common::Rng rng(3);
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(2);
+  tpl.add_qsearch_block(0, 1);
+  const Matrix target = linalg::random_unitary(4, rng);
+  const HsCost cost(tpl, target);
+
+  std::vector<double> x(static_cast<std::size_t>(tpl.num_params()));
+  for (auto& p : x) p = rng.uniform(-1.0, 1.0);
+  std::vector<double> grad;
+  cost.gradient(x, grad);
+
+  // Spot check two coordinates with a coarser step.
+  for (std::size_t i : {std::size_t{0}, std::size_t{5}}) {
+    std::vector<double> xp = x, xm = x;
+    xp[i] += 1e-4;
+    xm[i] -= 1e-4;
+    const double fd = (cost(xp) - cost(xm)) / 2e-4;
+    EXPECT_NEAR(grad[i], fd, 1e-5);
+  }
+}
+
+TEST(Cost, HsDistanceConversion) {
+  EXPECT_NEAR(cost_to_hs_distance(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(cost_to_hs_distance(1.0), 1.0, 1e-12);
+  // f = 1 - fid; hs = sqrt(1 - fid^2).
+  EXPECT_NEAR(cost_to_hs_distance(0.5), std::sqrt(0.75), 1e-12);
+}
+
+TEST(Optimize, LbfgsSolvesQuadratic) {
+  const CostFn f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      s += (i + 1.0) * (x[i] - 1.0) * (x[i] - 1.0);
+    return s;
+  };
+  const GradFn g = [](const std::vector<double>& x, std::vector<double>& grad) {
+    grad.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      grad[i] = 2.0 * (i + 1.0) * (x[i] - 1.0);
+  };
+  const OptimizeResult r = lbfgs_minimize(f, g, std::vector<double>(6, -2.0));
+  EXPECT_LT(r.value, 1e-10);
+  for (double v : r.params) EXPECT_NEAR(v, 1.0, 1e-5);
+}
+
+TEST(Optimize, LbfgsHandlesRosenbrock) {
+  const CostFn f = [](const std::vector<double>& x) {
+    return 100.0 * std::pow(x[1] - x[0] * x[0], 2) + std::pow(1.0 - x[0], 2);
+  };
+  const GradFn g = [](const std::vector<double>& x, std::vector<double>& grad) {
+    grad = {-400.0 * x[0] * (x[1] - x[0] * x[0]) - 2.0 * (1.0 - x[0]),
+            200.0 * (x[1] - x[0] * x[0])};
+  };
+  OptimizeOptions opts;
+  opts.max_iterations = 1000;
+  const OptimizeResult r = lbfgs_minimize(f, g, {-1.2, 1.0}, opts);
+  // Rosenbrock's banana valley is the classic stress test for the Armijo
+  // backtracking line search; near-zero is success here.
+  EXPECT_LT(r.value, 1e-4);
+}
+
+TEST(Optimize, NelderMeadSolvesQuadratic) {
+  const CostFn f = [](const std::vector<double>& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  OptimizeOptions opts;
+  opts.max_iterations = 300;
+  const OptimizeResult r = nelder_mead_minimize(f, {0.0, 0.0}, opts);
+  EXPECT_NEAR(r.params[0], 2.0, 1e-3);
+  EXPECT_NEAR(r.params[1], -1.0, 1e-3);
+}
+
+TEST(Optimize, MultistartEscapesBadStart) {
+  // f has a local minimum at x=3 (value 1) and global at x=0 (value 0).
+  const CostFn f = [](const std::vector<double>& x) {
+    const double a = x[0];
+    const double local = 1.0 + (a - 3.0) * (a - 3.0);
+    const double global = a * a / 2.0;
+    return std::min(local, global);
+  };
+  const GradFn g = [&](const std::vector<double>& x, std::vector<double>& grad) {
+    const double a = x[0];
+    const double local = 1.0 + (a - 3.0) * (a - 3.0);
+    const double global = a * a / 2.0;
+    grad = {local < global ? 2.0 * (a - 3.0) : a};
+  };
+  common::Rng rng(5);
+  MultistartOptions opts;
+  opts.num_starts = 8;
+  const OptimizeResult r = multistart_minimize(f, g, {3.1}, rng, opts);
+  EXPECT_LT(r.value, 0.2);
+}
+
+TEST(QSearch, SynthesizesSingleCxExactly) {
+  ir::QuantumCircuit qc(2);
+  qc.cx(0, 1);
+  QSearchOptions opts;
+  opts.max_cnots = 2;
+  opts.max_nodes = 10;
+  const QSearchResult res = qsearch_synthesize(qc.to_unitary(), 2, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.best.cnot_count, 1u);
+}
+
+TEST(QSearch, DepthOptimalForCz) {
+  ir::QuantumCircuit qc(2);
+  qc.cz(0, 1);
+  QSearchOptions opts;
+  opts.max_cnots = 3;
+  opts.max_nodes = 12;
+  const QSearchResult res = qsearch_synthesize(qc.to_unitary(), 2, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.best.cnot_count, 1u);  // CZ needs exactly one CX
+}
+
+TEST(QSearch, InstrumentationSeesEveryOptimizedNode) {
+  ir::QuantumCircuit qc(2);
+  qc.cz(0, 1);
+  int calls = 0;
+  QSearchOptions opts;
+  opts.max_cnots = 2;
+  opts.max_nodes = 6;
+  opts.intermediate_callback = [&](const ApproxCircuit& c) {
+    ++calls;
+    EXPECT_GE(c.hs_distance, 0.0);
+    EXPECT_EQ(c.source, "qsearch");
+    EXPECT_EQ(c.circuit.count(ir::GateKind::CX), c.cnot_count);
+  };
+  const QSearchResult res = qsearch_synthesize(qc.to_unitary(), 2, opts);
+  EXPECT_EQ(calls, res.nodes_optimized);
+  EXPECT_GT(calls, 1);
+}
+
+TEST(QSearch, ReportedHsMatchesRecomputation) {
+  common::Rng rng(6);
+  const Matrix target = linalg::random_unitary(4, rng);
+  std::vector<ApproxCircuit> seen;
+  QSearchOptions opts;
+  opts.max_cnots = 3;
+  opts.max_nodes = 8;
+  opts.intermediate_callback = [&](const ApproxCircuit& c) { seen.push_back(c); };
+  qsearch_synthesize(target, 2, opts);
+  ASSERT_FALSE(seen.empty());
+  for (const auto& c : seen) {
+    const double recomputed = metrics::hs_distance(target, c.circuit.to_unitary());
+    ASSERT_NEAR(c.hs_distance, recomputed, 1e-6);
+  }
+}
+
+TEST(QSearch, RespectsCouplingMap) {
+  const noise::CouplingMap line = noise::CouplingMap::line(3);
+  common::Rng rng(7);
+  const Matrix target = linalg::random_unitary(8, rng);
+  QSearchOptions opts;
+  opts.max_cnots = 3;
+  opts.max_nodes = 10;
+  std::vector<ApproxCircuit> seen;
+  opts.intermediate_callback = [&](const ApproxCircuit& c) { seen.push_back(c); };
+  qsearch_synthesize(target, 3, opts, &line);
+  for (const auto& c : seen) {
+    for (const auto& g : c.circuit.gates()) {
+      if (g.kind != ir::GateKind::CX) continue;
+      ASSERT_TRUE(line.are_coupled(g.qubits[0], g.qubits[1]));
+    }
+  }
+}
+
+TEST(QSearch, DeterministicAcrossRuns) {
+  ir::QuantumCircuit qc(2);
+  qc.cz(0, 1);
+  QSearchOptions opts;
+  opts.max_cnots = 2;
+  opts.max_nodes = 5;
+  const QSearchResult a = qsearch_synthesize(qc.to_unitary(), 2, opts);
+  const QSearchResult b = qsearch_synthesize(qc.to_unitary(), 2, opts);
+  EXPECT_EQ(a.best.cnot_count, b.best.cnot_count);
+  EXPECT_DOUBLE_EQ(a.best.hs_distance, b.best.hs_distance);
+}
+
+TEST(QFast, ConvergesOnTwoQubitUnitary) {
+  common::Rng rng(8);
+  const Matrix target = linalg::random_unitary(4, rng);
+  QFastOptions opts;
+  opts.max_blocks = 2;
+  opts.optimizer.max_iterations = 150;
+  opts.restarts_per_depth = 3;
+  const QFastResult res = qfast_synthesize(target, 2, opts);
+  // One generic block spans SU(4): distance should be tiny.
+  EXPECT_LT(res.best.hs_distance, 1e-4);
+}
+
+TEST(QFast, PartialSolutionCallbackFires) {
+  common::Rng rng(9);
+  const Matrix target = linalg::random_unitary(8, rng);
+  int calls = 0;
+  QFastOptions opts;
+  opts.max_blocks = 3;
+  opts.optimizer.max_iterations = 25;
+  opts.partial_solution_callback = [&](const ApproxCircuit& c) {
+    ++calls;
+    EXPECT_EQ(c.source, "qfast");
+  };
+  qfast_synthesize(target, 3, opts);
+  EXPECT_GE(calls, 3);  // at least one per depth
+}
+
+TEST(QFast, DistanceImprovesWithDepth) {
+  common::Rng rng(10);
+  const Matrix target = linalg::random_unitary(8, rng);
+  std::vector<double> best_by_depth;
+  QFastOptions opts;
+  opts.max_blocks = 4;
+  opts.optimizer.max_iterations = 40;
+  opts.emit_coarse_passes = false;
+  opts.partial_solution_callback = [&](const ApproxCircuit& c) {
+    best_by_depth.push_back(c.hs_distance);
+  };
+  qfast_synthesize(target, 3, opts);
+  ASSERT_GE(best_by_depth.size(), 3u);
+  EXPECT_LT(best_by_depth.back(), best_by_depth.front());
+}
+
+TEST(Reducer, FullKeepReproducesReference) {
+  ir::QuantumCircuit ref(2);
+  ref.h(0).cx(0, 1).rz(0.4, 1).cx(0, 1);
+  ReducerOptions opts;
+  opts.keep_fractions = {1.0};
+  const auto out = reduce_circuit(ref, opts);
+  ASSERT_FALSE(out.empty());
+  EXPECT_LT(out.back().hs_distance, 1e-4);
+}
+
+TEST(Reducer, ProducesRequestedDepthLadder) {
+  ir::QuantumCircuit ref(3);
+  for (int r = 0; r < 4; ++r) ref.cx(0, 1).cx(1, 2).rz(0.3, 2);
+  ReducerOptions opts;
+  opts.keep_fractions = {0.0, 0.25, 0.5, 1.0};
+  opts.variants_per_size = 1;
+  const auto out = reduce_circuit(ref, opts);
+  ASSERT_GE(out.size(), 4u);
+  EXPECT_EQ(out.front().cnot_count, 0u);
+  EXPECT_EQ(out.back().cnot_count, 8u);
+  // Sorted by CNOT count.
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_LE(out[i - 1].cnot_count, out[i].cnot_count);
+}
+
+TEST(Reducer, ReportedHsIsAccurate) {
+  ir::QuantumCircuit ref(3);
+  ref.h(0).cx(0, 1).cx(1, 2).rz(0.9, 2).cx(0, 1);
+  const Matrix target = ref.to_unitary();
+  ReducerOptions opts;
+  opts.keep_fractions = {0.5, 1.0};
+  opts.variants_per_size = 2;
+  for (const auto& c : reduce_circuit(ref, opts)) {
+    const double recomputed = metrics::hs_distance(target, c.circuit.to_unitary());
+    ASSERT_NEAR(c.hs_distance, recomputed, 1e-6);
+  }
+}
+
+TEST(Reducer, BoundaryModeKeepsParameterCountSmall) {
+  // A wide/deep reference forces boundary mode; result must still carry the
+  // surviving CX count.
+  ir::QuantumCircuit ref(4);
+  for (int r = 0; r < 10; ++r) ref.cx(0, 1).cx(1, 2).cx(2, 3).rz(0.2, 3);
+  ReducerOptions opts;
+  opts.keep_fractions = {0.5};
+  opts.variants_per_size = 1;
+  opts.full_reopt_max_qubits = 3;  // 4q -> boundary
+  const auto out = reduce_circuit(ref, opts);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cnot_count, 15u);
+  EXPECT_EQ(out[0].circuit.count(ir::GateKind::CX), 15u);
+}
+
+}  // namespace
+}  // namespace qc::synth
+
+namespace qc::synth {
+namespace {
+
+TEST(Invariants, KnownGateClasses) {
+  // Local gates: 0 CNOTs.
+  ir::QuantumCircuit local(2);
+  local.u3(0.3, 0.1, -0.7, 0).u3(1.2, 0.4, 0.2, 1);
+  EXPECT_EQ(minimal_cx_count(local.to_unitary()), 0);
+  EXPECT_EQ(minimal_cx_count(linalg::Matrix::identity(4)), 0);
+
+  // CX / CZ class: exactly 1.
+  EXPECT_EQ(minimal_cx_count(ir::gate_matrix(ir::GateKind::CX, {}, 2)), 1);
+  EXPECT_EQ(minimal_cx_count(ir::gate_matrix(ir::GateKind::CZ, {}, 2)), 1);
+
+  // Generic ZZ rotation: 2 (between local and CX classes).
+  EXPECT_EQ(minimal_cx_count(ir::gate_matrix(ir::GateKind::RZZ, {0.7}, 2)), 2);
+
+  // SWAP: the classic 3-CNOT gate (gamma = iI — the case that separates
+  // the tr^2 invariant from a naive |tr| test).
+  EXPECT_EQ(minimal_cx_count(ir::gate_matrix(ir::GateKind::SWAP, {}, 2)), 3);
+
+  // iSWAP class (Weyl (pi/4, pi/4, 0)): tr gamma = 0 but gamma^2 = +I — 2.
+  ir::QuantumCircuit iswap_like(2);
+  iswap_like.rxx(3.14159265358979 / 2, 0, 1);
+  iswap_like.append(ir::Gate(ir::GateKind::RYY, {0, 1}, {3.14159265358979 / 2}));
+  EXPECT_EQ(minimal_cx_count(iswap_like.to_unitary()), 2);
+}
+
+TEST(Invariants, LocalDressingDoesNotChangeTheCount) {
+  common::Rng rng(31);
+  for (const auto& kind : {ir::GateKind::CX, ir::GateKind::SWAP}) {
+    ir::QuantumCircuit qc(2);
+    qc.u3(rng.uniform(0, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), 0);
+    qc.u3(rng.uniform(0, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), 1);
+    qc.append(ir::Gate(kind, {0, 1}));
+    qc.u3(rng.uniform(0, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), 0);
+    qc.u3(rng.uniform(0, 3), rng.uniform(-3, 3), rng.uniform(-3, 3), 1);
+    const int bare = minimal_cx_count(ir::gate_matrix(kind, {}, 2));
+    EXPECT_EQ(minimal_cx_count(qc.to_unitary()), bare) << ir::gate_name(kind);
+  }
+}
+
+TEST(Invariants, HaarRandomNeedsThree) {
+  common::Rng rng(32);
+  int threes = 0;
+  for (int i = 0; i < 12; ++i)
+    threes += minimal_cx_count(linalg::random_unitary(4, rng)) == 3 ? 1 : 0;
+  EXPECT_EQ(threes, 12);  // measure-zero exceptions
+}
+
+TEST(Invariants, AgreesWithQSearchOptimality) {
+  // The depth QSearch certifies as optimal must equal the analytic bound.
+  for (const auto& kind : {ir::GateKind::CZ, ir::GateKind::SWAP}) {
+    const linalg::Matrix target = ir::gate_matrix(kind, {}, 2);
+    QSearchOptions opts;
+    opts.max_cnots = 3;
+    opts.max_nodes = 40;
+    const QSearchResult res = qsearch_synthesize(target, 2, opts);
+    ASSERT_TRUE(res.converged) << ir::gate_name(kind);
+    EXPECT_EQ(static_cast<int>(res.best.cnot_count), minimal_cx_count(target))
+        << ir::gate_name(kind);
+  }
+}
+
+TEST(Invariants, RejectsNonUnitary) {
+  EXPECT_THROW(minimal_cx_count(linalg::Matrix(4, 4)), common::Error);
+}
+
+}  // namespace
+}  // namespace qc::synth
