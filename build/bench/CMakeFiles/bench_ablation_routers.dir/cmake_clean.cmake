@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_routers.dir/bench_ablation_routers.cpp.o"
+  "CMakeFiles/bench_ablation_routers.dir/bench_ablation_routers.cpp.o.d"
+  "bench_ablation_routers"
+  "bench_ablation_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_twirling.dir/bench_ablation_twirling.cpp.o"
+  "CMakeFiles/bench_ablation_twirling.dir/bench_ablation_twirling.cpp.o.d"
+  "bench_ablation_twirling"
+  "bench_ablation_twirling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twirling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

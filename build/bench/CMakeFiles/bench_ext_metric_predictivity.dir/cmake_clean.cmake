@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_metric_predictivity.dir/bench_ext_metric_predictivity.cpp.o"
+  "CMakeFiles/bench_ext_metric_predictivity.dir/bench_ext_metric_predictivity.cpp.o.d"
+  "bench_ext_metric_predictivity"
+  "bench_ext_metric_predictivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_metric_predictivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

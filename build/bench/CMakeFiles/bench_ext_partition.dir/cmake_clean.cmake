@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_partition.dir/bench_ext_partition.cpp.o"
+  "CMakeFiles/bench_ext_partition.dir/bench_ext_partition.cpp.o.d"
+  "bench_ext_partition"
+  "bench_ext_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_quantum_volume.dir/bench_ext_quantum_volume.cpp.o"
+  "CMakeFiles/bench_ext_quantum_volume.dir/bench_ext_quantum_volume.cpp.o.d"
+  "bench_ext_quantum_volume"
+  "bench_ext_quantum_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_quantum_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

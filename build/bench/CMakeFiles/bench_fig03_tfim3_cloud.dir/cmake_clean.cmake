@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_tfim3_cloud.dir/bench_fig03_tfim3_cloud.cpp.o"
+  "CMakeFiles/bench_fig03_tfim3_cloud.dir/bench_fig03_tfim3_cloud.cpp.o.d"
+  "bench_fig03_tfim3_cloud"
+  "bench_fig03_tfim3_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_tfim3_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

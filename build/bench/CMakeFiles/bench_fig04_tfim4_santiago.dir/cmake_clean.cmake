@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_tfim4_santiago.dir/bench_fig04_tfim4_santiago.cpp.o"
+  "CMakeFiles/bench_fig04_tfim4_santiago.dir/bench_fig04_tfim4_santiago.cpp.o.d"
+  "bench_fig04_tfim4_santiago"
+  "bench_fig04_tfim4_santiago.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_tfim4_santiago.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

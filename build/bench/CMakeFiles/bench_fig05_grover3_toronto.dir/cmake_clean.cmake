@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_grover3_toronto.dir/bench_fig05_grover3_toronto.cpp.o"
+  "CMakeFiles/bench_fig05_grover3_toronto.dir/bench_fig05_grover3_toronto.cpp.o.d"
+  "bench_fig05_grover3_toronto"
+  "bench_fig05_grover3_toronto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_grover3_toronto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_toffoli4_manhattan.dir/bench_fig06_toffoli4_manhattan.cpp.o"
+  "CMakeFiles/bench_fig06_toffoli4_manhattan.dir/bench_fig06_toffoli4_manhattan.cpp.o.d"
+  "bench_fig06_toffoli4_manhattan"
+  "bench_fig06_toffoli4_manhattan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_toffoli4_manhattan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

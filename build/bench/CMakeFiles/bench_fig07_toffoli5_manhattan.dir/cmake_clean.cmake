@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_toffoli5_manhattan.dir/bench_fig07_toffoli5_manhattan.cpp.o"
+  "CMakeFiles/bench_fig07_toffoli5_manhattan.dir/bench_fig07_toffoli5_manhattan.cpp.o.d"
+  "bench_fig07_toffoli5_manhattan"
+  "bench_fig07_toffoli5_manhattan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_toffoli5_manhattan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

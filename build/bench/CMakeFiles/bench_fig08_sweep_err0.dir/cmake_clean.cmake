@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_sweep_err0.dir/bench_fig08_sweep_err0.cpp.o"
+  "CMakeFiles/bench_fig08_sweep_err0.dir/bench_fig08_sweep_err0.cpp.o.d"
+  "bench_fig08_sweep_err0"
+  "bench_fig08_sweep_err0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_sweep_err0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_sweep_err012.dir/bench_fig09_sweep_err012.cpp.o"
+  "CMakeFiles/bench_fig09_sweep_err012.dir/bench_fig09_sweep_err012.cpp.o.d"
+  "bench_fig09_sweep_err012"
+  "bench_fig09_sweep_err012.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_sweep_err012.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sweep_err024.dir/bench_fig10_sweep_err024.cpp.o"
+  "CMakeFiles/bench_fig10_sweep_err024.dir/bench_fig10_sweep_err024.cpp.o.d"
+  "bench_fig10_sweep_err024"
+  "bench_fig10_sweep_err024.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sweep_err024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_sweep_err024.
+# This may be replaced when dependencies are built.

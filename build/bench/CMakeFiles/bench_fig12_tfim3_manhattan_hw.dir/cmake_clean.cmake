@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tfim3_manhattan_hw.dir/bench_fig12_tfim3_manhattan_hw.cpp.o"
+  "CMakeFiles/bench_fig12_tfim3_manhattan_hw.dir/bench_fig12_tfim3_manhattan_hw.cpp.o.d"
+  "bench_fig12_tfim3_manhattan_hw"
+  "bench_fig12_tfim3_manhattan_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tfim3_manhattan_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_tfim3_manhattan_hw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_tfim4_manhattan_hw.
+# This may be replaced when dependencies are built.

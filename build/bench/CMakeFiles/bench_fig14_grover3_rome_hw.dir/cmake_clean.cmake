@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_grover3_rome_hw.dir/bench_fig14_grover3_rome_hw.cpp.o"
+  "CMakeFiles/bench_fig14_grover3_rome_hw.dir/bench_fig14_grover3_rome_hw.cpp.o.d"
+  "bench_fig14_grover3_rome_hw"
+  "bench_fig14_grover3_rome_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_grover3_rome_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

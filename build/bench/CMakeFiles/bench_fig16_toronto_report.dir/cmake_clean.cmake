@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_toronto_report.dir/bench_fig16_toronto_report.cpp.o"
+  "CMakeFiles/bench_fig16_toronto_report.dir/bench_fig16_toronto_report.cpp.o.d"
+  "bench_fig16_toronto_report"
+  "bench_fig16_toronto_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_toronto_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

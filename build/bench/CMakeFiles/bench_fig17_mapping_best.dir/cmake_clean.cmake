@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mapping_best.dir/bench_fig17_mapping_best.cpp.o"
+  "CMakeFiles/bench_fig17_mapping_best.dir/bench_fig17_mapping_best.cpp.o.d"
+  "bench_fig17_mapping_best"
+  "bench_fig17_mapping_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mapping_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_mapping_worst.dir/bench_fig18_mapping_worst.cpp.o"
+  "CMakeFiles/bench_fig18_mapping_worst.dir/bench_fig18_mapping_worst.cpp.o.d"
+  "bench_fig18_mapping_worst"
+  "bench_fig18_mapping_worst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_mapping_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

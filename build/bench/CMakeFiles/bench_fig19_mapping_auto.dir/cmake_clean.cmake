@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_mapping_auto.dir/bench_fig19_mapping_auto.cpp.o"
+  "CMakeFiles/bench_fig19_mapping_auto.dir/bench_fig19_mapping_auto.cpp.o.d"
+  "bench_fig19_mapping_auto"
+  "bench_fig19_mapping_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_mapping_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

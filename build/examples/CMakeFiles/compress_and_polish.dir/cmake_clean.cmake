@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_and_polish.dir/compress_and_polish.cpp.o"
+  "CMakeFiles/compress_and_polish.dir/compress_and_polish.cpp.o.d"
+  "compress_and_polish"
+  "compress_and_polish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_and_polish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

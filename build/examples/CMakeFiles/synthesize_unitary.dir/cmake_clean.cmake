@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_unitary.dir/synthesize_unitary.cpp.o"
+  "CMakeFiles/synthesize_unitary.dir/synthesize_unitary.cpp.o.d"
+  "synthesize_unitary"
+  "synthesize_unitary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_unitary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

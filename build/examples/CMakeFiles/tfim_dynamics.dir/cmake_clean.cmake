@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfim_dynamics.dir/tfim_dynamics.cpp.o"
+  "CMakeFiles/tfim_dynamics.dir/tfim_dynamics.cpp.o.d"
+  "tfim_dynamics"
+  "tfim_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfim_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toffoli_study.dir/toffoli_study.cpp.o"
+  "CMakeFiles/toffoli_study.dir/toffoli_study.cpp.o.d"
+  "toffoli_study"
+  "toffoli_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toffoli_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_algos.dir/grover.cpp.o"
+  "CMakeFiles/qc_algos.dir/grover.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/mct.cpp.o"
+  "CMakeFiles/qc_algos.dir/mct.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/qv.cpp.o"
+  "CMakeFiles/qc_algos.dir/qv.cpp.o.d"
+  "CMakeFiles/qc_algos.dir/tfim.cpp.o"
+  "CMakeFiles/qc_algos.dir/tfim.cpp.o.d"
+  "libqc_algos.a"
+  "libqc_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

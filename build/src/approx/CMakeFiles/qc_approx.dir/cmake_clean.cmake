@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_approx.dir/archive.cpp.o"
+  "CMakeFiles/qc_approx.dir/archive.cpp.o.d"
+  "CMakeFiles/qc_approx.dir/experiment.cpp.o"
+  "CMakeFiles/qc_approx.dir/experiment.cpp.o.d"
+  "CMakeFiles/qc_approx.dir/mapping_study.cpp.o"
+  "CMakeFiles/qc_approx.dir/mapping_study.cpp.o.d"
+  "CMakeFiles/qc_approx.dir/selection.cpp.o"
+  "CMakeFiles/qc_approx.dir/selection.cpp.o.d"
+  "CMakeFiles/qc_approx.dir/sweep.cpp.o"
+  "CMakeFiles/qc_approx.dir/sweep.cpp.o.d"
+  "CMakeFiles/qc_approx.dir/tfim_study.cpp.o"
+  "CMakeFiles/qc_approx.dir/tfim_study.cpp.o.d"
+  "CMakeFiles/qc_approx.dir/workflow.cpp.o"
+  "CMakeFiles/qc_approx.dir/workflow.cpp.o.d"
+  "libqc_approx.a"
+  "libqc_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_common.dir/cli.cpp.o"
+  "CMakeFiles/qc_common.dir/cli.cpp.o.d"
+  "CMakeFiles/qc_common.dir/error.cpp.o"
+  "CMakeFiles/qc_common.dir/error.cpp.o.d"
+  "CMakeFiles/qc_common.dir/rng.cpp.o"
+  "CMakeFiles/qc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qc_common.dir/strings.cpp.o"
+  "CMakeFiles/qc_common.dir/strings.cpp.o.d"
+  "CMakeFiles/qc_common.dir/table.cpp.o"
+  "CMakeFiles/qc_common.dir/table.cpp.o.d"
+  "CMakeFiles/qc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/qc_common.dir/thread_pool.cpp.o.d"
+  "libqc_common.a"
+  "libqc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

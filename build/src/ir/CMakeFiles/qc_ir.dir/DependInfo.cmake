@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/circuit.cpp" "src/ir/CMakeFiles/qc_ir.dir/circuit.cpp.o" "gcc" "src/ir/CMakeFiles/qc_ir.dir/circuit.cpp.o.d"
+  "/root/repo/src/ir/dag.cpp" "src/ir/CMakeFiles/qc_ir.dir/dag.cpp.o" "gcc" "src/ir/CMakeFiles/qc_ir.dir/dag.cpp.o.d"
+  "/root/repo/src/ir/gate.cpp" "src/ir/CMakeFiles/qc_ir.dir/gate.cpp.o" "gcc" "src/ir/CMakeFiles/qc_ir.dir/gate.cpp.o.d"
+  "/root/repo/src/ir/qasm.cpp" "src/ir/CMakeFiles/qc_ir.dir/qasm.cpp.o" "gcc" "src/ir/CMakeFiles/qc_ir.dir/qasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_ir.dir/circuit.cpp.o"
+  "CMakeFiles/qc_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/qc_ir.dir/dag.cpp.o"
+  "CMakeFiles/qc_ir.dir/dag.cpp.o.d"
+  "CMakeFiles/qc_ir.dir/gate.cpp.o"
+  "CMakeFiles/qc_ir.dir/gate.cpp.o.d"
+  "CMakeFiles/qc_ir.dir/qasm.cpp.o"
+  "CMakeFiles/qc_ir.dir/qasm.cpp.o.d"
+  "libqc_ir.a"
+  "libqc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

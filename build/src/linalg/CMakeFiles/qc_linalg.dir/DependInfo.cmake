@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/embed.cpp" "src/linalg/CMakeFiles/qc_linalg.dir/embed.cpp.o" "gcc" "src/linalg/CMakeFiles/qc_linalg.dir/embed.cpp.o.d"
+  "/root/repo/src/linalg/expm.cpp" "src/linalg/CMakeFiles/qc_linalg.dir/expm.cpp.o" "gcc" "src/linalg/CMakeFiles/qc_linalg.dir/expm.cpp.o.d"
+  "/root/repo/src/linalg/factories.cpp" "src/linalg/CMakeFiles/qc_linalg.dir/factories.cpp.o" "gcc" "src/linalg/CMakeFiles/qc_linalg.dir/factories.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/qc_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/qc_linalg.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_linalg.dir/embed.cpp.o"
+  "CMakeFiles/qc_linalg.dir/embed.cpp.o.d"
+  "CMakeFiles/qc_linalg.dir/expm.cpp.o"
+  "CMakeFiles/qc_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/qc_linalg.dir/factories.cpp.o"
+  "CMakeFiles/qc_linalg.dir/factories.cpp.o.d"
+  "CMakeFiles/qc_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/qc_linalg.dir/matrix.cpp.o.d"
+  "libqc_linalg.a"
+  "libqc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/distribution.cpp" "src/metrics/CMakeFiles/qc_metrics.dir/distribution.cpp.o" "gcc" "src/metrics/CMakeFiles/qc_metrics.dir/distribution.cpp.o.d"
+  "/root/repo/src/metrics/process.cpp" "src/metrics/CMakeFiles/qc_metrics.dir/process.cpp.o" "gcc" "src/metrics/CMakeFiles/qc_metrics.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_metrics.dir/distribution.cpp.o"
+  "CMakeFiles/qc_metrics.dir/distribution.cpp.o.d"
+  "CMakeFiles/qc_metrics.dir/process.cpp.o"
+  "CMakeFiles/qc_metrics.dir/process.cpp.o.d"
+  "libqc_metrics.a"
+  "libqc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

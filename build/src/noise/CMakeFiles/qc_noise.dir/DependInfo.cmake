@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/catalog.cpp" "src/noise/CMakeFiles/qc_noise.dir/catalog.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/catalog.cpp.o.d"
+  "/root/repo/src/noise/channel.cpp" "src/noise/CMakeFiles/qc_noise.dir/channel.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/channel.cpp.o.d"
+  "/root/repo/src/noise/device.cpp" "src/noise/CMakeFiles/qc_noise.dir/device.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/device.cpp.o.d"
+  "/root/repo/src/noise/mitigation.cpp" "src/noise/CMakeFiles/qc_noise.dir/mitigation.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/mitigation.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/noise/CMakeFiles/qc_noise.dir/noise_model.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/noise_model.cpp.o.d"
+  "/root/repo/src/noise/readout.cpp" "src/noise/CMakeFiles/qc_noise.dir/readout.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/readout.cpp.o.d"
+  "/root/repo/src/noise/topology.cpp" "src/noise/CMakeFiles/qc_noise.dir/topology.cpp.o" "gcc" "src/noise/CMakeFiles/qc_noise.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

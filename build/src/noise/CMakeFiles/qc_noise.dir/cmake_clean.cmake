@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_noise.dir/catalog.cpp.o"
+  "CMakeFiles/qc_noise.dir/catalog.cpp.o.d"
+  "CMakeFiles/qc_noise.dir/channel.cpp.o"
+  "CMakeFiles/qc_noise.dir/channel.cpp.o.d"
+  "CMakeFiles/qc_noise.dir/device.cpp.o"
+  "CMakeFiles/qc_noise.dir/device.cpp.o.d"
+  "CMakeFiles/qc_noise.dir/mitigation.cpp.o"
+  "CMakeFiles/qc_noise.dir/mitigation.cpp.o.d"
+  "CMakeFiles/qc_noise.dir/noise_model.cpp.o"
+  "CMakeFiles/qc_noise.dir/noise_model.cpp.o.d"
+  "CMakeFiles/qc_noise.dir/readout.cpp.o"
+  "CMakeFiles/qc_noise.dir/readout.cpp.o.d"
+  "CMakeFiles/qc_noise.dir/topology.cpp.o"
+  "CMakeFiles/qc_noise.dir/topology.cpp.o.d"
+  "libqc_noise.a"
+  "libqc_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backend.cpp" "src/sim/CMakeFiles/qc_sim.dir/backend.cpp.o" "gcc" "src/sim/CMakeFiles/qc_sim.dir/backend.cpp.o.d"
+  "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/qc_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/qc_sim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/observables.cpp" "src/sim/CMakeFiles/qc_sim.dir/observables.cpp.o" "gcc" "src/sim/CMakeFiles/qc_sim.dir/observables.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/qc_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/qc_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

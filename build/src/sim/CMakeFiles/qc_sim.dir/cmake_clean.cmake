@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_sim.dir/backend.cpp.o"
+  "CMakeFiles/qc_sim.dir/backend.cpp.o.d"
+  "CMakeFiles/qc_sim.dir/density_matrix.cpp.o"
+  "CMakeFiles/qc_sim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/qc_sim.dir/observables.cpp.o"
+  "CMakeFiles/qc_sim.dir/observables.cpp.o.d"
+  "CMakeFiles/qc_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qc_sim.dir/statevector.cpp.o.d"
+  "libqc_sim.a"
+  "libqc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

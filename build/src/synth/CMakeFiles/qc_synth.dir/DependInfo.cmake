@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cost.cpp" "src/synth/CMakeFiles/qc_synth.dir/cost.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/cost.cpp.o.d"
+  "/root/repo/src/synth/invariants.cpp" "src/synth/CMakeFiles/qc_synth.dir/invariants.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/invariants.cpp.o.d"
+  "/root/repo/src/synth/optimize.cpp" "src/synth/CMakeFiles/qc_synth.dir/optimize.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/optimize.cpp.o.d"
+  "/root/repo/src/synth/partition.cpp" "src/synth/CMakeFiles/qc_synth.dir/partition.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/partition.cpp.o.d"
+  "/root/repo/src/synth/qfactor.cpp" "src/synth/CMakeFiles/qc_synth.dir/qfactor.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/qfactor.cpp.o.d"
+  "/root/repo/src/synth/qfast.cpp" "src/synth/CMakeFiles/qc_synth.dir/qfast.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/qfast.cpp.o.d"
+  "/root/repo/src/synth/qsearch.cpp" "src/synth/CMakeFiles/qc_synth.dir/qsearch.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/qsearch.cpp.o.d"
+  "/root/repo/src/synth/reducer.cpp" "src/synth/CMakeFiles/qc_synth.dir/reducer.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/reducer.cpp.o.d"
+  "/root/repo/src/synth/template.cpp" "src/synth/CMakeFiles/qc_synth.dir/template.cpp.o" "gcc" "src/synth/CMakeFiles/qc_synth.dir/template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qc_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_synth.dir/cost.cpp.o"
+  "CMakeFiles/qc_synth.dir/cost.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/invariants.cpp.o"
+  "CMakeFiles/qc_synth.dir/invariants.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/optimize.cpp.o"
+  "CMakeFiles/qc_synth.dir/optimize.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/partition.cpp.o"
+  "CMakeFiles/qc_synth.dir/partition.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/qfactor.cpp.o"
+  "CMakeFiles/qc_synth.dir/qfactor.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/qfast.cpp.o"
+  "CMakeFiles/qc_synth.dir/qfast.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/qsearch.cpp.o"
+  "CMakeFiles/qc_synth.dir/qsearch.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/reducer.cpp.o"
+  "CMakeFiles/qc_synth.dir/reducer.cpp.o.d"
+  "CMakeFiles/qc_synth.dir/template.cpp.o"
+  "CMakeFiles/qc_synth.dir/template.cpp.o.d"
+  "libqc_synth.a"
+  "libqc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

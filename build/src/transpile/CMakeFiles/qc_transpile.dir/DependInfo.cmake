@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/decompose.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/decompose.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/decompose.cpp.o.d"
+  "/root/repo/src/transpile/euler.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/euler.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/euler.cpp.o.d"
+  "/root/repo/src/transpile/layout.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/layout.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/layout.cpp.o.d"
+  "/root/repo/src/transpile/peephole.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/peephole.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/peephole.cpp.o.d"
+  "/root/repo/src/transpile/pipeline.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/pipeline.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/pipeline.cpp.o.d"
+  "/root/repo/src/transpile/routing.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/routing.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/routing.cpp.o.d"
+  "/root/repo/src/transpile/twirling.cpp" "src/transpile/CMakeFiles/qc_transpile.dir/twirling.cpp.o" "gcc" "src/transpile/CMakeFiles/qc_transpile.dir/twirling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qc_transpile.dir/decompose.cpp.o"
+  "CMakeFiles/qc_transpile.dir/decompose.cpp.o.d"
+  "CMakeFiles/qc_transpile.dir/euler.cpp.o"
+  "CMakeFiles/qc_transpile.dir/euler.cpp.o.d"
+  "CMakeFiles/qc_transpile.dir/layout.cpp.o"
+  "CMakeFiles/qc_transpile.dir/layout.cpp.o.d"
+  "CMakeFiles/qc_transpile.dir/peephole.cpp.o"
+  "CMakeFiles/qc_transpile.dir/peephole.cpp.o.d"
+  "CMakeFiles/qc_transpile.dir/pipeline.cpp.o"
+  "CMakeFiles/qc_transpile.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qc_transpile.dir/routing.cpp.o"
+  "CMakeFiles/qc_transpile.dir/routing.cpp.o.d"
+  "CMakeFiles/qc_transpile.dir/twirling.cpp.o"
+  "CMakeFiles/qc_transpile.dir/twirling.cpp.o.d"
+  "libqc_transpile.a"
+  "libqc_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qc_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

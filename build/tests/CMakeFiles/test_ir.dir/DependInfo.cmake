@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/test_ir.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/test_ir.dir/test_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/approx/CMakeFiles/qc_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/qc_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qc_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/qc_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
