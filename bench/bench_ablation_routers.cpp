@@ -10,12 +10,11 @@
 #include "algos/mct.hpp"
 #include "bench_util.hpp"
 #include "common/strings.hpp"
+#include "exec/engine.hpp"
 #include "metrics/distribution.hpp"
 #include "noise/catalog.hpp"
 #include "sim/backend.hpp"
 #include "transpile/decompose.hpp"
-#include "transpile/pipeline.hpp"
-#include "transpile/routing.hpp"
 
 int main(int argc, char** argv) {
   using namespace qc;
@@ -47,20 +46,15 @@ int main(int argc, char** argv) {
     std::size_t swaps[2], cx[2];
     double tvd[2];
     for (int r = 0; r < 2; ++r) {
-      transpile::TranspileOptions opts;
-      opts.optimization_level = 1;
-      opts.router = r == 0 ? transpile::TranspileOptions::Router::Greedy
-                           : transpile::TranspileOptions::Router::Sabre;
-      const auto tr = transpile::transpile(w.circuit, device, opts);
-      swaps[r] = tr.added_swaps;
-      cx[r] = tr.circuit.count(ir::GateKind::CX);
-
-      const auto model =
-          noise::NoiseModel::from_device(tr.restricted_device(device), {});
-      sim::DensityMatrixBackend backend(model, 1);
-      const auto noisy = transpile::unpermute_distribution(
-          backend.run_probabilities(tr.circuit), tr.wire_of_virtual);
-      tvd[r] = metrics::total_variation(reference, noisy);
+      // One engine run per router: the RunRecord carries the routed SWAP and
+      // CX counts, so no separate transpile-for-counting pass is needed.
+      exec::ExecutionConfig cfg = exec::ExecutionConfig::simulator(device);
+      cfg.router = r == 0 ? transpile::TranspileOptions::Router::Greedy
+                          : transpile::TranspileOptions::Router::Sabre;
+      const auto res = exec::ExecutionEngine::global().run({w.circuit, cfg});
+      swaps[r] = res.record.added_swaps;
+      cx[r] = res.record.transpiled_cx;
+      tvd[r] = metrics::total_variation(reference, res.probabilities);
     }
     table.add_row({w.label, std::to_string(swaps[0]), std::to_string(cx[0]),
                    std::to_string(swaps[1]), std::to_string(cx[1]),

@@ -39,6 +39,20 @@ void emit_table(const BenchContext& ctx, const std::string& id,
   table.write_csv(ctx.csv_path);
   std::printf("[%s] wrote %zu rows to %s\n", id.c_str(), table.num_rows(),
               ctx.csv_path.c_str());
+  print_engine_cache_stats(id);
+}
+
+void print_engine_cache_stats(const std::string& id) {
+  const exec::CacheStats s = exec::ExecutionEngine::global().cache_stats();
+  if (s.transpile_hits + s.transpile_misses == 0) return;  // engine unused
+  std::printf("[%s] engine caches: transpile %zu/%zu hits (%.0f%%), "
+              "noise model %zu/%zu (%.0f%%), compiled %zu/%zu (%.0f%%)\n",
+              id.c_str(), s.transpile_hits, s.transpile_hits + s.transpile_misses,
+              100.0 * exec::CacheStats::rate(s.transpile_hits, s.transpile_misses),
+              s.model_hits, s.model_hits + s.model_misses,
+              100.0 * exec::CacheStats::rate(s.model_hits, s.model_misses),
+              s.compiled_hits, s.compiled_hits + s.compiled_misses,
+              100.0 * exec::CacheStats::rate(s.compiled_hits, s.compiled_misses));
 }
 
 void shape_check(const std::string& what, bool ok, double lhs, double rhs) {

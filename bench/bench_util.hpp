@@ -40,6 +40,11 @@ void emit_table(const BenchContext& ctx, const std::string& id,
 /// One "SHAPE" assertion line: prints PASS/FAIL plus the two numbers.
 void shape_check(const std::string& what, bool ok, double lhs, double rhs);
 
+/// Prints the global ExecutionEngine's cache hit rates (transpile /
+/// noise-model / compiled-program caches). Called by emit_table so every
+/// figure binary reports how much pipeline work the engine amortized.
+void print_engine_cache_stats(const std::string& id);
+
 // ---- workload presets shared across figures --------------------------------
 
 /// TFIM study config for a figure: device by name, simulator or hardware

@@ -5,11 +5,10 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "exec/engine.hpp"
 #include "ir/circuit.hpp"
 #include "metrics/distribution.hpp"
 #include "noise/catalog.hpp"
-#include "sim/backend.hpp"
-#include "transpile/pipeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace qc;
@@ -30,14 +29,12 @@ int main(int argc, char** argv) {
               "avg CX err", "avg RO err", "P(|00> kept)");
 
   for (const auto& device : noise::device_catalog()) {
-    const auto tr = transpile::transpile(probe, device, {});
-    const auto model =
-        noise::NoiseModel::from_device(tr.restricted_device(device), {});
-    sim::DensityMatrixBackend backend(model, 1);
-    const auto probs = backend.run_probabilities(tr.circuit);
+    const exec::ExecutionConfig cfg = exec::ExecutionConfig::simulator(device);
+    const auto res = exec::ExecutionEngine::global().run({probe, cfg});
     std::printf("%-10s %7d %7zu %12.5f %12.5f %14.4f\n", device.name.c_str(),
                 device.num_qubits(), device.coupling.num_edges(),
-                device.average_cx_error(), device.average_readout_error(), probs[0]);
+                device.average_cx_error(), device.average_readout_error(),
+                res.probabilities[0]);
   }
   std::printf("\nSurvival tracks the error of the *specific edge* hosting the probe\n"
               "(trivial layout -> physical qubits {0,1}), not just the device\n"

@@ -48,14 +48,23 @@ int main() {
               approximations.size());
 
   // 4. Execute the reference and the minimal-HS approximation on the
-  //    Ourense noise model.
+  //    Ourense noise model, through the cached ExecutionEngine. Each
+  //    RunResult carries a RunRecord describing what actually ran.
   const auto device = noise::device_by_name("ourense");
-  const approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
+  const approx::ExecutionConfig cfg = approx::ExecutionConfig::simulator(device);
+  auto& engine = exec::ExecutionEngine::global();
 
-  const auto noisy_ref = approx::execute_distribution(circuit, exec);
+  const exec::RunResult ref_run = engine.run({circuit, cfg});
   const std::size_t pick = approx::minimal_hs_index(approximations);
-  const auto noisy_approx =
-      approx::execute_distribution(approximations[pick].circuit, exec);
+  const exec::RunResult approx_run = engine.run({approximations[pick].circuit, cfg});
+  const auto& noisy_ref = ref_run.probabilities;
+  const auto& noisy_approx = approx_run.probabilities;
+  std::printf("run record: engine=%s, transpiled CX=%zu, depth=%zu, "
+              "transpile cache %s, %.1f ms\n",
+              ref_run.record.engine.c_str(), ref_run.record.transpiled_cx,
+              ref_run.record.transpiled_depth,
+              ref_run.record.transpile_cache_hit ? "hit" : "miss",
+              ref_run.record.wall_ms);
 
   const double ref_tvd = metrics::total_variation(ideal_probs, noisy_ref);
   const double approx_tvd = metrics::total_variation(ideal_probs, noisy_approx);

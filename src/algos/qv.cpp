@@ -4,12 +4,12 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "exec/engine.hpp"
 #include "linalg/factories.hpp"
 #include "noise/noise_model.hpp"
 #include "sim/backend.hpp"
 #include "transpile/euler.hpp"
 #include "transpile/pipeline.hpp"
-#include "transpile/routing.hpp"
 
 namespace qc::algos {
 
@@ -90,27 +90,31 @@ QvResult measure_quantum_volume(const noise::DeviceProperties& device,
   common::Rng rng(options.seed);
   bool chain_alive = true;
 
+  exec::ExecutionConfig exec_cfg;
+  exec_cfg.device = device;
+  exec_cfg.noise_options = nm_options;
+  exec_cfg.optimization_level = 3;  // DM engine: exact, so the seed is moot
+
   for (int width = 2; width <= std::min(options.max_width, device.num_qubits());
        ++width) {
-    double hop_sum = 0.0;
+    // One engine batch per width: the model circuits transpile and simulate
+    // concurrently, and same-subset noise models come from the engine cache.
+    std::vector<std::vector<double>> ideals;
+    std::vector<exec::RunRequest> batch;
+    ideals.reserve(static_cast<std::size_t>(options.num_circuits));
+    batch.reserve(static_cast<std::size_t>(options.num_circuits));
     for (int c = 0; c < options.num_circuits; ++c) {
       common::Rng circuit_rng = rng.split((width << 10) + c);
-      const ir::QuantumCircuit model = qv_model_circuit(width, circuit_rng);
-
+      ir::QuantumCircuit model = qv_model_circuit(width, circuit_rng);
       sim::IdealBackend ideal_backend(1);
-      const auto ideal = ideal_backend.run_probabilities(model);
-
-      transpile::TranspileOptions topts;
-      topts.optimization_level = 3;
-      const auto tr = transpile::transpile(model, device, topts);
-      const auto model_noise =
-          noise::NoiseModel::from_device(tr.restricted_device(device), nm_options);
-      sim::DensityMatrixBackend backend(model_noise, options.seed + c);
-      const auto noisy = transpile::unpermute_distribution(
-          backend.run_probabilities(tr.circuit), tr.wire_of_virtual);
-
-      hop_sum += heavy_output_probability(ideal, noisy);
+      ideals.push_back(ideal_backend.run_probabilities(model));
+      batch.push_back({std::move(model), exec_cfg});
     }
+    const auto noisy = exec::ExecutionEngine::global().run_batch(batch);
+
+    double hop_sum = 0.0;
+    for (int c = 0; c < options.num_circuits; ++c)
+      hop_sum += heavy_output_probability(ideals[c], noisy[c].probabilities);
     QvWidthResult wr;
     wr.width = width;
     wr.mean_heavy_probability = hop_sum / options.num_circuits;

@@ -1,57 +1,16 @@
 #include "approx/experiment.hpp"
 
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
 #include "metrics/distribution.hpp"
-#include "sim/backend.hpp"
 #include "sim/observables.hpp"
-#include "transpile/routing.hpp"
 
 namespace qc::approx {
 
-ExecutionConfig ExecutionConfig::simulator(const noise::DeviceProperties& device) {
-  ExecutionConfig cfg{device, {}, false, 1, std::nullopt, false, 8192, 11};
-  return cfg;
-}
-
-ExecutionConfig ExecutionConfig::hardware(const noise::DeviceProperties& device) {
-  ExecutionConfig cfg{device, {}, false, 3, std::nullopt, true, 8192, 11};
-  cfg.noise_options.coherent_cx_overrotation = true;
-  cfg.noise_options.zz_crosstalk = true;
-  cfg.noise_options.hardware_drift_scale = 4.5;
-  cfg.noise_options.hardware_readout_scale = 2.0;
-
-  return cfg;
-}
-
-ExecutionConfig ExecutionConfig::noise_free(const noise::DeviceProperties& device) {
-  ExecutionConfig cfg{device, {}, true, 1, std::nullopt, false, 8192, 11};
-  return cfg;
-}
-
 std::vector<double> execute_distribution(const ir::QuantumCircuit& logical,
-                                         const ExecutionConfig& config) {
-  transpile::TranspileOptions topts;
-  topts.optimization_level = config.optimization_level;
-  topts.initial_layout = config.initial_layout;
-  const transpile::TranspileResult tr = transpile::transpile(logical, config.device, topts);
-
-  std::vector<double> probs;
-  if (config.ideal) {
-    sim::IdealBackend backend(config.seed);
-    probs = backend.run_probabilities(tr.circuit);
-  } else {
-    const noise::DeviceProperties sub = tr.restricted_device(config.device);
-    const noise::NoiseModel model = noise::NoiseModel::from_device(sub, config.noise_options);
-    if (config.use_trajectories) {
-      sim::TrajectoryBackend backend(model, config.shots, config.seed);
-      probs = backend.run_probabilities(tr.circuit);
-    } else {
-      sim::DensityMatrixBackend backend(model, config.seed);
-      probs = backend.run_probabilities(tr.circuit);
-    }
-  }
-  return transpile::unpermute_distribution(probs, tr.wire_of_virtual);
+                                         const ExecutionConfig& config,
+                                         exec::ExecutionEngine* engine) {
+  exec::ExecutionEngine& eng = engine ? *engine : exec::ExecutionEngine::global();
+  return eng.run({logical, config}).probabilities;
 }
 
 double score_distribution(const std::vector<double>& probs, const MetricSpec& metric) {
@@ -72,27 +31,34 @@ double score_distribution(const std::vector<double>& probs, const MetricSpec& me
 ScatterStudy run_scatter_study(const ir::QuantumCircuit& reference,
                                const std::vector<synth::ApproxCircuit>& approximations,
                                const ExecutionConfig& execution,
-                               const MetricSpec& metric) {
-  ScatterStudy study;
-  {
-    transpile::TranspileOptions topts;
-    topts.optimization_level = execution.optimization_level;
-    topts.initial_layout = execution.initial_layout;
-    const auto tr = transpile::transpile(reference, execution.device, topts);
-    study.reference_cnots = tr.circuit.count(ir::GateKind::CX);
-    study.reference_metric =
-        score_distribution(execute_distribution(reference, execution), metric);
-  }
+                               const MetricSpec& metric,
+                               exec::ExecutionEngine* engine) {
+  exec::ExecutionEngine& eng = engine ? *engine : exec::ExecutionEngine::global();
 
-  study.scores.resize(approximations.size());
-  common::parallel_for(0, approximations.size(), [&](std::size_t i) {
+  // One batch: slot 0 is the reference, slots 1.. the approximations. The
+  // reference's RunRecord supplies both its transpiled CX count and its
+  // distribution from the same (cached) transpile — the seed code transpiled
+  // the reference twice to get the two numbers separately.
+  std::vector<exec::RunRequest> requests;
+  requests.reserve(approximations.size() + 1);
+  requests.push_back({reference, execution});
+  for (std::size_t i = 0; i < approximations.size(); ++i) {
     ExecutionConfig cfg = execution;
     cfg.seed = execution.seed + 7919 * (i + 1);  // independent shot streams
-    const auto probs = execute_distribution(approximations[i].circuit, cfg);
+    requests.push_back({approximations[i].circuit, cfg});
+  }
+  const std::vector<exec::RunResult> results = eng.run_batch(requests);
+
+  ScatterStudy study;
+  study.reference_record = results[0].record;
+  study.reference_cnots = results[0].record.transpiled_cx;
+  study.reference_metric = score_distribution(results[0].probabilities, metric);
+  study.scores.resize(approximations.size());
+  for (std::size_t i = 0; i < approximations.size(); ++i) {
     study.scores[i] = CircuitScore{i, approximations[i].cnot_count,
                                    approximations[i].hs_distance,
-                                   score_distribution(probs, metric)};
-  });
+                                   score_distribution(results[i + 1].probabilities, metric)};
+  }
   return study;
 }
 

@@ -1,12 +1,17 @@
 // Execution layer: run logical circuits through the device pipeline
 // (transpile -> restricted noise model -> simulate -> un-permute outcomes)
 // and score them with the paper's metrics.
+//
+// Since the ExecutionEngine refactor the pipeline itself lives in src/exec;
+// this layer binds it to the paper's experiment shapes (scatter studies,
+// metrics) and re-exports exec::ExecutionConfig under its historical name.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "exec/engine.hpp"
 #include "ir/circuit.hpp"
 #include "noise/catalog.hpp"
 #include "synth/qsearch.hpp"
@@ -14,29 +19,9 @@
 
 namespace qc::approx {
 
-/// How a circuit reaches "hardware".
-struct ExecutionConfig {
-  noise::DeviceProperties device;
-  noise::NoiseModelOptions noise_options;  // set hardware extras / sweeps here
-  /// Skip all noise (the "noise free reference" runs).
-  bool ideal = false;
-  int optimization_level = 1;
-  std::optional<transpile::Layout> initial_layout;
-  /// true: shot-sampled trajectory engine (hardware realism); false: exact
-  /// density-matrix engine (noise-model simulation).
-  bool use_trajectories = false;
-  std::size_t shots = 8192;
-  std::uint64_t seed = 11;
-
-  /// Simulator run under a catalog device's noise model (the paper's
-  /// "<device> noise model" setting: optimization level 1, DM engine).
-  static ExecutionConfig simulator(const noise::DeviceProperties& device);
-  /// Hardware-mode run (the paper's "<device> physical machine" setting:
-  /// optimization level 3, trajectory engine, surplus noise on).
-  static ExecutionConfig hardware(const noise::DeviceProperties& device);
-  /// Noise-free reference execution on the same device topology.
-  static ExecutionConfig noise_free(const noise::DeviceProperties& device);
-};
+/// How a circuit reaches "hardware" (moved to src/exec; alias kept so every
+/// experiment driver, benchmark, and example keeps its spelling).
+using ExecutionConfig = exec::ExecutionConfig;
 
 /// Output metrics used by the paper's figures.
 struct MetricSpec {
@@ -50,9 +35,11 @@ struct MetricSpec {
 };
 
 /// Runs one logical circuit end to end; returns the outcome distribution in
-/// the circuit's own (virtual) bit order.
+/// the circuit's own (virtual) bit order. Uses `engine` (default: the shared
+/// global engine), so repeated circuits hit the session caches.
 std::vector<double> execute_distribution(const ir::QuantumCircuit& logical,
-                                         const ExecutionConfig& config);
+                                         const ExecutionConfig& config,
+                                         exec::ExecutionEngine* engine = nullptr);
 
 /// Scores a distribution under the metric.
 double score_distribution(const std::vector<double>& probs, const MetricSpec& metric);
@@ -71,11 +58,15 @@ struct ScatterStudy {
   double reference_metric = 0.0;
   std::size_t reference_cnots = 0;  // CX count after transpilation
   std::vector<CircuitScore> scores;
+  /// Provenance of the reference run (transpiled depth/layout, engine,
+  /// cache behaviour, wall time).
+  exec::RunRecord reference_record;
 };
 
 ScatterStudy run_scatter_study(const ir::QuantumCircuit& reference,
                                const std::vector<synth::ApproxCircuit>& approximations,
                                const ExecutionConfig& execution,
-                               const MetricSpec& metric);
+                               const MetricSpec& metric,
+                               exec::ExecutionEngine* engine = nullptr);
 
 }  // namespace qc::approx

@@ -56,21 +56,21 @@ MappingStudyResult run_mapping_study(
     const ir::QuantumCircuit& reference,
     const std::vector<synth::ApproxCircuit>& approximations,
     const ExecutionConfig& base_execution, const MetricSpec& metric,
-    std::size_t num_manual) {
+    std::size_t num_manual, exec::ExecutionEngine* engine) {
   const auto candidates = enumerate_mappings(reference, base_execution.device, num_manual);
 
   MappingStudyResult result;
   for (const auto& candidate : candidates) {
-    ExecutionConfig exec = base_execution;
+    ExecutionConfig cfg = base_execution;
     if (candidate.layout.empty()) {
-      exec.optimization_level = 3;
-      exec.initial_layout.reset();
+      cfg.optimization_level = 3;
+      cfg.initial_layout.reset();
     } else {
-      exec.optimization_level = 1;
-      exec.initial_layout = candidate.layout;
+      cfg.optimization_level = 1;
+      cfg.initial_layout = candidate.layout;
     }
-    MappingStudyEntry entry{candidate,
-                            run_scatter_study(reference, approximations, exec, metric)};
+    MappingStudyEntry entry{
+        candidate, run_scatter_study(reference, approximations, cfg, metric, engine)};
     result.entries.push_back(std::move(entry));
   }
   return result;

@@ -42,7 +42,8 @@ MappingStudyResult run_mapping_study(const ir::QuantumCircuit& reference,
                                      const std::vector<synth::ApproxCircuit>& approximations,
                                      const ExecutionConfig& base_execution,
                                      const MetricSpec& metric,
-                                     std::size_t num_manual = 4);
+                                     std::size_t num_manual = 4,
+                                     exec::ExecutionEngine* engine = nullptr);
 
 /// Figure 16: the device noise report (per-qubit readout error, per-edge CX
 /// error) as printable tables.

@@ -79,10 +79,10 @@ TfimStudyResult run_tfim_study(const TfimStudyConfig& config) {
     // Noisy reference + cloud under the study's execution config.
     MetricSpec metric;
     metric.kind = MetricSpec::Kind::Magnetization;
-    ExecutionConfig exec = config.execution;
-    exec.seed = config.execution.seed + static_cast<std::uint64_t>(step) * 7919;
+    ExecutionConfig noisy = config.execution;
+    noisy.seed = config.execution.seed + static_cast<std::uint64_t>(step) * 7919;
     const ScatterStudy scatter =
-        run_scatter_study(reference, out.circuits, exec, metric);
+        run_scatter_study(reference, out.circuits, noisy, metric);
     out.noisy_reference = scatter.reference_metric;
     out.reference_cnots = scatter.reference_cnots;
     out.scores = scatter.scores;

@@ -18,6 +18,17 @@ namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  const std::uint64_t a = splitmix64(s);
+  return a ^ rotl(seed, 23);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

@@ -16,6 +16,17 @@ namespace qc::common {
 /// splitmix64 step; used for seeding and cheap hash-like mixing.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Order-dependent 64-bit hash combiner (splitmix64-mixed). Used for content
+/// fingerprints (circuits, devices, noise options) that key the execution
+/// engine's caches.
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);
+
+/// Counter-based stream derivation: an independent child seed for stream
+/// `stream` of a parent `seed`. Deterministic and order-free, so per-shot
+/// RNG streams can be created from any thread in any order and still yield
+/// bit-identical experiment results for every thread count.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream);
+
 /// xoshiro256** PRNG with explicit seeding and stream splitting.
 class Rng {
  public:

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
@@ -80,8 +81,30 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   cv_.notify_all();
 
-  std::unique_lock<std::mutex> dlock(done_mutex);
-  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
+  // Help drain the queue while waiting. The tasks we pick up may belong to
+  // another in-flight parallel_for (they complete it; its own waiter sees the
+  // decrement) — what matters is that a blocked caller always makes progress,
+  // which is what keeps nested calls from worker threads deadlock-free.
+  while (remaining.load() != 0) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    // Queue empty but our chunks still run elsewhere: sleep with a short
+    // timeout so a task enqueued by *another* batch (which signals cv_, not
+    // our local done_cv) cannot strand us.
+    std::unique_lock<std::mutex> dlock(done_mutex);
+    done_cv.wait_for(dlock, std::chrono::milliseconds(1),
+                     [&] { return remaining.load() == 0; });
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -30,6 +30,11 @@ class ThreadPool {
   /// Runs fn(i) for i in [begin, end), partitioned across workers; blocks
   /// until all iterations finish. Exceptions from fn are rethrown (first one
   /// wins) after all workers drain.
+  ///
+  /// Re-entrant: while waiting, the calling thread executes queued tasks
+  /// itself, so nested parallel_for calls (experiment loop -> scatter study
+  /// -> per-shot trajectories) make progress even when every worker is busy
+  /// instead of deadlocking.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

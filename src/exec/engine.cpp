@@ -1,0 +1,257 @@
+#include "exec/engine.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "metrics/distribution.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/routing.hpp"
+
+namespace qc::exec {
+
+// ---- ExecutionConfig -------------------------------------------------------
+
+ExecutionConfig ExecutionConfig::simulator(const noise::DeviceProperties& device) {
+  ExecutionConfig cfg;
+  cfg.device = device;
+  cfg.optimization_level = 1;
+  return cfg;
+}
+
+ExecutionConfig ExecutionConfig::hardware(const noise::DeviceProperties& device) {
+  ExecutionConfig cfg;
+  cfg.device = device;
+  cfg.optimization_level = 3;
+  cfg.use_trajectories = true;
+  cfg.noise_options.coherent_cx_overrotation = true;
+  cfg.noise_options.zz_crosstalk = true;
+  cfg.noise_options.hardware_drift_scale = 4.5;
+  cfg.noise_options.hardware_readout_scale = 2.0;
+  return cfg;
+}
+
+ExecutionConfig ExecutionConfig::noise_free(const noise::DeviceProperties& device) {
+  ExecutionConfig cfg;
+  cfg.device = device;
+  cfg.ideal = true;
+  cfg.optimization_level = 1;
+  return cfg;
+}
+
+transpile::TranspileOptions ExecutionConfig::transpile_options() const {
+  transpile::TranspileOptions topts;
+  topts.optimization_level = optimization_level;
+  topts.initial_layout = initial_layout;
+  topts.router = router;
+  return topts;
+}
+
+// ---- cache plumbing --------------------------------------------------------
+
+template <typename K, typename V, typename Make>
+std::shared_ptr<const V> ExecutionEngine::get_or_compute(OnceCache<K, V>& cache,
+                                                         const K& key, bool* was_hit,
+                                                         Make&& make) {
+  std::shared_ptr<Slot<V>> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cache.entries.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Slot<V>>();
+      ++cache.misses;
+    } else {
+      ++cache.hits;
+    }
+    if (was_hit) *was_hit = !inserted;
+    slot = it->second;
+  }
+  // Compute outside the map lock: expensive work (transpilation, noise-model
+  // construction) must not serialize unrelated cache lookups. call_once makes
+  // concurrent requesters of the same key wait for one computation.
+  std::call_once(slot->once,
+                 [&] { slot->value = std::make_shared<const V>(make()); });
+  return slot->value;
+}
+
+common::ThreadPool& ExecutionEngine::pool() {
+  return owned_pool_ ? *owned_pool_ : common::ThreadPool::global();
+}
+
+ExecutionEngine::ExecutionEngine(EngineOptions options) : options_(options) {
+  QC_CHECK(options_.trajectory_block > 0);
+  if (options_.num_threads > 0)
+    owned_pool_ = std::make_unique<common::ThreadPool>(options_.num_threads);
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+ExecutionEngine& ExecutionEngine::global() {
+  static ExecutionEngine engine;
+  return engine;
+}
+
+CacheStats ExecutionEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.transpile_hits = transpile_cache_.hits;
+  s.transpile_misses = transpile_cache_.misses;
+  s.model_hits = model_cache_.hits;
+  s.model_misses = model_cache_.misses;
+  s.compiled_hits = compiled_cache_.hits;
+  s.compiled_misses = compiled_cache_.misses;
+  s.matrix_hits = matrix_cache_.hits;
+  s.matrix_misses = matrix_cache_.misses;
+  return s;
+}
+
+void ExecutionEngine::clear_caches() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  transpile_cache_ = {};
+  model_cache_ = {};
+  compiled_cache_ = {};
+  matrix_cache_ = {};
+}
+
+// ---- cache keys ------------------------------------------------------------
+
+ExecutionEngine::TranspileKey ExecutionEngine::make_transpile_key(
+    const RunRequest& request) const {
+  TranspileKey key;
+  key.circuit_fp = request.circuit.fingerprint();
+  key.device_fp = request.config.device.fingerprint();
+  if (request.config.initial_layout) {
+    std::uint64_t h = 0xa1b2c3d4e5f60718ULL;
+    for (int p : *request.config.initial_layout)
+      h = common::hash_combine(h, static_cast<std::uint64_t>(p));
+    key.layout_fp = h;
+  }
+  key.level = request.config.optimization_level;
+  key.router = static_cast<int>(request.config.router);
+  return key;
+}
+
+ExecutionEngine::ModelKey ExecutionEngine::make_model_key(
+    const RunRequest& request, const transpile::TranspileResult& tr) const {
+  ModelKey key;
+  key.device_fp = request.config.device.fingerprint();
+  key.options_fp = request.config.noise_options.fingerprint();
+  std::uint64_t h = 0x7c0ffee5deadbeefULL;
+  for (int p : tr.active_physical)
+    h = common::hash_combine(h, static_cast<std::uint64_t>(p));
+  key.subset_fp = h;
+  return key;
+}
+
+// ---- cached pipeline stages ------------------------------------------------
+
+std::shared_ptr<const transpile::TranspileResult> ExecutionEngine::transpile_cached(
+    const RunRequest& request, bool* hit) {
+  const TranspileKey key = make_transpile_key(request);
+  return get_or_compute(transpile_cache_, key, hit, [&] {
+    return transpile::transpile(request.circuit, request.config.device,
+                                request.config.transpile_options());
+  });
+}
+
+std::shared_ptr<const noise::NoiseModel> ExecutionEngine::model_cached(
+    const RunRequest& request, const transpile::TranspileResult& tr, bool* hit) {
+  const ModelKey key = make_model_key(request, tr);
+  return get_or_compute(model_cache_, key, hit, [&] {
+    const noise::DeviceProperties sub = tr.restricted_device(request.config.device);
+    return noise::NoiseModel::from_device(sub, request.config.noise_options);
+  });
+}
+
+linalg::Matrix ExecutionEngine::gate_matrix(const ir::Gate& gate) {
+  MatrixKey key;
+  key.kind = static_cast<int>(gate.kind);
+  key.params.reserve(gate.params.size());
+  for (double p : gate.params) key.params.push_back(std::bit_cast<std::uint64_t>(p));
+  const auto m = get_or_compute(matrix_cache_, key, nullptr,
+                                [&] { return gate.matrix(); });
+  return *m;
+}
+
+std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_cached(
+    const TranspileKey& tkey, const ModelKey& mkey,
+    const transpile::TranspileResult& tr, const noise::NoiseModel& model,
+    bool* hit) {
+  const CompiledKey key{tkey, mkey};
+  return get_or_compute(compiled_cache_, key, hit, [&] {
+    return sim::compile_noisy_circuit(
+        tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); });
+  });
+}
+
+// ---- execution -------------------------------------------------------------
+
+std::vector<double> ExecutionEngine::trajectory_probabilities(
+    const sim::CompiledCircuit& compiled, std::size_t shots, std::uint64_t seed) {
+  QC_CHECK(shots > 0);
+  const std::size_t block = options_.trajectory_block;
+  const std::size_t num_blocks = (shots + block - 1) / block;
+  std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
+  std::mutex merge_mutex;
+  // The block partition depends only on `trajectory_block`, and each shot
+  // draws from its own counter-derived stream, so the merged integer counts
+  // are bit-identical for every pool size and merge order.
+  pool().parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(shots, begin + block);
+    const auto local = sim::trajectory_counts_streamed(compiled, begin, end, seed);
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
+  });
+  return metrics::counts_to_distribution(counts);
+}
+
+RunResult ExecutionEngine::run(const RunRequest& request) {
+  common::Stopwatch watch;
+  RunResult result;
+  RunRecord& rec = result.record;
+
+  const auto tr = transpile_cached(request, &rec.transpile_cache_hit);
+  rec.transpiled_cx = tr->circuit.count(ir::GateKind::CX);
+  rec.transpiled_depth = tr->circuit.depth();
+  rec.added_swaps = tr->added_swaps;
+  rec.initial_layout = tr->initial_layout;
+  rec.active_physical = tr->active_physical;
+
+  std::vector<double> probs;
+  if (request.config.ideal) {
+    rec.engine = "ideal";
+    sim::StateVector state(tr->circuit.num_qubits());
+    state.apply(tr->circuit);
+    probs = state.probabilities();
+  } else {
+    const auto model = model_cached(request, *tr, &rec.noise_model_cache_hit);
+    if (request.config.use_trajectories) {
+      rec.engine = "traj:" + model->device_name();
+      rec.shots = request.config.shots;
+      const auto compiled =
+          compiled_cached(make_transpile_key(request), make_model_key(request, *tr),
+                          *tr, *model, &rec.compiled_cache_hit);
+      probs = trajectory_probabilities(*compiled, request.config.shots,
+                                       request.config.seed);
+    } else {
+      rec.engine = "dm:" + model->device_name();
+      probs = sim::density_matrix_probabilities(tr->circuit, *model);
+    }
+  }
+  result.probabilities = transpile::unpermute_distribution(probs, tr->wire_of_virtual);
+  rec.wall_ms = watch.millis();
+  return result;
+}
+
+std::vector<RunResult> ExecutionEngine::run_batch(
+    const std::vector<RunRequest>& requests) {
+  std::vector<RunResult> results(requests.size());
+  pool().parallel_for(0, requests.size(),
+                      [&](std::size_t i) { results[i] = run(requests[i]); });
+  return results;
+}
+
+}  // namespace qc::exec

@@ -1,0 +1,153 @@
+// ExecutionEngine: the unified, cached, batched execution path.
+//
+// Every consumer of the pipeline (experiment drivers, figure benchmarks,
+// examples, tests) previously hand-rolled the same four steps — transpile,
+// restrict the device, build a NoiseModel, simulate — so scatter studies
+// re-transpiled identical circuits and rebuilt identical noise models dozens
+// of times per figure. The engine owns session-level caches keyed by content
+// fingerprints and computes each entry exactly once, even under concurrent
+// batch execution:
+//
+//  * transpile cache  — (circuit, device, layout, level, router)
+//                       -> TranspileResult
+//  * noise-model cache — (device, noise options, active-physical subset)
+//                       -> NoiseModel over the restricted device
+//  * compiled cache   — (transpile key, model key) -> sim::CompiledCircuit,
+//                       the precompiled trajectory program
+//  * gate-matrix cache — (gate kind, params) -> linalg::Matrix
+//
+// run_batch schedules requests over a ThreadPool; the trajectory engine
+// additionally fans shots out in fixed-size blocks with counter-based
+// per-shot RNG streams (common::derive_stream_seed), so results are
+// bit-identical for every thread count, including QAPPROX_THREADS=1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "exec/request.hpp"
+#include "linalg/matrix.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/compiled.hpp"
+#include "transpile/pipeline.hpp"
+
+namespace qc::exec {
+
+struct EngineOptions {
+  /// 0: schedule on common::ThreadPool::global(); otherwise the engine owns a
+  /// private pool of exactly this many workers (lets tests pin thread counts
+  /// without environment variables).
+  std::size_t num_threads = 0;
+  /// Shots per trajectory work block. The partition is fixed by this value,
+  /// not by the thread count, so per-block counts merge to identical totals
+  /// on any pool size.
+  std::size_t trajectory_block = 128;
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(EngineOptions options = {});
+  ~ExecutionEngine();
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  /// Executes one request through the cached pipeline.
+  RunResult run(const RunRequest& request);
+
+  /// Executes a batch concurrently; results are positionally aligned with
+  /// `requests` and identical to running each request serially.
+  std::vector<RunResult> run_batch(const std::vector<RunRequest>& requests);
+
+  /// Snapshot of the session cache counters.
+  CacheStats cache_stats() const;
+
+  /// Drops every cached entry and zeroes the counters.
+  void clear_caches();
+
+  /// Process-wide shared engine (used by the approx drivers and benchmarks
+  /// unless a caller supplies its own).
+  static ExecutionEngine& global();
+
+ private:
+  struct TranspileKey {
+    std::uint64_t circuit_fp = 0;
+    std::uint64_t device_fp = 0;
+    std::uint64_t layout_fp = 0;  // 0 when no initial layout is forced
+    int level = 0;
+    int router = 0;
+    auto operator<=>(const TranspileKey&) const = default;
+  };
+  struct ModelKey {
+    std::uint64_t device_fp = 0;   // the *full* device
+    std::uint64_t options_fp = 0;
+    std::uint64_t subset_fp = 0;   // active-physical subset
+    auto operator<=>(const ModelKey&) const = default;
+  };
+  struct CompiledKey {
+    TranspileKey transpile;
+    ModelKey model;
+    auto operator<=>(const CompiledKey&) const = default;
+  };
+  struct MatrixKey {
+    int kind = 0;
+    std::vector<std::uint64_t> params;  // bit patterns
+    auto operator<=>(const MatrixKey&) const = default;
+  };
+
+  /// A cache slot computed exactly once via std::call_once; concurrent
+  /// requesters of the same key block on the first computation instead of
+  /// duplicating it.
+  template <typename V>
+  struct Slot {
+    std::once_flag once;
+    std::shared_ptr<const V> value;
+  };
+
+  template <typename K, typename V>
+  struct OnceCache {
+    std::map<K, std::shared_ptr<Slot<V>>> entries;
+    std::size_t hits = 0, misses = 0;
+  };
+
+  /// Finds-or-creates the slot for `key` (counting a hit or a miss), then
+  /// computes the value exactly once with `make`.
+  template <typename K, typename V, typename Make>
+  std::shared_ptr<const V> get_or_compute(OnceCache<K, V>& cache, const K& key,
+                                          bool* was_hit, Make&& make);
+
+  common::ThreadPool& pool();
+
+  std::shared_ptr<const transpile::TranspileResult> transpile_cached(
+      const RunRequest& request, bool* hit);
+  std::shared_ptr<const noise::NoiseModel> model_cached(
+      const RunRequest& request, const transpile::TranspileResult& tr, bool* hit);
+  std::shared_ptr<const sim::CompiledCircuit> compiled_cached(
+      const TranspileKey& tkey, const ModelKey& mkey,
+      const transpile::TranspileResult& tr, const noise::NoiseModel& model,
+      bool* hit);
+  linalg::Matrix gate_matrix(const ir::Gate& gate);
+
+  TranspileKey make_transpile_key(const RunRequest& request) const;
+  ModelKey make_model_key(const RunRequest& request,
+                          const transpile::TranspileResult& tr) const;
+
+  std::vector<double> trajectory_probabilities(const sim::CompiledCircuit& compiled,
+                                               std::size_t shots,
+                                               std::uint64_t seed);
+
+  EngineOptions options_;
+  std::unique_ptr<common::ThreadPool> owned_pool_;
+
+  mutable std::mutex mutex_;  // guards the four caches and their counters
+  OnceCache<TranspileKey, transpile::TranspileResult> transpile_cache_;
+  OnceCache<ModelKey, noise::NoiseModel> model_cache_;
+  OnceCache<CompiledKey, sim::CompiledCircuit> compiled_cache_;
+  OnceCache<MatrixKey, linalg::Matrix> matrix_cache_;
+};
+
+}  // namespace qc::exec

@@ -1,0 +1,95 @@
+// Execution requests and run records.
+//
+// A RunRequest pairs a logical circuit with an ExecutionConfig describing how
+// it reaches "hardware" (device, transpilation level, noise options, engine
+// choice, shots, seed). The ExecutionEngine turns each request into a
+// RunResult: the outcome distribution in the circuit's own virtual bit order
+// plus a RunRecord documenting what actually ran — transpiled gate counts,
+// layout, engine, cache behaviour, wall time — so experiment drivers and
+// benchmark binaries can report provenance without re-deriving it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "noise/device.hpp"
+#include "noise/noise_model.hpp"
+#include "transpile/pipeline.hpp"
+
+namespace qc::exec {
+
+/// How a circuit reaches "hardware".
+struct ExecutionConfig {
+  noise::DeviceProperties device;
+  noise::NoiseModelOptions noise_options;  // set hardware extras / sweeps here
+  /// Skip all noise (the "noise free reference" runs).
+  bool ideal = false;
+  int optimization_level = 1;
+  std::optional<transpile::Layout> initial_layout;
+  /// SWAP insertion strategy (see bench_ablation_routers).
+  transpile::TranspileOptions::Router router =
+      transpile::TranspileOptions::Router::Greedy;
+  /// true: shot-sampled trajectory engine (hardware realism); false: exact
+  /// density-matrix engine (noise-model simulation).
+  bool use_trajectories = false;
+  std::size_t shots = 8192;
+  std::uint64_t seed = 11;
+
+  /// Simulator run under a catalog device's noise model (the paper's
+  /// "<device> noise model" setting: optimization level 1, DM engine).
+  static ExecutionConfig simulator(const noise::DeviceProperties& device);
+  /// Hardware-mode run (the paper's "<device> physical machine" setting:
+  /// optimization level 3, trajectory engine, surplus noise on).
+  static ExecutionConfig hardware(const noise::DeviceProperties& device);
+  /// Noise-free reference execution on the same device topology.
+  static ExecutionConfig noise_free(const noise::DeviceProperties& device);
+
+  /// Transpile options implied by this config.
+  transpile::TranspileOptions transpile_options() const;
+};
+
+/// One circuit execution job.
+struct RunRequest {
+  ir::QuantumCircuit circuit;
+  ExecutionConfig config;
+};
+
+/// Provenance of one execution: what the transpiler produced, which engine
+/// ran it, and which session caches were warm.
+struct RunRecord {
+  std::string engine;  // "ideal", "dm:<device>", "traj:<device>"
+  std::size_t transpiled_cx = 0;
+  std::size_t transpiled_depth = 0;
+  std::size_t added_swaps = 0;
+  transpile::Layout initial_layout;     // virtual -> physical
+  std::vector<int> active_physical;     // physical ids backing compact wires
+  std::size_t shots = 0;                // 0 for exact engines
+  bool transpile_cache_hit = false;
+  bool noise_model_cache_hit = false;
+  bool compiled_cache_hit = false;      // trajectory program cache
+  double wall_ms = 0.0;
+};
+
+/// Outcome distribution (virtual bit order, normalized) plus its provenance.
+struct RunResult {
+  std::vector<double> probabilities;
+  RunRecord record;
+};
+
+/// Aggregate hit/miss counters across an engine's session caches.
+struct CacheStats {
+  std::size_t transpile_hits = 0, transpile_misses = 0;
+  std::size_t model_hits = 0, model_misses = 0;
+  std::size_t compiled_hits = 0, compiled_misses = 0;
+  std::size_t matrix_hits = 0, matrix_misses = 0;
+
+  static double rate(std::size_t hits, std::size_t misses) {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+}  // namespace qc::exec

@@ -1,10 +1,12 @@
 #include "ir/circuit.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "linalg/embed.hpp"
 
 namespace qc::ir {
@@ -172,6 +174,20 @@ bool QuantumCircuit::in_cx_u3_basis() const {
 
 bool QuantumCircuit::has_measurements() const {
   return count(GateKind::Measure) > 0;
+}
+
+std::uint64_t QuantumCircuit::fingerprint() const {
+  using common::hash_combine;
+  std::uint64_t h = hash_combine(0x51c2c5a02720f5a5ULL,
+                                 static_cast<std::uint64_t>(num_qubits_));
+  for (const Gate& g : gates_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(g.kind));
+    h = hash_combine(h, g.qubits.size());
+    for (int q : g.qubits) h = hash_combine(h, static_cast<std::uint64_t>(q));
+    h = hash_combine(h, g.params.size());
+    for (double p : g.params) h = hash_combine(h, std::bit_cast<std::uint64_t>(p));
+  }
+  return h;
 }
 
 QuantumCircuit QuantumCircuit::inverse() const {

@@ -75,6 +75,10 @@ class QuantumCircuit {
   bool in_cx_u3_basis() const;
   /// True if circuit contains a Measure gate.
   bool has_measurements() const;
+  /// Order-dependent 64-bit content hash over (width, gates, operands,
+  /// parameter bits); the circuit's name is excluded. Used as a cache key by
+  /// the execution engine, so equal-content circuits share transpile work.
+  std::uint64_t fingerprint() const;
 
   // ---- transforms ------------------------------------------------------
   /// Reverse circuit with inverted gates; throws if a Measure is present.

@@ -1,6 +1,9 @@
 #include "noise/device.hpp"
 
+#include <bit>
+
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace qc::noise {
 
@@ -41,6 +44,30 @@ void DeviceProperties::validate() const {
     QC_CHECK(cx_duration[e] > 0.0);
   }
   QC_CHECK(sq_duration > 0.0);
+}
+
+std::uint64_t DeviceProperties::fingerprint() const {
+  using common::hash_combine;
+  std::uint64_t h = 0x8f2d1a6c4b59e371ULL;
+  for (char c : name) h = hash_combine(h, static_cast<std::uint64_t>(c));
+  h = hash_combine(h, static_cast<std::uint64_t>(coupling.num_qubits()));
+  for (const auto& [a, b] : coupling.edges()) {
+    h = hash_combine(h, static_cast<std::uint64_t>(a));
+    h = hash_combine(h, static_cast<std::uint64_t>(b));
+  }
+  const auto mix_doubles = [&h](const std::vector<double>& vs) {
+    for (double v : vs) h = hash_combine(h, std::bit_cast<std::uint64_t>(v));
+  };
+  mix_doubles(t1);
+  mix_doubles(t2);
+  mix_doubles(sq_error);
+  mix_doubles(cx_error);
+  mix_doubles(cx_duration);
+  for (const auto& r : readout) {
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(r.p_meas1_given0));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(r.p_meas0_given1));
+  }
+  return hash_combine(h, std::bit_cast<std::uint64_t>(sq_duration));
 }
 
 }  // namespace qc::noise

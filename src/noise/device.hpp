@@ -42,6 +42,11 @@ struct DeviceProperties {
 
   /// Validates vector sizes and value ranges; throws on inconsistency.
   void validate() const;
+
+  /// 64-bit content hash over name, topology and every calibration value.
+  /// Distinguishes same-named devices whose calibration was edited (sweeps,
+  /// tests); keys the execution engine's transpile / noise-model caches.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace qc::noise

@@ -1,11 +1,39 @@
 #include "noise/noise_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace qc::noise {
+
+std::uint64_t NoiseModelOptions::fingerprint() const {
+  using common::hash_combine;
+  std::uint64_t h = 0x3c95b1e87d42f609ULL;
+  const auto mix_bool = [&h](bool b) {
+    h = hash_combine(h, static_cast<std::uint64_t>(b));
+  };
+  const auto mix_double = [&h](double v) {
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(v));
+  };
+  mix_bool(thermal_relaxation);
+  mix_bool(readout);
+  mix_bool(depolarizing);
+  mix_bool(coherent_cx_overrotation);
+  mix_double(overrotation_scale);
+  mix_bool(zz_crosstalk);
+  mix_double(crosstalk_angle);
+  mix_double(hardware_drift_scale);
+  mix_double(hardware_readout_scale);
+  mix_bool(idle_relaxation);
+  mix_double(idle_duration_factor);
+  mix_bool(uniform_cx_error.has_value());
+  mix_double(uniform_cx_error.value_or(0.0));
+  mix_double(cx_error_scale);
+  return h;
+}
 
 NoiseModel NoiseModel::ideal(int num_qubits) {
   QC_CHECK(num_qubits > 0);

@@ -16,6 +16,7 @@
 //    observes.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -65,6 +66,10 @@ struct NoiseModelOptions {
   // CNOT-error sensitivity sweep controls.
   std::optional<double> uniform_cx_error;  // replace every edge's CX error
   double cx_error_scale = 1.0;             // multiply every edge's CX error
+
+  /// 64-bit content hash over every option field; part of the execution
+  /// engine's noise-model cache key.
+  std::uint64_t fingerprint() const;
 };
 
 /// One error channel bound to concrete qubits, to be applied after a gate.

@@ -1,42 +1,11 @@
 #include "sim/backend.hpp"
 
-#include <cmath>
-
 #include "common/error.hpp"
 #include "metrics/distribution.hpp"
-#include "noise/readout.hpp"
-#include "sim/density_matrix.hpp"
+#include "sim/compiled.hpp"
 #include "sim/statevector.hpp"
 
 namespace qc::sim {
-
-namespace {
-
-std::vector<std::uint64_t> sample_from_probs(const std::vector<double>& probs,
-                                             std::size_t shots, common::Rng& rng) {
-  std::vector<std::uint64_t> counts(probs.size(), 0);
-  for (std::size_t s = 0; s < shots; ++s) {
-    double x = rng.uniform();
-    std::size_t idx = probs.size() - 1;
-    for (std::size_t i = 0; i < probs.size(); ++i) {
-      x -= probs[i];
-      if (x < 0.0) {
-        idx = i;
-        break;
-      }
-    }
-    ++counts[idx];
-  }
-  return counts;
-}
-
-std::vector<noise::ReadoutError> readout_slice(const noise::NoiseModel& model, int n) {
-  const auto& all = model.readout_errors();
-  QC_CHECK(all.size() >= static_cast<std::size_t>(n));
-  return {all.begin(), all.begin() + n};
-}
-
-}  // namespace
 
 // ---- IdealBackend ---------------------------------------------------------
 
@@ -51,7 +20,7 @@ std::vector<double> IdealBackend::run_probabilities(const ir::QuantumCircuit& ci
 std::vector<std::uint64_t> IdealBackend::run_counts(const ir::QuantumCircuit& circuit,
                                                     std::size_t shots) {
   const auto probs = run_probabilities(circuit);
-  return sample_from_probs(probs, shots, rng_);
+  return sample_counts_from_probs(probs, shots, rng_);
 }
 
 // ---- DensityMatrixBackend --------------------------------------------------
@@ -61,32 +30,13 @@ DensityMatrixBackend::DensityMatrixBackend(noise::NoiseModel model, std::uint64_
 
 std::vector<double> DensityMatrixBackend::run_probabilities(
     const ir::QuantumCircuit& circuit) {
-  QC_CHECK_MSG(circuit.num_qubits() <= model_.num_qubits(),
-               "circuit wider than the noise model's device");
-  DensityMatrix rho(circuit.num_qubits());
-  for (const ir::Gate& g : circuit.gates()) {
-    if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
-    rho.apply(g);
-    for (const noise::NoiseOp& op : model_.ops_for_gate(g)) {
-      // Crosstalk ops can touch spectator qubits outside the circuit's
-      // register (device qubits the circuit never uses); those spectators
-      // start in |0> and are traced out implicitly, so skip them.
-      bool in_range = true;
-      for (int q : op.qubits)
-        if (q >= circuit.num_qubits()) in_range = false;
-      if (!in_range) continue;
-      rho.apply_channel(op.channel, op.qubits);
-    }
-  }
-  auto probs = rho.probabilities();
-  probs = noise::apply_readout_error(probs, readout_slice(model_, circuit.num_qubits()));
-  return metrics::normalized(std::move(probs));
+  return density_matrix_probabilities(circuit, model_);
 }
 
 std::vector<std::uint64_t> DensityMatrixBackend::run_counts(
     const ir::QuantumCircuit& circuit, std::size_t shots) {
   const auto probs = run_probabilities(circuit);
-  return sample_from_probs(probs, shots, rng_);
+  return sample_counts_from_probs(probs, shots, rng_);
 }
 
 // ---- TrajectoryBackend -----------------------------------------------------
@@ -100,84 +50,14 @@ TrajectoryBackend::TrajectoryBackend(noise::NoiseModel model, std::size_t shots,
   QC_CHECK(shots > 0);
 }
 
-namespace {
-
-/// Per-circuit precompiled noise step: either a mixed-unitary sampler
-/// (state-independent branch weights — depolarizing, Pauli, coherent errors)
-/// or a general Kraus set requiring Born-weighted branching (relaxation).
-struct CompiledNoiseOp {
-  std::vector<int> qubits;
-  bool mixed_unitary;
-  std::vector<double> probs;                 // mixed-unitary branch weights
-  std::vector<linalg::Matrix> operators;     // unitaries or raw Kraus ops
-};
-
-struct CompiledStep {
-  const ir::Gate* gate;
-  linalg::Matrix unitary;
-  std::vector<CompiledNoiseOp> noise;
-};
-
-}  // namespace
-
 std::vector<std::uint64_t> TrajectoryBackend::run_counts(
     const ir::QuantumCircuit& circuit, std::size_t shots) {
-  QC_CHECK_MSG(circuit.num_qubits() <= model_.num_qubits(),
-               "circuit wider than the noise model's device");
-  const auto readout = readout_slice(model_, circuit.num_qubits());
-  std::vector<std::uint64_t> counts(std::size_t{1} << circuit.num_qubits(), 0);
-
-  // Compile the circuit once: gate matrices and noise ops are identical for
-  // every shot, only the sampled branches differ.
-  std::vector<CompiledStep> steps;
-  for (const ir::Gate& g : circuit.gates()) {
-    if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
-    CompiledStep step{&g, g.matrix(), {}};
-    for (noise::NoiseOp& op : model_.ops_for_gate(g)) {
-      bool in_range = true;
-      for (int q : op.qubits)
-        if (q >= circuit.num_qubits()) in_range = false;
-      if (!in_range) continue;
-      CompiledNoiseOp cop;
-      cop.qubits = op.qubits;
-      cop.mixed_unitary = op.channel.mixed_unitary_form(cop.probs, cop.operators);
-      if (!cop.mixed_unitary) cop.operators = op.channel.kraus();
-      step.noise.push_back(std::move(cop));
-    }
-    steps.push_back(std::move(step));
-  }
-
-  for (std::size_t shot = 0; shot < shots; ++shot) {
-    StateVector state(circuit.num_qubits());
-    for (const CompiledStep& step : steps) {
-      state.apply_matrix(step.unitary, step.gate->qubits);
-      for (const CompiledNoiseOp& op : step.noise) {
-        if (op.mixed_unitary) {
-          // Branch weights are state independent: sample, apply one unitary.
-          const std::size_t pick = rng_.discrete(op.probs);
-          state.apply_matrix(op.operators[pick], op.qubits);
-          continue;
-        }
-        // General quantum-trajectory step: Born weights p_i = ||K_i psi||^2.
-        std::vector<double> weights(op.operators.size());
-        std::vector<StateVector> branches;
-        branches.reserve(op.operators.size());
-        for (std::size_t i = 0; i < op.operators.size(); ++i) {
-          StateVector branch = state;
-          branch.apply_matrix(op.operators[i], op.qubits);
-          weights[i] = branch.norm_squared();
-          branches.push_back(std::move(branch));
-        }
-        const std::size_t pick = rng_.discrete(weights);
-        state = std::move(branches[pick]);
-        state.normalize();
-      }
-    }
-    std::uint64_t outcome = state.sample(rng_);
-    outcome = noise::sample_readout_flip(outcome, readout, rng_);
-    ++counts[outcome];
-  }
-  return counts;
+  // Compile once — gate matrices and noise ops are identical for every shot —
+  // then replay serially over the backend's single RNG stream. (The execution
+  // engine in src/exec uses the same CompiledCircuit with per-shot streams to
+  // parallelize; this backend keeps the seed's serial stream semantics.)
+  const CompiledCircuit compiled = compile_noisy_circuit(circuit, model_);
+  return trajectory_counts(compiled, shots, rng_);
 }
 
 std::vector<double> TrajectoryBackend::run_probabilities(

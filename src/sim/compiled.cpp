@@ -1,0 +1,149 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "metrics/distribution.hpp"
+#include "noise/readout.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qc::sim {
+
+namespace {
+
+std::vector<noise::ReadoutError> readout_slice(const noise::NoiseModel& model, int n) {
+  const auto& all = model.readout_errors();
+  QC_CHECK(all.size() >= static_cast<std::size_t>(n));
+  return {all.begin(), all.begin() + n};
+}
+
+}  // namespace
+
+CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
+                                      const noise::NoiseModel& model,
+                                      const GateMatrixFn& matrix_fn) {
+  QC_CHECK_MSG(circuit.num_qubits() <= model.num_qubits(),
+               "circuit wider than the noise model's device");
+  CompiledCircuit compiled;
+  compiled.num_qubits = circuit.num_qubits();
+  compiled.readout = readout_slice(model, circuit.num_qubits());
+  for (const ir::Gate& g : circuit.gates()) {
+    if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
+    CompiledStep step{g.qubits, matrix_fn ? matrix_fn(g) : g.matrix(), {}};
+    for (noise::NoiseOp& op : model.ops_for_gate(g)) {
+      // Crosstalk ops can touch spectator qubits outside the circuit's
+      // register (device qubits the circuit never uses); those spectators
+      // start in |0> and are traced out implicitly, so skip them.
+      bool in_range = true;
+      for (int q : op.qubits)
+        if (q >= circuit.num_qubits()) in_range = false;
+      if (!in_range) continue;
+      CompiledNoiseOp cop;
+      cop.qubits = op.qubits;
+      cop.mixed_unitary = op.channel.mixed_unitary_form(cop.probs, cop.operators);
+      if (!cop.mixed_unitary) cop.operators = op.channel.kraus();
+      step.noise.push_back(std::move(cop));
+    }
+    compiled.steps.push_back(std::move(step));
+  }
+  return compiled;
+}
+
+std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng) {
+  StateVector state(compiled.num_qubits);
+  for (const CompiledStep& step : compiled.steps) {
+    state.apply_matrix(step.unitary, step.qubits);
+    for (const CompiledNoiseOp& op : step.noise) {
+      if (op.mixed_unitary) {
+        // Branch weights are state independent: sample, apply one unitary.
+        const std::size_t pick = rng.discrete(op.probs);
+        state.apply_matrix(op.operators[pick], op.qubits);
+        continue;
+      }
+      // General quantum-trajectory step: Born weights p_i = ||K_i psi||^2.
+      std::vector<double> weights(op.operators.size());
+      std::vector<StateVector> branches;
+      branches.reserve(op.operators.size());
+      for (std::size_t i = 0; i < op.operators.size(); ++i) {
+        StateVector branch = state;
+        branch.apply_matrix(op.operators[i], op.qubits);
+        weights[i] = branch.norm_squared();
+        branches.push_back(std::move(branch));
+      }
+      const std::size_t pick = rng.discrete(weights);
+      state = std::move(branches[pick]);
+      state.normalize();
+    }
+  }
+  std::uint64_t outcome = state.sample(rng);
+  return noise::sample_readout_flip(outcome, compiled.readout, rng);
+}
+
+std::vector<std::uint64_t> trajectory_counts(const CompiledCircuit& compiled,
+                                             std::size_t shots, common::Rng& rng) {
+  std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
+  for (std::size_t shot = 0; shot < shots; ++shot)
+    ++counts[run_trajectory_shot(compiled, rng)];
+  return counts;
+}
+
+std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& compiled,
+                                                      std::size_t shot_begin,
+                                                      std::size_t shot_end,
+                                                      std::uint64_t seed) {
+  std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
+  for (std::size_t shot = shot_begin; shot < shot_end; ++shot) {
+    common::Rng rng(common::derive_stream_seed(seed, shot));
+    ++counts[run_trajectory_shot(compiled, rng)];
+  }
+  return counts;
+}
+
+std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circuit,
+                                                 const noise::NoiseModel& model) {
+  QC_CHECK_MSG(circuit.num_qubits() <= model.num_qubits(),
+               "circuit wider than the noise model's device");
+  DensityMatrix rho(circuit.num_qubits());
+  for (const ir::Gate& g : circuit.gates()) {
+    if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
+    rho.apply(g);
+    for (const noise::NoiseOp& op : model.ops_for_gate(g)) {
+      bool in_range = true;
+      for (int q : op.qubits)
+        if (q >= circuit.num_qubits()) in_range = false;
+      if (!in_range) continue;
+      rho.apply_channel(op.channel, op.qubits);
+    }
+  }
+  auto probs = rho.probabilities();
+  probs = noise::apply_readout_error(probs,
+                                     readout_slice(model, circuit.num_qubits()));
+  return metrics::normalized(std::move(probs));
+}
+
+std::vector<std::uint64_t> sample_counts_from_probs(const std::vector<double>& probs,
+                                                    std::size_t shots,
+                                                    common::Rng& rng) {
+  QC_CHECK(!probs.empty());
+  std::vector<double> cdf(probs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    cdf[i] = acc;
+  }
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  for (std::size_t s = 0; s < shots; ++s) {
+    const double x = rng.uniform();
+    // First bucket whose cumulative mass exceeds x — the same pick the seed's
+    // linear subtraction scan made, up to rounding-order ties.
+    auto it = std::upper_bound(cdf.begin(), cdf.end(), x);
+    const std::size_t idx =
+        it == cdf.end() ? probs.size() - 1
+                        : static_cast<std::size_t>(it - cdf.begin());
+    ++counts[idx];
+  }
+  return counts;
+}
+
+}  // namespace qc::sim

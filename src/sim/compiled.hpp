@@ -1,0 +1,97 @@
+// Compiled noisy-circuit programs: the reusable halves of the trajectory
+// engine, split so callers can amortize compilation across repetitions.
+//
+// A noisy circuit run has two phases with very different costs:
+//
+//  * compile — per (circuit, noise model): fetch gate matrices, bind the
+//    model's error channels to concrete qubits, precompute mixed-unitary
+//    decompositions. Identical for every shot.
+//  * evolve  — per shot: apply the precompiled steps to a fresh state vector,
+//    sampling noise branches from an RNG stream.
+//
+// The seed TrajectoryBackend fused both phases inside run_counts; the
+// execution engine (src/exec) caches CompiledCircuit programs per
+// (transpiled circuit, noise model) and fans evolve out across threads with
+// counter-based per-shot RNG streams (qsim/Cirq amortize noisy trajectory
+// repetitions the same way, Isakov et al., arXiv:2111.02396).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qc::sim {
+
+/// One precompiled noise channel bound to concrete qubits: either a
+/// mixed-unitary sampler (state-independent branch weights — depolarizing,
+/// Pauli, coherent errors) or a general Kraus set requiring Born-weighted
+/// branching (relaxation).
+struct CompiledNoiseOp {
+  std::vector<int> qubits;
+  bool mixed_unitary = false;
+  std::vector<double> probs;              // mixed-unitary branch weights
+  std::vector<linalg::Matrix> operators;  // unitaries or raw Kraus ops
+};
+
+/// One gate application plus the noise that follows it.
+struct CompiledStep {
+  std::vector<int> qubits;
+  linalg::Matrix unitary;
+  std::vector<CompiledNoiseOp> noise;
+};
+
+/// A full shot-replayable program: self-contained (owns gate qubit lists and
+/// matrices), safe to share across threads once built.
+struct CompiledCircuit {
+  int num_qubits = 0;
+  std::vector<CompiledStep> steps;
+  std::vector<noise::ReadoutError> readout;  // sliced to the circuit's width
+};
+
+/// Gate-matrix provider hook: lets the execution engine serve matrices from
+/// its session-level cache. Empty function -> Gate::matrix() directly.
+using GateMatrixFn = std::function<linalg::Matrix(const ir::Gate&)>;
+
+/// Compiles `circuit` against `model` once (phase 1 above). Noise ops that
+/// touch device qubits outside the circuit's register (crosstalk spectators,
+/// which start in |0> and trace out) are dropped, as in the seed backends.
+CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
+                                      const noise::NoiseModel& model,
+                                      const GateMatrixFn& matrix_fn = {});
+
+/// Evolves one shot: |0...0> through every compiled step, measurement sample,
+/// readout bit flips. All randomness is drawn from `rng` in a fixed order.
+std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng);
+
+/// Serial shot loop over one shared RNG stream (the seed TrajectoryBackend
+/// semantics — kept for the Backend API).
+std::vector<std::uint64_t> trajectory_counts(const CompiledCircuit& compiled,
+                                             std::size_t shots, common::Rng& rng);
+
+/// Shot range [shot_begin, shot_end) with one counter-derived RNG stream per
+/// shot index (common::derive_stream_seed(seed, shot)). Disjoint ranges can
+/// run on different threads and their counts summed; the totals are
+/// bit-identical for every partition, hence every thread count.
+std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& compiled,
+                                                      std::size_t shot_begin,
+                                                      std::size_t shot_end,
+                                                      std::uint64_t seed);
+
+/// Exact noisy evolution of `circuit` under `model` (density matrix + exact
+/// readout confusion), normalized. The DensityMatrixBackend delegates here;
+/// the execution engine calls it with cached NoiseModels.
+std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circuit,
+                                                 const noise::NoiseModel& model);
+
+/// Samples `shots` outcomes from a (normalized) distribution via cumulative
+/// sums + binary search — O(2^n + shots log 2^n), replacing the seed's
+/// O(shots * 2^n) linear scan.
+std::vector<std::uint64_t> sample_counts_from_probs(const std::vector<double>& probs,
+                                                    std::size_t shots,
+                                                    common::Rng& rng);
+
+}  // namespace qc::sim

@@ -1,0 +1,186 @@
+// ExecutionEngine: cache correctness, run records, and deterministic
+// parallel trajectory execution.
+#include <gtest/gtest.h>
+
+#include "algos/grover.hpp"
+#include "algos/tfim.hpp"
+#include "exec/engine.hpp"
+#include "noise/catalog.hpp"
+#include "synth/qsearch.hpp"
+#include "approx/experiment.hpp"
+#include "transpile/pipeline.hpp"
+
+namespace qc {
+namespace {
+
+exec::ExecutionConfig simulator_config() {
+  return exec::ExecutionConfig::simulator(noise::device_by_name("ourense"));
+}
+
+exec::ExecutionConfig trajectory_config() {
+  exec::ExecutionConfig cfg = simulator_config();
+  cfg.use_trajectories = true;
+  cfg.shots = 2048;
+  cfg.seed = 17;
+  return cfg;
+}
+
+ir::QuantumCircuit small_circuit() { return algos::grover_circuit(3, 0b101); }
+
+TEST(ExecutionEngineTest, RunBatchIsIdenticalForOneAndEightThreads) {
+  // The acceptance bar for the shot-parallel trajectory path: bit-identical
+  // distributions regardless of thread count, because every shot draws from
+  // its own counter-derived stream and blocks are fixed-size.
+  const auto circuit = small_circuit();
+  const auto cfg = trajectory_config();
+  std::vector<exec::RunRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    exec::RunRequest req{circuit, cfg};
+    req.config.seed = cfg.seed + 31 * i;
+    requests.push_back(std::move(req));
+  }
+
+  exec::ExecutionEngine one(exec::EngineOptions{1});
+  exec::ExecutionEngine eight(exec::EngineOptions{8});
+  const auto a = one.run_batch(requests);
+  const auto b = eight.run_batch(requests);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].probabilities.size(), b[i].probabilities.size());
+    for (std::size_t k = 0; k < a[i].probabilities.size(); ++k)
+      EXPECT_EQ(a[i].probabilities[k], b[i].probabilities[k])
+          << "request " << i << " outcome " << k;
+  }
+}
+
+TEST(ExecutionEngineTest, CachedSecondRunMatchesFreshEngine) {
+  const auto circuit = small_circuit();
+  const exec::RunRequest request{circuit, trajectory_config()};
+
+  exec::ExecutionEngine warm;
+  const auto first = warm.run(request);
+  const auto second = warm.run(request);  // all caches hot
+  exec::ExecutionEngine fresh;
+  const auto cold = fresh.run(request);
+
+  EXPECT_FALSE(first.record.transpile_cache_hit);
+  EXPECT_TRUE(second.record.transpile_cache_hit);
+  EXPECT_TRUE(second.record.noise_model_cache_hit);
+  EXPECT_TRUE(second.record.compiled_cache_hit);
+  ASSERT_EQ(second.probabilities.size(), cold.probabilities.size());
+  for (std::size_t k = 0; k < second.probabilities.size(); ++k) {
+    EXPECT_EQ(first.probabilities[k], second.probabilities[k]);
+    EXPECT_EQ(second.probabilities[k], cold.probabilities[k]);
+  }
+}
+
+TEST(ExecutionEngineTest, RunRecordMatchesDirectTranspile) {
+  const auto circuit = small_circuit();
+  exec::ExecutionConfig cfg = simulator_config();
+  cfg.optimization_level = 3;
+
+  exec::ExecutionEngine engine;
+  const auto result = engine.run({circuit, cfg});
+
+  const auto tr =
+      transpile::transpile(circuit, cfg.device, cfg.transpile_options());
+  EXPECT_EQ(result.record.transpiled_cx, tr.circuit.count(ir::GateKind::CX));
+  EXPECT_EQ(result.record.transpiled_depth, tr.circuit.depth());
+  EXPECT_EQ(result.record.added_swaps, tr.added_swaps);
+  EXPECT_EQ(result.record.initial_layout, tr.initial_layout);
+  EXPECT_EQ(result.record.active_physical, tr.active_physical);
+  EXPECT_EQ(result.record.engine.rfind("dm:", 0), 0u);
+}
+
+TEST(ExecutionEngineTest, DmResultsMatchLegacyExecutePath) {
+  // The engine's DM path must reproduce execute_distribution bit for bit
+  // (both are deterministic: exact evolution, no sampling).
+  const auto circuit = small_circuit();
+  const auto cfg = simulator_config();
+  exec::ExecutionEngine engine;
+  const auto result = engine.run({circuit, cfg});
+  const auto legacy = approx::execute_distribution(circuit, cfg, &engine);
+  ASSERT_EQ(result.probabilities.size(), legacy.size());
+  for (std::size_t k = 0; k < legacy.size(); ++k)
+    EXPECT_EQ(result.probabilities[k], legacy[k]);
+}
+
+TEST(ExecutionEngineTest, ScatterStudyTranspilesEachUniqueCircuitExactlyOnce) {
+  // Acceptance criterion: a scatter workload transpiles every unique circuit
+  // exactly once and builds its NoiseModel exactly once per engine.
+  const auto reference = small_circuit();
+  std::vector<synth::ApproxCircuit> approximations;
+  for (int n = 1; n <= 3; ++n) {
+    algos::TfimModel model;
+    model.num_qubits = 3;
+    synth::ApproxCircuit ac;
+    ac.circuit = model.circuit_up_to(n);
+    ac.cnot_count = ac.circuit.count(ir::GateKind::CX);
+    approximations.push_back(std::move(ac));
+  }
+
+  exec::ExecutionEngine engine;
+  approx::MetricSpec metric;
+  metric.kind = approx::MetricSpec::Kind::SuccessProbability;
+  metric.target_outcome = 0b101;
+  const auto study = approx::run_scatter_study(reference, approximations,
+                                               simulator_config(), metric, &engine);
+  ASSERT_EQ(study.scores.size(), approximations.size());
+
+  const exec::CacheStats stats = engine.cache_stats();
+  // 4 unique circuits (reference + 3 distinct Trotter prefixes): 4 transpile
+  // misses and zero redundant transpiles.
+  EXPECT_EQ(stats.transpile_misses, 4u);
+  EXPECT_EQ(stats.transpile_hits, 0u);
+  // All runs share one (device, options, subset) noise model... unless
+  // routing placed some circuit on a different subset; either way each model
+  // is built exactly once (misses == unique keys, and no re-miss on reuse).
+  EXPECT_GE(stats.model_hits + stats.model_misses, 4u);
+  EXPECT_LE(stats.model_misses, 4u);
+
+  // Re-running the identical study costs zero new misses.
+  const auto again = approx::run_scatter_study(reference, approximations,
+                                               simulator_config(), metric, &engine);
+  const exec::CacheStats stats2 = engine.cache_stats();
+  EXPECT_EQ(stats2.transpile_misses, stats.transpile_misses);
+  EXPECT_EQ(stats2.model_misses, stats.model_misses);
+  EXPECT_EQ(again.reference_metric, study.reference_metric);
+  EXPECT_EQ(again.reference_cnots, study.reference_cnots);
+}
+
+TEST(ExecutionEngineTest, ScatterReferenceRecordSuppliesCnots) {
+  const auto reference = small_circuit();
+  exec::ExecutionEngine engine;
+  approx::MetricSpec metric;
+  metric.kind = approx::MetricSpec::Kind::SuccessProbability;
+  metric.target_outcome = 0b101;
+  const auto study =
+      approx::run_scatter_study(reference, {}, simulator_config(), metric, &engine);
+  EXPECT_EQ(study.reference_cnots, study.reference_record.transpiled_cx);
+  EXPECT_GT(study.reference_record.transpiled_depth, 0u);
+}
+
+TEST(ExecutionEngineTest, IdealRunSkipsNoiseAndIsNormalized) {
+  exec::ExecutionConfig cfg = simulator_config();
+  cfg.ideal = true;
+  exec::ExecutionEngine engine;
+  const auto result = engine.run({small_circuit(), cfg});
+  EXPECT_EQ(result.record.engine, "ideal");
+  double sum = 0.0;
+  for (double p : result.probabilities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ExecutionEngineTest, ClearCachesResetsCounters) {
+  exec::ExecutionEngine engine;
+  engine.run({small_circuit(), simulator_config()});
+  engine.clear_caches();
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.transpile_hits + stats.transpile_misses, 0u);
+  const auto result = engine.run({small_circuit(), simulator_config()});
+  EXPECT_FALSE(result.record.transpile_cache_hit);
+}
+
+}  // namespace
+}  // namespace qc
