@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 
 #include "common/error.hpp"
 
@@ -53,11 +54,22 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
-  std::atomic<std::size_t> remaining{num_chunks};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // Completion state is heap-owned and captured by value in every task: the
+  // caller's wait loop exits on a lock-free remaining==0 check, which can
+  // happen while the worker that ran the last chunk is still between its
+  // fetch_sub and the notify. Shared ownership keeps done_mutex/done_cv alive
+  // for that worker even after the caller has returned. Only `fn` may be
+  // captured by reference — every call to it happens before the decrement the
+  // caller waits on.
+  struct Latch {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining.store(num_chunks, std::memory_order_relaxed);
 
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
   {
@@ -65,16 +77,16 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     for (std::size_t c = 0; c < num_chunks; ++c) {
       const std::size_t lo = begin + c * chunk;
       const std::size_t hi = std::min(end, lo + chunk);
-      tasks_.push([&, lo, hi] {
+      tasks_.push([latch, &fn, lo, hi] {
         try {
           for (std::size_t i = lo; i < hi; ++i) fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          std::lock_guard<std::mutex> elock(latch->error_mutex);
+          if (!latch->first_error) latch->first_error = std::current_exception();
         }
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> dlock(done_mutex);
-          done_cv.notify_all();
+        if (latch->remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(latch->done_mutex);
+          latch->done_cv.notify_all();
         }
       });
     }
@@ -85,7 +97,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // another in-flight parallel_for (they complete it; its own waiter sees the
   // decrement) — what matters is that a blocked caller always makes progress,
   // which is what keeps nested calls from worker threads deadlock-free.
-  while (remaining.load() != 0) {
+  while (latch->remaining.load() != 0) {
     std::function<void()> task;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -101,11 +113,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     // Queue empty but our chunks still run elsewhere: sleep with a short
     // timeout so a task enqueued by *another* batch (which signals cv_, not
     // our local done_cv) cannot strand us.
-    std::unique_lock<std::mutex> dlock(done_mutex);
-    done_cv.wait_for(dlock, std::chrono::milliseconds(1),
-                     [&] { return remaining.load() == 0; });
+    std::unique_lock<std::mutex> dlock(latch->done_mutex);
+    latch->done_cv.wait_for(dlock, std::chrono::milliseconds(1),
+                            [&] { return latch->remaining.load() == 0; });
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (latch->first_error) std::rethrow_exception(latch->first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -130,6 +130,10 @@ ExecutionEngine::TranspileKey ExecutionEngine::make_transpile_key(
   }
   key.level = request.config.optimization_level;
   key.router = static_cast<int>(request.config.router);
+  key.circuit_qubits = request.circuit.num_qubits();
+  key.circuit_gates = request.circuit.size();
+  key.device_qubits = request.config.device.num_qubits();
+  key.device_edges = request.config.device.coupling.num_edges();
   return key;
 }
 
@@ -142,6 +146,9 @@ ExecutionEngine::ModelKey ExecutionEngine::make_model_key(
   for (int p : tr.active_physical)
     h = common::hash_combine(h, static_cast<std::uint64_t>(p));
   key.subset_fp = h;
+  key.device_qubits = request.config.device.num_qubits();
+  key.device_edges = request.config.device.coupling.num_edges();
+  key.subset_size = tr.active_physical.size();
   return key;
 }
 

@@ -74,18 +74,28 @@ class ExecutionEngine {
   static ExecutionEngine& global();
 
  private:
+  // Keys pair each 64-bit content fingerprint with cheap exact structural
+  // discriminators (qubit/gate/edge counts), so a fingerprint collision would
+  // additionally have to match structure before it could alias an entry.
   struct TranspileKey {
     std::uint64_t circuit_fp = 0;
     std::uint64_t device_fp = 0;
     std::uint64_t layout_fp = 0;  // 0 when no initial layout is forced
     int level = 0;
     int router = 0;
+    int circuit_qubits = 0;
+    std::uint64_t circuit_gates = 0;
+    int device_qubits = 0;
+    std::uint64_t device_edges = 0;
     auto operator<=>(const TranspileKey&) const = default;
   };
   struct ModelKey {
     std::uint64_t device_fp = 0;   // the *full* device
     std::uint64_t options_fp = 0;
     std::uint64_t subset_fp = 0;   // active-physical subset
+    int device_qubits = 0;
+    std::uint64_t device_edges = 0;
+    std::uint64_t subset_size = 0;
     auto operator<=>(const ModelKey&) const = default;
   };
   struct CompiledKey {
