@@ -1,12 +1,27 @@
 // Microbenchmarks (google-benchmark) for the hot kernels: state-vector gate
 // application, density-matrix channel application, template unitary builds
-// (the synthesis inner loop), GEMM and expm.
+// (the synthesis inner loop), GEMM and expm — plus head-to-head generic-path
+// vs specialized-kernel comparisons on wide states.
+//
+// The binary always writes the full results as google-benchmark JSON to
+// BENCH_kernels.json in the working directory (override the path with
+// QAPPROX_BENCH_JSON), so CI can archive machine-readable baselines; the
+// usual console table still goes to stdout. Kernel-vs-generic pairs carry an
+// `ns_per_amp` counter (nanoseconds per state amplitude per application) as
+// the machine-size-independent figure of merit.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "ir/circuit.hpp"
+#include "linalg/embed.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/factories.hpp"
+#include "linalg/kernels.hpp"
 #include "noise/channel.hpp"
 #include "sim/density_matrix.hpp"
 #include "noise/catalog.hpp"
@@ -136,6 +151,157 @@ void BM_TrajectoryShots(benchmark::State& state) {
 }
 BENCHMARK(BM_TrajectoryShots);
 
+// ---- generic path vs specialized kernels -----------------------------------
+//
+// Same operator, same state width, two code paths. Sibling pairs share the
+// `Kernel`/`Generic` prefix so speedups fall out of BENCH_kernels.json by
+// dividing the two ns_per_amp counters.
+
+std::vector<linalg::cplx> bench_state(int n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<linalg::cplx> amps(std::size_t{1} << n);
+  for (auto& a : amps) a = linalg::cplx{rng.normal(), rng.normal()};
+  double norm2 = 0.0;
+  for (const auto& a : amps) norm2 += std::norm(a);
+  for (auto& a : amps) a /= std::sqrt(norm2);
+  return amps;
+}
+
+linalg::Matrix cx_matrix() {
+  linalg::Matrix m(4, 4);  // control = sub-bit 0: swaps |01> and |11>
+  m(0, 0) = m(2, 2) = m(3, 1) = m(1, 3) = linalg::cplx{1.0, 0.0};
+  return m;
+}
+
+void set_amp_rate(benchmark::State& state, int n) {
+  const double amps = static_cast<double>(state.iterations()) *
+                      static_cast<double>(std::size_t{1} << n);
+  state.counters["ns_per_amp"] = benchmark::Counter(
+      amps * 1e-9, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_GenericCx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 71);
+  const linalg::Matrix cx = cx_matrix();
+  for (auto _ : state) {
+    linalg::apply_gate_inplace(amps, cx, {0, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_GenericCx)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_KernelCx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 71);
+  for (auto _ : state) {
+    linalg::apply_cx(amps, 0, n - 1);
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_KernelCx)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_Generic1q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 72);
+  common::Rng rng(73);
+  const linalg::Matrix u = linalg::random_unitary(2, rng);
+  for (auto _ : state) {
+    linalg::apply_gate_inplace(amps, u, {n / 2});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Generic1q)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_Kernel1q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 72);
+  common::Rng rng(73);
+  const linalg::Matrix u = linalg::random_unitary(2, rng);
+  for (auto _ : state) {
+    linalg::apply_operator(amps, u, {n / 2});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Kernel1q)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_GenericDiag1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 74);
+  linalg::Matrix z(2, 2);
+  z(0, 0) = linalg::cplx{1.0, 0.0};
+  z(1, 1) = linalg::cplx{0.0, 1.0};
+  for (auto _ : state) {
+    linalg::apply_gate_inplace(amps, z, {n / 2});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_GenericDiag1)->Arg(12)->Arg(14);
+
+void BM_KernelDiag1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 74);
+  for (auto _ : state) {
+    linalg::apply_diag1(amps, {1.0, 0.0}, {0.0, 1.0}, n / 2);
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_KernelDiag1)->Arg(12)->Arg(14);
+
+void BM_Generic2q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 75);
+  common::Rng rng(76);
+  const linalg::Matrix u = linalg::random_unitary(4, rng);
+  for (auto _ : state) {
+    linalg::apply_gate_inplace(amps, u, {1, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Generic2q)->Arg(12)->Arg(14);
+
+void BM_Kernel2q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 75);
+  common::Rng rng(76);
+  const linalg::Matrix u = linalg::random_unitary(4, rng);
+  for (auto _ : state) {
+    linalg::apply_operator(amps, u, {1, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Kernel2q)->Arg(12)->Arg(14);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: identical to BENCHMARK_MAIN() except that when the caller did
+// not ask for a report file, the run still leaves machine-readable JSON in
+// BENCH_kernels.json (path overridable via QAPPROX_BENCH_JSON).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  const char* path = std::getenv("QAPPROX_BENCH_JSON");
+  std::string out_flag =
+      std::string("--benchmark_out=") + (path ? path : "BENCH_kernels.json");
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int eff_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&eff_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(eff_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

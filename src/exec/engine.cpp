@@ -193,6 +193,16 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_cached(
   });
 }
 
+std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_ideal_cached(
+    const TranspileKey& tkey, const transpile::TranspileResult& tr, bool* hit) {
+  const CompiledKey key{tkey, ModelKey{}, /*ideal=*/1};
+  return get_or_compute(compiled_cache_, key, hit, [&] {
+    const noise::NoiseModel model = noise::NoiseModel::ideal(tr.circuit.num_qubits());
+    return sim::compile_noisy_circuit(
+        tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); });
+  });
+}
+
 // ---- execution -------------------------------------------------------------
 
 std::vector<double> ExecutionEngine::trajectory_probabilities(
@@ -227,25 +237,34 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
   rec.initial_layout = tr->initial_layout;
   rec.active_physical = tr->active_physical;
 
+  // Every engine runs the same cached, step-fused compiled program; they
+  // differ only in how they evolve it.
   std::vector<double> probs;
   if (request.config.ideal) {
     rec.engine = "ideal";
-    sim::StateVector state(tr->circuit.num_qubits());
-    state.apply(tr->circuit);
-    probs = state.probabilities();
+    const auto compiled =
+        compiled_ideal_cached(make_transpile_key(request), *tr,
+                              &rec.compiled_cache_hit);
+    rec.compiled_steps = compiled->steps.size();
+    rec.fused_gates = compiled->fused_gates;
+    rec.kernel_counts = compiled->kernel_counts;
+    probs = sim::statevector_probabilities(*compiled);
   } else {
     const auto model = model_cached(request, *tr, &rec.noise_model_cache_hit);
+    const auto compiled =
+        compiled_cached(make_transpile_key(request), make_model_key(request, *tr),
+                        *tr, *model, &rec.compiled_cache_hit);
+    rec.compiled_steps = compiled->steps.size();
+    rec.fused_gates = compiled->fused_gates;
+    rec.kernel_counts = compiled->kernel_counts;
     if (request.config.use_trajectories) {
       rec.engine = "traj:" + model->device_name();
       rec.shots = request.config.shots;
-      const auto compiled =
-          compiled_cached(make_transpile_key(request), make_model_key(request, *tr),
-                          *tr, *model, &rec.compiled_cache_hit);
       probs = trajectory_probabilities(*compiled, request.config.shots,
                                        request.config.seed);
     } else {
       rec.engine = "dm:" + model->device_name();
-      probs = sim::density_matrix_probabilities(tr->circuit, *model);
+      probs = sim::density_matrix_probabilities(*compiled);
     }
   }
   result.probabilities = transpile::unpermute_distribution(probs, tr->wire_of_virtual);

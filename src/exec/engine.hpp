@@ -12,8 +12,10 @@
 //                       -> TranspileResult
 //  * noise-model cache — (device, noise options, active-physical subset)
 //                       -> NoiseModel over the restricted device
-//  * compiled cache   — (transpile key, model key) -> sim::CompiledCircuit,
-//                       the precompiled trajectory program
+//  * compiled cache   — (transpile key, model key, ideal?) ->
+//                       sim::CompiledCircuit, the precompiled (and step-fused)
+//                       program shared by every engine: state-vector, density
+//                       matrix, and trajectories
 //  * gate-matrix cache — (gate kind, params) -> linalg::Matrix
 //
 // run_batch schedules requests over a ThreadPool; the trajectory engine
@@ -101,6 +103,7 @@ class ExecutionEngine {
   struct CompiledKey {
     TranspileKey transpile;
     ModelKey model;
+    int ideal = 0;  // 1: compiled against NoiseModel::ideal (model is blank)
     auto operator<=>(const CompiledKey&) const = default;
   };
   struct MatrixKey {
@@ -140,6 +143,8 @@ class ExecutionEngine {
       const TranspileKey& tkey, const ModelKey& mkey,
       const transpile::TranspileResult& tr, const noise::NoiseModel& model,
       bool* hit);
+  std::shared_ptr<const sim::CompiledCircuit> compiled_ideal_cached(
+      const TranspileKey& tkey, const transpile::TranspileResult& tr, bool* hit);
   linalg::Matrix gate_matrix(const ir::Gate& gate);
 
   TranspileKey make_transpile_key(const RunRequest& request) const;

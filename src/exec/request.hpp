@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ir/circuit.hpp"
+#include "linalg/kernels.hpp"
 #include "noise/device.hpp"
 #include "noise/noise_model.hpp"
 #include "transpile/pipeline.hpp"
@@ -67,9 +68,16 @@ struct RunRecord {
   transpile::Layout initial_layout;     // virtual -> physical
   std::vector<int> active_physical;     // physical ids backing compact wires
   std::size_t shots = 0;                // 0 for exact engines
+  /// Steps in the compiled program actually executed. Fusion merges adjacent
+  /// noise-free gates, so this is usually below the transpiled gate count:
+  /// compiled_steps == source gates - fused_gates.
+  std::size_t compiled_steps = 0;
+  std::size_t fused_gates = 0;
+  /// Which specialized gate kernels the program's steps dispatch to.
+  linalg::KernelCounts kernel_counts;
   bool transpile_cache_hit = false;
   bool noise_model_cache_hit = false;
-  bool compiled_cache_hit = false;      // trajectory program cache
+  bool compiled_cache_hit = false;      // compiled-program cache (all engines)
   double wall_ms = 0.0;
 };
 

@@ -7,7 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "linalg/embed.hpp"
+#include "linalg/kernels.hpp"
 
 namespace qc::ir {
 
@@ -224,7 +224,7 @@ linalg::Matrix QuantumCircuit::to_unitary() const {
   linalg::Matrix u = linalg::Matrix::identity(std::size_t{1} << num_qubits_);
   for (const Gate& g : gates_) {
     if (!gate_is_unitary(g.kind)) continue;
-    linalg::left_apply_inplace(u, g.matrix(), g.qubits);
+    linalg::left_apply(u, g.matrix(), g.qubits);
   }
   return u;
 }

@@ -1,0 +1,407 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/embed.hpp"
+
+namespace qc::linalg {
+
+void KernelCounts::add(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::OneQDiag: ++oneq_diag; return;
+    case KernelKind::OneQGeneral: ++oneq_general; return;
+    case KernelKind::TwoQDiag: ++twoq_diag; return;
+    case KernelKind::TwoQPermPhase: ++twoq_perm_phase; return;
+    case KernelKind::TwoQGeneral: ++twoq_general; return;
+    case KernelKind::GenericK: ++generic; return;
+  }
+}
+
+const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::OneQDiag: return "1q_diag";
+    case KernelKind::OneQGeneral: return "1q_general";
+    case KernelKind::TwoQDiag: return "2q_diag";
+    case KernelKind::TwoQPermPhase: return "2q_perm_phase";
+    case KernelKind::TwoQGeneral: return "2q_general";
+    case KernelKind::GenericK: return "generic";
+  }
+  return "unknown";
+}
+
+KernelKind classify_kernel(const Matrix& op) {
+  const std::size_t d = op.rows();
+  if (d != op.cols()) return KernelKind::GenericK;
+  if (d == 2) {
+    return (op(0, 1) == cplx{0.0, 0.0} && op(1, 0) == cplx{0.0, 0.0})
+               ? KernelKind::OneQDiag
+               : KernelKind::OneQGeneral;
+  }
+  if (d != 4) return KernelKind::GenericK;
+  bool diagonal = true;
+  for (std::size_t r = 0; r < 4 && diagonal; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      if (r != c && op(r, c) != cplx{0.0, 0.0}) {
+        diagonal = false;
+        break;
+      }
+  if (diagonal) return KernelKind::TwoQDiag;
+  // Permutation-phase: exactly one nonzero per row and per column.
+  int col_of_row[4];
+  int col_uses[4] = {0, 0, 0, 0};
+  for (std::size_t r = 0; r < 4; ++r) {
+    int nonzeros = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      if (op(r, c) != cplx{0.0, 0.0}) {
+        ++nonzeros;
+        col_of_row[r] = static_cast<int>(c);
+      }
+    }
+    if (nonzeros != 1) return KernelKind::TwoQGeneral;
+    ++col_uses[col_of_row[r]];
+  }
+  for (int c = 0; c < 4; ++c)
+    if (col_uses[c] != 1) return KernelKind::TwoQGeneral;
+  return KernelKind::TwoQPermPhase;
+}
+
+bool kernels_compiled_with_fma() {
+#ifdef __FMA__
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+constexpr ApplyOptions kSerial{std::numeric_limits<std::size_t>::max()};
+
+void check_span(std::size_t dim, const std::vector<int>& qubits,
+                std::size_t op_dim) {
+  QC_CHECK_MSG(std::has_single_bit(dim), "span size must be a power of two");
+  QC_CHECK(!qubits.empty());
+  QC_CHECK_MSG(op_dim == (std::size_t{1} << qubits.size()),
+               "operator dimension must be 2^#qubits");
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    QC_CHECK(qubits[i] >= 0);
+    QC_CHECK_MSG((std::size_t{1} << qubits[i]) < dim, "qubit index out of range");
+    for (std::size_t j = i + 1; j < qubits.size(); ++j)
+      QC_CHECK_MSG(qubits[i] != qubits[j], "duplicate qubit index");
+  }
+}
+
+/// Everything a kernel invocation needs, extracted from the operator once so
+/// matrix-apply loops (one kernel run per row/column) pay classification and
+/// unpacking a single time.
+struct Prepared {
+  KernelKind kind = KernelKind::GenericK;
+  int q0 = 0, q1 = 0;           // qubit bit positions (q0 = qubits[0])
+  std::size_t bit0 = 0, bit1 = 0;
+  int lo_pos = 0, hi_pos = 0;   // sorted positions for 2q coset enumeration
+  cplx m[16] = {};              // dense entries, row-major
+  cplx d[4] = {};               // diagonal entries
+  int perm[4] = {0, 1, 2, 3};   // source sub-index per output row
+  cplx phase[4] = {};
+  bool pure_swap = false;       // one transposition, all phases exactly 1
+  int swap_a = 0, swap_b = 0;   // the transposed sub-indices
+};
+
+Prepared prepare(const Matrix& op, const std::vector<int>& qubits,
+                 std::size_t dim) {
+  check_span(dim, qubits, op.rows());
+  QC_CHECK(op.rows() == op.cols());
+  Prepared p;
+  p.kind = classify_kernel(op);
+  p.q0 = qubits[0];
+  p.bit0 = std::size_t{1} << p.q0;
+  const std::size_t sub = op.rows();
+  for (std::size_t r = 0; r < sub; ++r)
+    for (std::size_t c = 0; c < sub; ++c) p.m[r * sub + c] = op(r, c);
+  for (std::size_t r = 0; r < sub; ++r) p.d[r] = op(r, r);
+  if (qubits.size() == 2) {
+    p.q1 = qubits[1];
+    p.bit1 = std::size_t{1} << p.q1;
+    p.lo_pos = std::min(p.q0, p.q1);
+    p.hi_pos = std::max(p.q0, p.q1);
+    if (p.kind == KernelKind::TwoQPermPhase) {
+      int moved = 0;
+      bool unit_phases = true;
+      for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+          if (op(r, c) != cplx{0.0, 0.0}) {
+            p.perm[r] = c;
+            p.phase[r] = op(r, c);
+          }
+        }
+        if (p.perm[r] != r) ++moved;
+        if (p.phase[r] != cplx{1.0, 0.0}) unit_phases = false;
+      }
+      if (moved == 2 && unit_phases) {
+        p.pure_swap = true;
+        for (int r = 0; r < 4; ++r)
+          if (p.perm[r] != r) {
+            p.swap_a = r;
+            p.swap_b = p.perm[r];
+            break;
+          }
+      }
+    }
+  }
+  return p;
+}
+
+/// Runs body(begin, end) over [0, count), sliced across the thread pool when
+/// the span is at least `options.parallel_threshold` amplitudes. Slices touch
+/// disjoint cosets, so the threaded result is bit-identical to the serial
+/// one.
+template <typename Body>
+void sliced(std::size_t count, std::size_t span_amps,
+            const ApplyOptions& options, const Body& body) {
+  if (span_amps < options.parallel_threshold || count < 2) {
+    body(std::size_t{0}, count);
+    return;
+  }
+  const std::size_t workers = common::ThreadPool::global().size();
+  const std::size_t slices = std::min(count, std::max<std::size_t>(1, workers * 4));
+  const std::size_t chunk = (count + slices - 1) / slices;
+  common::parallel_for(0, slices, [&](std::size_t s) {
+    const std::size_t begin = s * chunk;
+    body(begin, std::min(count, begin + chunk));
+  });
+}
+
+template <bool Unit>
+inline std::size_t at(std::size_t i, std::size_t stride) {
+  return Unit ? i : i * stride;
+}
+
+template <bool Unit>
+void run_oneq_diag(const Prepared& p, cplx* data, std::size_t dim,
+                   std::size_t stride, const ApplyOptions& options) {
+  const int q = p.q0;
+  const cplx d0 = p.d[0], d1 = p.d[1];
+  sliced(dim, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      data[at<Unit>(i, stride)] *= ((i >> q) & 1U) ? d1 : d0;
+  });
+}
+
+template <bool Unit>
+void run_oneq_general(const Prepared& p, cplx* data, std::size_t dim,
+                      std::size_t stride, const ApplyOptions& options) {
+  const std::size_t bit = p.bit0;
+  const std::size_t low = bit - 1;
+  const cplx m00 = p.m[0], m01 = p.m[1], m10 = p.m[2], m11 = p.m[3];
+  sliced(dim >> 1, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const std::size_t i0 = ((g & ~low) << 1) | (g & low);
+      const std::size_t i1 = i0 | bit;
+      const cplx a0 = data[at<Unit>(i0, stride)];
+      const cplx a1 = data[at<Unit>(i1, stride)];
+      data[at<Unit>(i0, stride)] = m00 * a0 + m01 * a1;
+      data[at<Unit>(i1, stride)] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+template <bool Unit>
+void run_twoq_diag(const Prepared& p, cplx* data, std::size_t dim,
+                   std::size_t stride, const ApplyOptions& options) {
+  const int qa = p.q0, qb = p.q1;
+  sliced(dim, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::size_t sub = ((i >> qa) & 1U) | (((i >> qb) & 1U) << 1);
+      data[at<Unit>(i, stride)] *= p.d[sub];
+    }
+  });
+}
+
+/// Reconstructs the g-th coset representative (zeros at both gate-qubit
+/// positions) by splitting g at the sorted positions — no skip-branch, each
+/// of the 2^(n-2) cosets visited exactly once in ascending address order so
+/// the four amplitude streams advance sequentially through memory.
+inline std::size_t coset_base(std::size_t g, int lo_pos, int hi_pos) {
+  const std::size_t lo_mask = (std::size_t{1} << lo_pos) - 1;
+  const std::size_t lo = g & lo_mask;
+  const std::size_t mid =
+      (g >> lo_pos) & ((std::size_t{1} << (hi_pos - 1 - lo_pos)) - 1);
+  const std::size_t hi = g >> (hi_pos - 1);
+  return (hi << (hi_pos + 1)) | (mid << (lo_pos + 1)) | lo;
+}
+
+template <bool Unit>
+void run_twoq_perm(const Prepared& p, cplx* data, std::size_t dim,
+                   std::size_t stride, const ApplyOptions& options) {
+  const std::size_t offs[4] = {0, p.bit0, p.bit1, p.bit0 | p.bit1};
+  if (p.pure_swap) {
+    // CX / SWAP shape: amplitudes move, none are scaled — zero multiplies.
+    const std::size_t oa = offs[p.swap_a], ob = offs[p.swap_b];
+    sliced(dim >> 2, dim, options, [&](std::size_t b, std::size_t e) {
+      for (std::size_t g = b; g < e; ++g) {
+        const std::size_t base = coset_base(g, p.lo_pos, p.hi_pos);
+        std::swap(data[at<Unit>(base | oa, stride)],
+                  data[at<Unit>(base | ob, stride)]);
+      }
+    });
+    return;
+  }
+  sliced(dim >> 2, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const std::size_t base = coset_base(g, p.lo_pos, p.hi_pos);
+      cplx t[4];
+      for (int m = 0; m < 4; ++m) t[m] = data[at<Unit>(base | offs[m], stride)];
+      for (int r = 0; r < 4; ++r)
+        data[at<Unit>(base | offs[r], stride)] = p.phase[r] * t[p.perm[r]];
+    }
+  });
+}
+
+template <bool Unit>
+void run_twoq_general(const Prepared& p, cplx* data, std::size_t dim,
+                      std::size_t stride, const ApplyOptions& options) {
+  const std::size_t offs[4] = {0, p.bit0, p.bit1, p.bit0 | p.bit1};
+  sliced(dim >> 2, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const std::size_t base = coset_base(g, p.lo_pos, p.hi_pos);
+      const cplx t0 = data[at<Unit>(base | offs[0], stride)];
+      const cplx t1 = data[at<Unit>(base | offs[1], stride)];
+      const cplx t2 = data[at<Unit>(base | offs[2], stride)];
+      const cplx t3 = data[at<Unit>(base | offs[3], stride)];
+      for (int r = 0; r < 4; ++r) {
+        const cplx* row = p.m + 4 * r;
+        data[at<Unit>(base | offs[r], stride)] =
+            row[0] * t0 + row[1] * t1 + row[2] * t2 + row[3] * t3;
+      }
+    }
+  });
+}
+
+template <bool Unit>
+void run_prepared(const Prepared& p, cplx* data, std::size_t dim,
+                  std::size_t stride, const ApplyOptions& options) {
+  switch (p.kind) {
+    case KernelKind::OneQDiag:
+      run_oneq_diag<Unit>(p, data, dim, stride, options);
+      return;
+    case KernelKind::OneQGeneral:
+      run_oneq_general<Unit>(p, data, dim, stride, options);
+      return;
+    case KernelKind::TwoQDiag:
+      run_twoq_diag<Unit>(p, data, dim, stride, options);
+      return;
+    case KernelKind::TwoQPermPhase:
+      run_twoq_perm<Unit>(p, data, dim, stride, options);
+      return;
+    case KernelKind::TwoQGeneral:
+      run_twoq_general<Unit>(p, data, dim, stride, options);
+      return;
+    case KernelKind::GenericK:
+      QC_CHECK_MSG(false, "generic kernels have no prepared form");
+  }
+}
+
+}  // namespace
+
+void apply_operator(std::vector<cplx>& state, const Matrix& op,
+                    const std::vector<int>& qubits,
+                    const ApplyOptions& options) {
+  if (classify_kernel(op) == KernelKind::GenericK) {
+    apply_gate_inplace(state, op, qubits);
+    return;
+  }
+  const Prepared p = prepare(op, qubits, state.size());
+  run_prepared<true>(p, state.data(), state.size(), 1, options);
+}
+
+void apply_cx(std::vector<cplx>& state, int control, int target,
+              const ApplyOptions& options) {
+  const std::size_t dim = state.size();
+  QC_CHECK_MSG(std::has_single_bit(dim), "state size must be a power of two");
+  QC_CHECK(control >= 0 && target >= 0 && control != target);
+  QC_CHECK((std::size_t{1} << control) < dim && (std::size_t{1} << target) < dim);
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  const int lo_pos = std::min(control, target);
+  const int hi_pos = std::max(control, target);
+  cplx* data = state.data();
+  sliced(dim >> 2, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t g = b; g < e; ++g) {
+      const std::size_t base = coset_base(g, lo_pos, hi_pos) | cbit;
+      std::swap(data[base], data[base | tbit]);
+    }
+  });
+}
+
+void apply_cz(std::vector<cplx>& state, int a, int b,
+              const ApplyOptions& options) {
+  const std::size_t dim = state.size();
+  QC_CHECK_MSG(std::has_single_bit(dim), "state size must be a power of two");
+  QC_CHECK(a >= 0 && b >= 0 && a != b);
+  QC_CHECK((std::size_t{1} << a) < dim && (std::size_t{1} << b) < dim);
+  const std::size_t both = (std::size_t{1} << a) | (std::size_t{1} << b);
+  const int lo_pos = std::min(a, b);
+  const int hi_pos = std::max(a, b);
+  cplx* data = state.data();
+  sliced(dim >> 2, dim, options, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t g = begin; g < end; ++g) {
+      const std::size_t i = coset_base(g, lo_pos, hi_pos) | both;
+      data[i] = -data[i];
+    }
+  });
+}
+
+void apply_diag1(std::vector<cplx>& state, cplx d0, cplx d1, int qubit,
+                 const ApplyOptions& options) {
+  const std::size_t dim = state.size();
+  QC_CHECK_MSG(std::has_single_bit(dim), "state size must be a power of two");
+  QC_CHECK(qubit >= 0 && (std::size_t{1} << qubit) < dim);
+  cplx* data = state.data();
+  sliced(dim, dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      data[i] *= ((i >> qubit) & 1U) ? d1 : d0;
+  });
+}
+
+void left_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
+                const ApplyOptions& options) {
+  QC_CHECK(u.rows() == u.cols());
+  if (classify_kernel(op) == KernelKind::GenericK) {
+    left_apply_inplace(u, op, qubits);
+    return;
+  }
+  const std::size_t dim = u.rows();
+  const Prepared p = prepare(op, qubits, dim);
+  cplx* data = u.data();
+  // Thread across columns (each column is one strided kernel run); the inner
+  // kernel stays serial so work is never double-sliced.
+  sliced(dim, dim * dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t col = b; col < e; ++col)
+      run_prepared<false>(p, data + col, dim, dim, kSerial);
+  });
+}
+
+void right_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
+                 const ApplyOptions& options) {
+  QC_CHECK(u.rows() == u.cols());
+  if (classify_kernel(op) == KernelKind::GenericK) {
+    right_apply_inplace(u, op, qubits);
+    return;
+  }
+  const std::size_t dim = u.rows();
+  // (u * embed(op)) transforms each row's sub-vector by op^T; rows are
+  // contiguous in the row-major layout, so this is the unit-stride kernel.
+  const Matrix op_t = op.transpose();
+  const Prepared p = prepare(op_t, qubits, dim);
+  cplx* data = u.data();
+  sliced(dim, dim * dim, options, [&](std::size_t b, std::size_t e) {
+    for (std::size_t row = b; row < e; ++row)
+      run_prepared<true>(p, data + row * dim, dim, 1, kSerial);
+  });
+}
+
+}  // namespace qc::linalg

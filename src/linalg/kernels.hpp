@@ -1,0 +1,126 @@
+// Specialized state-vector gate kernels and the dispatch layer above them.
+//
+// The generic apply_gate_inplace in embed.hpp walks all 2^n basis indices
+// with a `base & mask` skip-branch and heap-allocates scatter/scratch
+// buffers on every call. Transpiled circuits in this repository are almost
+// entirely {CX, U3}, plus diagonal phase branches from noise channels, so
+// the shapes that dominate every trajectory shot and density-matrix step are
+// known in advance. The kernels here enumerate only the 2^(n-k) cosets
+// directly (branch-free index reconstruction, no allocation) and exploit
+// matrix structure:
+//
+//   OneQDiag      diagonal 2x2 (Z / RZ / P / phase-damping Kraus branches)
+//   OneQGeneral   dense 2x2 (U3, amplitude-damping Kraus, ...)
+//   TwoQDiag      diagonal 4x4 (CZ, CP, RZZ, ZZ-crosstalk)
+//   TwoQPermPhase permutation-phase 4x4 (CX, SWAP, CY): one nonzero per
+//                 row/column; the pure-swap case (CX) moves amplitudes with
+//                 zero complex multiplies
+//   TwoQGeneral   dense 4x4, coset loop ordered so the four amplitude
+//                 streams advance sequentially through memory
+//   GenericK      anything wider (k > 2) — delegated to the generic path
+//
+// For classified shapes the kernels accumulate in the same order as the
+// generic path (ascending column index) and only drop exact-zero terms, so
+// results are bit-identical to apply_gate_inplace, not merely close.
+//
+// Wide states additionally slice the coset loop across the process thread
+// pool (common::parallel_for, OpenMP-free) once the span holds at least
+// `ApplyOptions::parallel_threshold` amplitudes; slices write disjoint
+// amplitudes, so threaded results are bit-identical to serial ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qc::linalg {
+
+/// Which specialized kernel serves an operator of a given shape.
+enum class KernelKind {
+  OneQDiag,
+  OneQGeneral,
+  TwoQDiag,
+  TwoQPermPhase,
+  TwoQGeneral,
+  GenericK,
+};
+
+/// Stable lowercase label ("1q_diag", "cx_perm", ...) for reports.
+const char* kernel_kind_name(KernelKind kind);
+
+/// Per-kernel dispatch tallies; recorded per CompiledCircuit and surfaced in
+/// RunRecord so benchmarks can report which kernels a run actually hit.
+struct KernelCounts {
+  std::size_t oneq_diag = 0;
+  std::size_t oneq_general = 0;
+  std::size_t twoq_diag = 0;
+  std::size_t twoq_perm_phase = 0;
+  std::size_t twoq_general = 0;
+  std::size_t generic = 0;
+
+  void add(KernelKind kind);
+  std::size_t total() const {
+    return oneq_diag + oneq_general + twoq_diag + twoq_perm_phase +
+           twoq_general + generic;
+  }
+  bool operator==(const KernelCounts&) const = default;
+};
+
+/// Classifies an operator matrix (dimension 2^k) by the kernel that will
+/// apply it. Structure tests are exact (== 0.0 / == 1.0): gate-construction
+/// literals classify to their specialized kernels; numerically-dense
+/// matrices (fused products, synthesis results) classify general.
+KernelKind classify_kernel(const Matrix& op);
+
+/// True when this library was compiled with FMA available (QAPPROX_NATIVE on
+/// an FMA machine). FMA contraction may round kernel and generic loops
+/// differently, so the bit-identical guarantee relaxes to ~1e-12 agreement;
+/// the equivalence tests consult this at runtime.
+bool kernels_compiled_with_fma();
+
+/// Amplitude-count threshold at which dispatch slices the coset loop across
+/// the thread pool. 2^14 amplitudes keeps every <=13-qubit trajectory state
+/// serial (per-shot parallelism already covers those) while wide reference
+/// states fan out.
+inline constexpr std::size_t kKernelParallelThreshold = std::size_t{1} << 14;
+
+struct ApplyOptions {
+  /// Spans with at least this many amplitudes run the sliced threaded
+  /// variant; smaller spans run serially. Tests pin this low to force the
+  /// threaded path on small states.
+  std::size_t parallel_threshold = kKernelParallelThreshold;
+};
+
+/// Dispatch entry point: state := (op on qubits) * state, choosing a
+/// specialized kernel by shape and falling back to the generic path for
+/// k > 2. Drop-in replacement for apply_gate_inplace.
+void apply_operator(std::vector<cplx>& state, const Matrix& op,
+                    const std::vector<int>& qubits,
+                    const ApplyOptions& options = {});
+
+/// CX with no matrix in sight: swaps the target-flipped amplitude pairs in
+/// the control=1 half-space. Zero complex multiplies.
+void apply_cx(std::vector<cplx>& state, int control, int target,
+              const ApplyOptions& options = {});
+
+/// CZ as a pure sign flip on the |11> quarter-space.
+void apply_cz(std::vector<cplx>& state, int a, int b,
+              const ApplyOptions& options = {});
+
+/// Diagonal 1q gate diag(d0, d1) on `qubit` (Z/RZ/P without building a
+/// Matrix).
+void apply_diag1(std::vector<cplx>& state, cplx d0, cplx d1, int qubit,
+                 const ApplyOptions& options = {});
+
+/// u := embed(op) * u through the specialized kernels (column-sliced across
+/// the pool for large u). Drop-in replacement for left_apply_inplace.
+void left_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
+                const ApplyOptions& options = {});
+
+/// u := u * embed(op); rows transform by op^T with contiguous access.
+/// Drop-in replacement for right_apply_inplace.
+void right_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
+                 const ApplyOptions& options = {});
+
+}  // namespace qc::linalg

@@ -3,10 +3,10 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "linalg/embed.hpp"
 #include "metrics/distribution.hpp"
 #include "noise/readout.hpp"
 #include "sim/density_matrix.hpp"
-#include "sim/statevector.hpp"
 
 namespace qc::sim {
 
@@ -18,11 +18,43 @@ std::vector<noise::ReadoutError> readout_slice(const noise::NoiseModel& model, i
   return {all.begin(), all.begin() + n};
 }
 
+/// Folds `u` on `qubits` into `prev` (prev runs first) when the two share a
+/// qubit and their union stays within 2 qubits, so the fused matrix still
+/// dispatches to a specialized kernel. Returns false without touching `prev`
+/// otherwise.
+bool fuse_into(CompiledStep& prev, const linalg::Matrix& u,
+               const std::vector<int>& qubits) {
+  std::vector<int> merged = prev.qubits;
+  bool overlap = false;
+  for (int q : qubits) {
+    if (std::find(merged.begin(), merged.end(), q) != merged.end())
+      overlap = true;
+    else
+      merged.push_back(q);
+  }
+  if (!overlap || merged.size() > 2) return false;
+  std::sort(merged.begin(), merged.end());
+  const auto positions = [&merged](const std::vector<int>& qs) {
+    std::vector<int> out;
+    out.reserve(qs.size());
+    for (int q : qs)
+      out.push_back(static_cast<int>(
+          std::find(merged.begin(), merged.end(), q) - merged.begin()));
+    return out;
+  };
+  const int k = static_cast<int>(merged.size());
+  prev.unitary = linalg::embed(u, positions(qubits), k) *
+                 linalg::embed(prev.unitary, positions(prev.qubits), k);
+  prev.qubits = std::move(merged);
+  return true;
+}
+
 }  // namespace
 
 CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
                                       const noise::NoiseModel& model,
-                                      const GateMatrixFn& matrix_fn) {
+                                      const GateMatrixFn& matrix_fn,
+                                      const CompileOptions& options) {
   QC_CHECK_MSG(circuit.num_qubits() <= model.num_qubits(),
                "circuit wider than the noise model's device");
   CompiledCircuit compiled;
@@ -30,6 +62,7 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
   compiled.readout = readout_slice(model, circuit.num_qubits());
   for (const ir::Gate& g : circuit.gates()) {
     if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
+    ++compiled.source_gates;
     CompiledStep step{g.qubits, matrix_fn ? matrix_fn(g) : g.matrix(), {}};
     for (noise::NoiseOp& op : model.ops_for_gate(g)) {
       // Crosstalk ops can touch spectator qubits outside the circuit's
@@ -45,13 +78,36 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
       if (!cop.mixed_unitary) cop.operators = op.channel.kraus();
       step.noise.push_back(std::move(cop));
     }
+    // Fusion: a preceding step with no noise draws nothing from the RNG, so
+    // folding it into this step preserves the shot-replay stream exactly.
+    if (options.fuse_steps && !compiled.steps.empty() &&
+        compiled.steps.back().noise.empty() &&
+        fuse_into(compiled.steps.back(), step.unitary, step.qubits)) {
+      compiled.steps.back().noise = std::move(step.noise);
+      ++compiled.fused_gates;
+      continue;
+    }
     compiled.steps.push_back(std::move(step));
+  }
+  // Hoist what every replay would otherwise recompute: unitary and Kraus
+  // adjoints for density-matrix evolution, and the kernel class of each step.
+  for (CompiledStep& step : compiled.steps) {
+    step.unitary_adjoint = step.unitary.adjoint();
+    step.kernel = linalg::classify_kernel(step.unitary);
+    compiled.kernel_counts.add(step.kernel);
+    for (CompiledNoiseOp& op : step.noise) {
+      op.adjoints.reserve(op.operators.size());
+      for (const linalg::Matrix& k : op.operators)
+        op.adjoints.push_back(k.adjoint());
+    }
   }
   return compiled;
 }
 
-std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng) {
-  StateVector state(compiled.num_qubits);
+std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng,
+                                  TrajectoryScratch& scratch) {
+  StateVector& state = scratch.state;
+  state.reset();
   for (const CompiledStep& step : compiled.steps) {
     state.apply_matrix(step.unitary, step.qubits);
     for (const CompiledNoiseOp& op : step.noise) {
@@ -61,18 +117,17 @@ std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& 
         state.apply_matrix(op.operators[pick], op.qubits);
         continue;
       }
-      // General quantum-trajectory step: Born weights p_i = ||K_i psi||^2.
-      std::vector<double> weights(op.operators.size());
-      std::vector<StateVector> branches;
-      branches.reserve(op.operators.size());
+      // General quantum-trajectory step: Born weights p_i = ||K_i psi||^2,
+      // evaluated on the single branch scratch instead of materializing every
+      // branch; the picked operator is then re-applied to the live state.
+      scratch.weights.resize(op.operators.size());
       for (std::size_t i = 0; i < op.operators.size(); ++i) {
-        StateVector branch = state;
-        branch.apply_matrix(op.operators[i], op.qubits);
-        weights[i] = branch.norm_squared();
-        branches.push_back(std::move(branch));
+        scratch.branch = state;
+        scratch.branch.apply_matrix(op.operators[i], op.qubits);
+        scratch.weights[i] = scratch.branch.norm_squared();
       }
-      const std::size_t pick = rng.discrete(weights);
-      state = std::move(branches[pick]);
+      const std::size_t pick = rng.discrete(scratch.weights);
+      state.apply_matrix(op.operators[pick], op.qubits);
       state.normalize();
     }
   }
@@ -80,11 +135,17 @@ std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& 
   return noise::sample_readout_flip(outcome, compiled.readout, rng);
 }
 
+std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng) {
+  TrajectoryScratch scratch(compiled.num_qubits);
+  return run_trajectory_shot(compiled, rng, scratch);
+}
+
 std::vector<std::uint64_t> trajectory_counts(const CompiledCircuit& compiled,
                                              std::size_t shots, common::Rng& rng) {
   std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
+  TrajectoryScratch scratch(compiled.num_qubits);
   for (std::size_t shot = 0; shot < shots; ++shot)
-    ++counts[run_trajectory_shot(compiled, rng)];
+    ++counts[run_trajectory_shot(compiled, rng, scratch)];
   return counts;
 }
 
@@ -93,33 +154,40 @@ std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& com
                                                       std::size_t shot_end,
                                                       std::uint64_t seed) {
   std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
+  TrajectoryScratch scratch(compiled.num_qubits);
   for (std::size_t shot = shot_begin; shot < shot_end; ++shot) {
     common::Rng rng(common::derive_stream_seed(seed, shot));
-    ++counts[run_trajectory_shot(compiled, rng)];
+    ++counts[run_trajectory_shot(compiled, rng, scratch)];
   }
   return counts;
 }
 
-std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circuit,
-                                                 const noise::NoiseModel& model) {
-  QC_CHECK_MSG(circuit.num_qubits() <= model.num_qubits(),
-               "circuit wider than the noise model's device");
-  DensityMatrix rho(circuit.num_qubits());
-  for (const ir::Gate& g : circuit.gates()) {
-    if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
-    rho.apply(g);
-    for (const noise::NoiseOp& op : model.ops_for_gate(g)) {
-      bool in_range = true;
-      for (int q : op.qubits)
-        if (q >= circuit.num_qubits()) in_range = false;
-      if (!in_range) continue;
-      rho.apply_channel(op.channel, op.qubits);
-    }
+std::vector<double> density_matrix_probabilities(const CompiledCircuit& compiled) {
+  DensityMatrix rho(compiled.num_qubits);
+  for (const CompiledStep& step : compiled.steps) {
+    rho.apply_unitary(step.unitary, step.unitary_adjoint, step.qubits);
+    for (const CompiledNoiseOp& op : step.noise)
+      rho.apply_kraus(op.operators, op.adjoints,
+                      op.mixed_unitary ? &op.probs : nullptr, op.qubits);
   }
   auto probs = rho.probabilities();
-  probs = noise::apply_readout_error(probs,
-                                     readout_slice(model, circuit.num_qubits()));
+  probs = noise::apply_readout_error(probs, compiled.readout);
   return metrics::normalized(std::move(probs));
+}
+
+std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circuit,
+                                                 const noise::NoiseModel& model) {
+  return density_matrix_probabilities(compile_noisy_circuit(circuit, model));
+}
+
+std::vector<double> statevector_probabilities(const CompiledCircuit& compiled) {
+  StateVector state(compiled.num_qubits);
+  for (const CompiledStep& step : compiled.steps) {
+    QC_CHECK_MSG(step.noise.empty(),
+                 "statevector_probabilities requires a noise-free program");
+    state.apply_matrix(step.unitary, step.qubits);
+  }
+  return state.probabilities();
 }
 
 std::vector<std::uint64_t> sample_counts_from_probs(const std::vector<double>& probs,

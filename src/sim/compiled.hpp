@@ -22,7 +22,9 @@
 
 #include "common/rng.hpp"
 #include "ir/circuit.hpp"
+#include "linalg/kernels.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/statevector.hpp"
 
 namespace qc::sim {
 
@@ -35,13 +37,18 @@ struct CompiledNoiseOp {
   bool mixed_unitary = false;
   std::vector<double> probs;              // mixed-unitary branch weights
   std::vector<linalg::Matrix> operators;  // unitaries or raw Kraus ops
+  std::vector<linalg::Matrix> adjoints;   // operator adjoints, hoisted here so
+                                          // DM evolution never recomputes them
 };
 
-/// One gate application plus the noise that follows it.
+/// One gate application plus the noise that follows it. After fusion a step's
+/// unitary may be the product of several adjacent source gates.
 struct CompiledStep {
   std::vector<int> qubits;
   linalg::Matrix unitary;
   std::vector<CompiledNoiseOp> noise;
+  linalg::Matrix unitary_adjoint;  // precomputed for density-matrix evolution
+  linalg::KernelKind kernel = linalg::KernelKind::GenericK;  // dispatch class
 };
 
 /// A full shot-replayable program: self-contained (owns gate qubit lists and
@@ -50,22 +57,51 @@ struct CompiledCircuit {
   int num_qubits = 0;
   std::vector<CompiledStep> steps;
   std::vector<noise::ReadoutError> readout;  // sliced to the circuit's width
+  std::size_t source_gates = 0;  // unitary gates before fusion
+  std::size_t fused_gates = 0;   // gates merged into a neighbouring step
+  linalg::KernelCounts kernel_counts;  // dispatch classes of the final steps
 };
 
 /// Gate-matrix provider hook: lets the execution engine serve matrices from
 /// its session-level cache. Empty function -> Gate::matrix() directly.
 using GateMatrixFn = std::function<linalg::Matrix(const ir::Gate&)>;
 
+struct CompileOptions {
+  /// Fuse a step into its successor when the step carries no noise, the two
+  /// overlap on at least one qubit, and the union stays within 2 qubits (so
+  /// the fused matrix still hits a specialized kernel). Noise draws keep
+  /// their order — only noise-free unitaries merge — so trajectory RNG
+  /// streams are unchanged; amplitudes agree to rounding (~1e-15).
+  bool fuse_steps = true;
+};
+
 /// Compiles `circuit` against `model` once (phase 1 above). Noise ops that
 /// touch device qubits outside the circuit's register (crosstalk spectators,
 /// which start in |0> and trace out) are dropped, as in the seed backends.
 CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
                                       const noise::NoiseModel& model,
-                                      const GateMatrixFn& matrix_fn = {});
+                                      const GateMatrixFn& matrix_fn = {},
+                                      const CompileOptions& options = {});
+
+/// Per-task reusable buffers for trajectory evolution: one state vector that
+/// is reset (not reallocated) every shot, plus a branch scratch for
+/// Born-weighted Kraus selection.
+struct TrajectoryScratch {
+  explicit TrajectoryScratch(int num_qubits)
+      : state(num_qubits), branch(num_qubits) {}
+  StateVector state;
+  StateVector branch;
+  std::vector<double> weights;
+};
 
 /// Evolves one shot: |0...0> through every compiled step, measurement sample,
 /// readout bit flips. All randomness is drawn from `rng` in a fixed order.
 std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng);
+
+/// Same, but reusing caller-owned buffers across shots (the hot path; the
+/// two-argument overload is a convenience wrapper that allocates one).
+std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng,
+                                  TrajectoryScratch& scratch);
 
 /// Serial shot loop over one shared RNG stream (the seed TrajectoryBackend
 /// semantics — kept for the Backend API).
@@ -83,9 +119,18 @@ std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& com
 
 /// Exact noisy evolution of `circuit` under `model` (density matrix + exact
 /// readout confusion), normalized. The DensityMatrixBackend delegates here;
-/// the execution engine calls it with cached NoiseModels.
+/// compiles internally, then runs the compiled overload below.
 std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circuit,
                                                  const noise::NoiseModel& model);
+
+/// Exact noisy evolution of an already-compiled program, using its hoisted
+/// unitary/Kraus adjoints. The execution engine calls this with cached
+/// CompiledCircuits so repeated DM runs skip compilation and adjoints.
+std::vector<double> density_matrix_probabilities(const CompiledCircuit& compiled);
+
+/// Noise-free evolution of a compiled program (every step must carry no
+/// noise, e.g. compiled against NoiseModel::ideal): one state-vector pass.
+std::vector<double> statevector_probabilities(const CompiledCircuit& compiled);
 
 /// Samples `shots` outcomes from a (normalized) distribution via cumulative
 /// sums + binary search — O(2^n + shots log 2^n), replacing the seed's

@@ -1,9 +1,10 @@
 #include "sim/density_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
-#include "linalg/embed.hpp"
+#include "linalg/kernels.hpp"
 
 namespace qc::sim {
 
@@ -31,8 +32,13 @@ DensityMatrix::DensityMatrix(int num_qubits, const std::vector<cplx>& amplitudes
 void DensityMatrix::apply(const ir::Gate& gate) {
   if (gate.kind == ir::GateKind::Barrier || gate.kind == ir::GateKind::Measure) return;
   const Matrix u = gate.matrix();
-  linalg::left_apply_inplace(rho_, u, gate.qubits);
-  linalg::right_apply_inplace(rho_, u.adjoint(), gate.qubits);
+  apply_unitary(u, u.adjoint(), gate.qubits);
+}
+
+void DensityMatrix::apply_unitary(const Matrix& u, const Matrix& u_adjoint,
+                                  const std::vector<int>& qubits) {
+  linalg::left_apply(rho_, u, qubits);
+  linalg::right_apply(rho_, u_adjoint, qubits);
 }
 
 void DensityMatrix::apply(const ir::QuantumCircuit& circuit) {
@@ -43,15 +49,42 @@ void DensityMatrix::apply(const ir::QuantumCircuit& circuit) {
 void DensityMatrix::apply_channel(const noise::Channel& channel,
                                   const std::vector<int>& qubits) {
   QC_CHECK(static_cast<std::size_t>(channel.num_qubits()) == qubits.size());
+  const auto& kraus = channel.kraus();
+  std::vector<Matrix> adjoints;
+  adjoints.reserve(kraus.size());
+  for (const Matrix& k : kraus) adjoints.push_back(k.adjoint());
+  apply_kraus(kraus, adjoints, nullptr, qubits);
+}
+
+void DensityMatrix::apply_kraus(const std::vector<Matrix>& ops,
+                                const std::vector<Matrix>& adjoints,
+                                const std::vector<double>* weights,
+                                const std::vector<int>& qubits) {
+  QC_CHECK(!ops.empty() && ops.size() == adjoints.size());
+  QC_CHECK(weights == nullptr || weights->size() == ops.size());
   const std::size_t dim = rho_.rows();
-  Matrix out(dim, dim);
-  for (const Matrix& k : channel.kraus()) {
-    Matrix term = rho_;
-    linalg::left_apply_inplace(term, k, qubits);
-    linalg::right_apply_inplace(term, k.adjoint(), qubits);
-    out += term;
+  // The persistent scratch pair is sized on the first channel application and
+  // reused (zeroed / copy-assigned in place) on every later one.
+  if (scratch_accum_.rows() != dim || scratch_accum_.cols() != dim) {
+    scratch_accum_ = Matrix(dim, dim);
+  } else {
+    std::fill(scratch_accum_.data(), scratch_accum_.data() + dim * dim,
+              cplx{0.0, 0.0});
   }
-  rho_ = std::move(out);
+  cplx* accum = scratch_accum_.data();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    scratch_term_ = rho_;
+    linalg::left_apply(scratch_term_, ops[i], qubits);
+    linalg::right_apply(scratch_term_, adjoints[i], qubits);
+    const cplx* term = scratch_term_.data();
+    if (weights) {
+      const double w = (*weights)[i];
+      for (std::size_t j = 0; j < dim * dim; ++j) accum[j] += w * term[j];
+    } else {
+      for (std::size_t j = 0; j < dim * dim; ++j) accum[j] += term[j];
+    }
+  }
+  std::swap(rho_, scratch_accum_);
 }
 
 std::vector<double> DensityMatrix::probabilities() const {

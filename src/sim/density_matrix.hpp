@@ -29,8 +29,20 @@ class DensityMatrix {
   /// Applies all unitary gates of a circuit (Measure gates are skipped —
   /// terminal measurement is read via probabilities()).
   void apply(const ir::QuantumCircuit& circuit);
+  /// rho := U rho U† with the adjoint supplied by the caller, so compiled
+  /// programs that precompute adjoints once don't redo them per application.
+  void apply_unitary(const linalg::Matrix& u, const linalg::Matrix& u_adjoint,
+                     const std::vector<int>& qubits);
   /// Applies a channel on the given qubits: rho := sum_i K_i rho K_i†.
   void apply_channel(const noise::Channel& channel, const std::vector<int>& qubits);
+  /// rho := sum_i w_i K_i rho K_i† with precomputed adjoints; `weights` may be
+  /// null (all 1, the plain Kraus form) or per-operator branch probabilities
+  /// (the mixed-unitary form). Reuses persistent scratch — no dim x dim
+  /// temporaries are allocated after the first call.
+  void apply_kraus(const std::vector<linalg::Matrix>& ops,
+                   const std::vector<linalg::Matrix>& adjoints,
+                   const std::vector<double>* weights,
+                   const std::vector<int>& qubits);
 
   /// Diagonal of rho: exact outcome distribution.
   std::vector<double> probabilities() const;
@@ -44,6 +56,10 @@ class DensityMatrix {
  private:
   int num_qubits_;
   linalg::Matrix rho_;
+  // Channel-application scratch, sized lazily on first use and reused across
+  // every subsequent Kraus term and call.
+  linalg::Matrix scratch_term_;
+  linalg::Matrix scratch_accum_;
 };
 
 }  // namespace qc::sim

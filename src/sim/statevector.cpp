@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "linalg/embed.hpp"
+#include "linalg/kernels.hpp"
 
 namespace qc::sim {
 
@@ -26,8 +26,37 @@ StateVector::StateVector(int num_qubits, std::vector<cplx> amplitudes)
 void StateVector::apply(const ir::Gate& gate) {
   QC_CHECK_MSG(ir::gate_is_unitary(gate.kind) || gate.kind == ir::GateKind::Barrier,
                "cannot apply a measurement as a unitary");
-  if (gate.kind == ir::GateKind::Barrier) return;
-  linalg::apply_gate_inplace(amps_, gate.matrix(), gate.qubits);
+  // Kind-based fast paths skip the gate-matrix construction entirely for the
+  // permutation / diagonal gates; everything else classifies via dispatch.
+  switch (gate.kind) {
+    case ir::GateKind::Barrier:
+      return;
+    case ir::GateKind::CX:
+      linalg::apply_cx(amps_, gate.qubits[0], gate.qubits[1]);
+      return;
+    case ir::GateKind::CZ:
+      linalg::apply_cz(amps_, gate.qubits[0], gate.qubits[1]);
+      return;
+    case ir::GateKind::Z:
+      linalg::apply_diag1(amps_, {1.0, 0.0}, {-1.0, 0.0}, gate.qubits[0]);
+      return;
+    case ir::GateKind::S:
+      linalg::apply_diag1(amps_, {1.0, 0.0}, {0.0, 1.0}, gate.qubits[0]);
+      return;
+    case ir::GateKind::Sdg:
+      linalg::apply_diag1(amps_, {1.0, 0.0}, {0.0, -1.0}, gate.qubits[0]);
+      return;
+    case ir::GateKind::P:
+      linalg::apply_diag1(amps_, {1.0, 0.0}, std::polar(1.0, gate.params[0]),
+                          gate.qubits[0]);
+      return;
+    case ir::GateKind::RZ:
+      linalg::apply_diag1(amps_, std::polar(1.0, -gate.params[0] / 2.0),
+                          std::polar(1.0, gate.params[0] / 2.0), gate.qubits[0]);
+      return;
+    default:
+      linalg::apply_operator(amps_, gate.matrix(), gate.qubits);
+  }
 }
 
 void StateVector::apply(const ir::QuantumCircuit& circuit) {
@@ -39,7 +68,12 @@ void StateVector::apply(const ir::QuantumCircuit& circuit) {
 }
 
 void StateVector::apply_matrix(const linalg::Matrix& op, const std::vector<int>& qubits) {
-  linalg::apply_gate_inplace(amps_, op, qubits);
+  linalg::apply_operator(amps_, op, qubits);
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[0] = cplx{1.0, 0.0};
 }
 
 std::vector<double> StateVector::probabilities() const {

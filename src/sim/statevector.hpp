@@ -30,8 +30,13 @@ class StateVector {
   /// throws on Measure — use sample()/probabilities() for output).
   void apply(const ir::QuantumCircuit& circuit);
   /// Applies an arbitrary operator matrix on the given qubits (also used for
-  /// normalized Kraus operators during trajectory evolution).
+  /// normalized Kraus operators during trajectory evolution). Dispatches to
+  /// the specialized kernels in linalg/kernels.hpp by operator shape.
   void apply_matrix(const linalg::Matrix& op, const std::vector<int>& qubits);
+
+  /// Back to |0...0> without reallocating; lets trajectory loops reuse one
+  /// amplitude buffer across shots.
+  void reset();
 
   /// Exact outcome distribution |amp|^2 (size 2^n).
   std::vector<double> probabilities() const;

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "linalg/embed.hpp"
+#include "linalg/kernels.hpp"
 #include "metrics/process.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/euler.hpp"
@@ -140,7 +140,7 @@ QFactorResult qfactor_optimize(const QuantumCircuit& structure, const Matrix& ta
     suffix[m] = Matrix::identity(dim);
     for (std::size_t k = m; k-- > 0;) {
       suffix[k] = suffix[k + 1];
-      linalg::right_apply_inplace(suffix[k], mats[k], gates[k]->qubits);
+      linalg::right_apply(suffix[k], mats[k], gates[k]->qubits);
       // right-apply builds suffix[k] = suffix[k+1] * embed(O_k)  (= O_{m-1}..O_k
       // when read as an operator product).
     }
@@ -166,7 +166,7 @@ QFactorResult qfactor_optimize(const QuantumCircuit& structure, const Matrix& ta
         // row index carrying b: kt(row=b, col=a) = K[a][b] = (K^T)(b, a). OK.
         mats[k] = best_unitary_for_environment(kt);
       }
-      linalg::left_apply_inplace(b, mats[k], gates[k]->qubits);
+      linalg::left_apply(b, mats[k], gates[k]->qubits);
     }
 
     // b now holds the full circuit unitary; overlap = |Tr(T† V)|.

@@ -1,6 +1,7 @@
 // Unit + property tests for qc::linalg — matrices, embedding kernels, expm.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 
@@ -9,6 +10,7 @@
 #include "linalg/embed.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/factories.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace qc::linalg {
@@ -236,6 +238,200 @@ TEST(VectorOps, InnerAndNorm) {
   EXPECT_NEAR(norm(x), std::sqrt(2.0), kTol);
   // <x|y> = conj(1)*i + conj(i)*1 = i - i = 0.
   EXPECT_NEAR(std::abs(inner(x, y)), 0.0, kTol);
+}
+
+// ---- specialized kernels ---------------------------------------------------
+
+namespace kernel_test {
+
+std::vector<cplx> random_state(int n, common::Rng& rng) {
+  std::vector<cplx> state(std::size_t{1} << n);
+  for (auto& v : state) v = cplx{rng.normal(), rng.normal()};
+  return state;
+}
+
+Matrix random_diagonal(std::size_t dim, common::Rng& rng) {
+  Matrix m(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    m(i, i) = cplx{rng.normal(), rng.normal()};
+  return m;
+}
+
+/// Random 4x4 permutation-phase matrix (one nonzero phase per row/column),
+/// the CX/SWAP/CY shape.
+Matrix random_perm_phase(common::Rng& rng) {
+  std::vector<std::size_t> perm = {0, 1, 2, 3};
+  for (std::size_t i = 3; i > 0; --i)
+    std::swap(perm[i], perm[rng.uniform_int(i + 1)]);
+  Matrix m(4, 4);
+  for (std::size_t c = 0; c < 4; ++c)
+    m(perm[c], c) = std::polar(1.0, rng.uniform() * 6.28318);
+  return m;
+}
+
+std::vector<int> distinct_qubits(int n, int k, common::Rng& rng) {
+  std::vector<int> qs;
+  while (static_cast<int>(qs.size()) < k) {
+    const int q = static_cast<int>(rng.uniform_int(static_cast<std::size_t>(n)));
+    if (std::find(qs.begin(), qs.end(), q) == qs.end()) qs.push_back(q);
+  }
+  return qs;
+}
+
+/// Applies `op` via the dispatch layer and via the generic path and requires
+/// the results to agree bit-for-bit (classified kernels accumulate in the
+/// generic path's order and only drop exact-zero terms). FMA builds
+/// (QAPPROX_NATIVE) may contract the two loops differently, so there the
+/// check relaxes to the 1e-12 bound.
+void expect_matches_generic(const std::vector<cplx>& state, const Matrix& op,
+                            const std::vector<int>& qubits,
+                            const ApplyOptions& options) {
+  std::vector<cplx> generic = state;
+  apply_gate_inplace(generic, op, qubits);
+  std::vector<cplx> fast = state;
+  apply_operator(fast, op, qubits, options);
+  const bool bit_identical = !kernels_compiled_with_fma() &&
+                             options.parallel_threshold >= state.size();
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    ASSERT_NEAR(std::abs(fast[i] - generic[i]), 0.0, 1e-12);
+    if (bit_identical) {
+      ASSERT_EQ(fast[i], generic[i]);  // serial dispatch is bit-identical
+    }
+  }
+}
+
+}  // namespace kernel_test
+
+TEST(Kernels, ClassifyRecognizesEveryShape) {
+  common::Rng rng(61);
+  EXPECT_EQ(classify_kernel(kernel_test::random_diagonal(2, rng)),
+            KernelKind::OneQDiag);
+  EXPECT_EQ(classify_kernel(random_unitary(2, rng)), KernelKind::OneQGeneral);
+  EXPECT_EQ(classify_kernel(kernel_test::random_diagonal(4, rng)),
+            KernelKind::TwoQDiag);
+  // A diagonal matrix is also permutation-phase; diagonal must win.
+  Matrix cx(4, 4);
+  cx(0, 0) = cx(2, 2) = cx(3, 1) = cx(1, 3) = cplx{1.0, 0.0};
+  EXPECT_EQ(classify_kernel(cx), KernelKind::TwoQPermPhase);
+  EXPECT_EQ(classify_kernel(random_unitary(4, rng)), KernelKind::TwoQGeneral);
+  EXPECT_EQ(classify_kernel(random_unitary(8, rng)), KernelKind::GenericK);
+
+  KernelCounts counts;
+  counts.add(KernelKind::OneQDiag);
+  counts.add(KernelKind::TwoQPermPhase);
+  counts.add(KernelKind::TwoQPermPhase);
+  EXPECT_EQ(counts.oneq_diag, 1u);
+  EXPECT_EQ(counts.twoq_perm_phase, 2u);
+  EXPECT_EQ(counts.total(), 3u);
+}
+
+TEST(Kernels, RandomizedEquivalenceAcrossWidthsAndShapes) {
+  common::Rng rng(62);
+  // parallel_threshold = 2 forces the sliced threaded dispatch on even the
+  // smallest states; the default keeps them serial.
+  const ApplyOptions serial{};
+  const ApplyOptions threaded{2};
+  for (int n = 1; n <= 8; ++n) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto state = kernel_test::random_state(n, rng);
+      for (const ApplyOptions& opts : {serial, threaded}) {
+        const auto q1 = kernel_test::distinct_qubits(n, 1, rng);
+        kernel_test::expect_matches_generic(state,
+                                            kernel_test::random_diagonal(2, rng),
+                                            q1, opts);
+        kernel_test::expect_matches_generic(state, random_unitary(2, rng), q1,
+                                            opts);
+        if (n < 2) continue;
+        const auto q2 = kernel_test::distinct_qubits(n, 2, rng);
+        kernel_test::expect_matches_generic(state,
+                                            kernel_test::random_diagonal(4, rng),
+                                            q2, opts);
+        kernel_test::expect_matches_generic(state,
+                                            kernel_test::random_perm_phase(rng),
+                                            q2, opts);
+        kernel_test::expect_matches_generic(state, random_unitary(4, rng), q2,
+                                            opts);
+        if (n < 3) continue;
+        // k = 3 exercises the GenericK fallback through the same entry point.
+        kernel_test::expect_matches_generic(state, random_unitary(8, rng),
+                                            kernel_test::distinct_qubits(n, 3, rng),
+                                            opts);
+      }
+    }
+  }
+}
+
+TEST(Kernels, MatrixFreeGatesMatchTheirMatrices) {
+  common::Rng rng(63);
+  Matrix cx(4, 4);  // control = sub-bit 0: swaps |01> and |11>
+  cx(0, 0) = cx(2, 2) = cx(3, 1) = cx(1, 3) = cplx{1.0, 0.0};
+  Matrix cz(4, 4);
+  cz(0, 0) = cz(1, 1) = cz(2, 2) = cplx{1.0, 0.0};
+  cz(3, 3) = cplx{-1.0, 0.0};
+  for (int n = 2; n <= 6; ++n) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto state = kernel_test::random_state(n, rng);
+      const auto qs = kernel_test::distinct_qubits(n, 2, rng);
+
+      std::vector<cplx> expect = state;
+      apply_gate_inplace(expect, cx, qs);
+      std::vector<cplx> got = state;
+      apply_cx(got, qs[0], qs[1]);
+      for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], expect[i]);
+
+      expect = state;
+      apply_gate_inplace(expect, cz, qs);
+      got = state;
+      apply_cz(got, qs[0], qs[1]);
+      for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], expect[i]);
+
+      const Matrix d = kernel_test::random_diagonal(2, rng);
+      expect = state;
+      apply_gate_inplace(expect, d, {qs[0]});
+      got = state;
+      apply_diag1(got, d(0, 0), d(1, 1), qs[0]);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (kernels_compiled_with_fma()) {  // contraction may differ
+          ASSERT_NEAR(std::abs(got[i] - expect[i]), 0.0, 1e-12);
+        } else {
+          ASSERT_EQ(got[i], expect[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, LeftRightApplyMatchGenericAndGemm) {
+  common::Rng rng(64);
+  const ApplyOptions serial{};
+  const ApplyOptions threaded{2};
+  for (int n = 2; n <= 5; ++n) {
+    const std::size_t dim = std::size_t{1} << n;
+    for (int k = 1; k <= 2; ++k) {
+      const auto qs = kernel_test::distinct_qubits(n, k, rng);
+      for (const Matrix& op :
+           {kernel_test::random_diagonal(std::size_t{1} << k, rng),
+            random_unitary(std::size_t{1} << k, rng)}) {
+        const Matrix u = random_unitary(dim, rng);
+        const Matrix e = embed(op, qs, n);
+        for (const ApplyOptions& opts : {serial, threaded}) {
+          Matrix left = u;
+          left_apply(left, op, qs, opts);
+          EXPECT_NEAR(left.max_abs_diff(e * u), 0.0, 1e-12);
+          Matrix lgen = u;
+          left_apply_inplace(lgen, op, qs);
+          EXPECT_NEAR(left.max_abs_diff(lgen), 0.0, 1e-12);
+
+          Matrix right = u;
+          right_apply(right, op, qs, opts);
+          EXPECT_NEAR(right.max_abs_diff(u * e), 0.0, 1e-12);
+          Matrix rgen = u;
+          right_apply_inplace(rgen, op, qs);
+          EXPECT_NEAR(right.max_abs_diff(rgen), 0.0, 1e-12);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

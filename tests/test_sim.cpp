@@ -11,6 +11,7 @@
 #include "metrics/distribution.hpp"
 #include "noise/catalog.hpp"
 #include "sim/backend.hpp"
+#include "sim/compiled.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/observables.hpp"
 #include "sim/statevector.hpp"
@@ -221,6 +222,62 @@ TEST(Backends, CountsSumToShots) {
   std::uint64_t total = 0;
   for (auto c : counts) total += c;
   EXPECT_EQ(total, 1234u);
+}
+
+TEST(Compiled, FusionMergesNoiseFreeNeighbours) {
+  common::Rng rng(7);
+  const auto qc = random_basis_circuit(4, 40, rng);
+  const auto model = noise::NoiseModel::ideal(4);
+  const auto fused = compile_noisy_circuit(qc, model);
+  CompileOptions off;
+  off.fuse_steps = false;
+  const auto plain = compile_noisy_circuit(qc, model, {}, off);
+  EXPECT_EQ(plain.steps.size(), plain.source_gates);
+  EXPECT_EQ(plain.fused_gates, 0u);
+  EXPECT_GT(fused.fused_gates, 0u);  // a 4-qubit/40-gate circuit must overlap
+  EXPECT_EQ(fused.steps.size() + fused.fused_gates, fused.source_gates);
+  EXPECT_EQ(fused.kernel_counts.total(), fused.steps.size());
+  for (const auto& step : fused.steps) EXPECT_LE(step.qubits.size(), 2u);
+  // Fusion reassociates the matrix products only; the distributions agree to
+  // rounding.
+  const auto pf = statevector_probabilities(fused);
+  const auto pp = statevector_probabilities(plain);
+  for (std::size_t i = 0; i < pf.size(); ++i) ASSERT_NEAR(pf[i], pp[i], 1e-12);
+}
+
+TEST(Compiled, FusionPreservesNoisyEngines) {
+  const auto model = noise::simulator_noise_model(noise::device_by_name("ourense"));
+  common::Rng rng(9);
+  const auto qc = random_basis_circuit(3, 24, rng);
+  const auto fused = compile_noisy_circuit(qc, model);
+  CompileOptions off;
+  off.fuse_steps = false;
+  const auto plain = compile_noisy_circuit(qc, model, {}, off);
+  const auto pf = density_matrix_probabilities(fused);
+  const auto pp = density_matrix_probabilities(plain);
+  for (std::size_t i = 0; i < pf.size(); ++i) ASSERT_NEAR(pf[i], pp[i], 1e-10);
+  // Noise ops draw in the same order either way, so per-seed trajectory
+  // streams are preserved exactly up to the fused unitaries' rounding.
+  const auto cf = trajectory_counts_streamed(fused, 0, 400, 17);
+  const auto cp = trajectory_counts_streamed(plain, 0, 400, 17);
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < cf.size(); ++i)
+    moved += cf[i] > cp[i] ? cf[i] - cp[i] : cp[i] - cf[i];
+  EXPECT_LE(moved, 8u);  // a rare shot may land on the other side of a cut
+}
+
+TEST(Compiled, ScratchShotLoopMatchesAllocatingOverload) {
+  const auto model = noise::hardware_noise_model(noise::device_by_name("rome"));
+  common::Rng rng(11);
+  const auto qc = random_basis_circuit(3, 16, rng);
+  const auto compiled = compile_noisy_circuit(qc, model);
+  TrajectoryScratch scratch(compiled.num_qubits);
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    common::Rng a(seed), b(seed);
+    const auto with_scratch = run_trajectory_shot(compiled, a, scratch);
+    const auto standalone = run_trajectory_shot(compiled, b);
+    ASSERT_EQ(with_scratch, standalone);
+  }
 }
 
 }  // namespace
