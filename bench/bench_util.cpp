@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "algos/grover.hpp"
 #include "algos/mct.hpp"
@@ -9,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "noise/catalog.hpp"
+#include "obs/obs.hpp"
 #include "transpile/decompose.hpp"
 
 namespace qc::bench {
@@ -17,11 +19,18 @@ BenchContext::BenchContext(int argc, char** argv, const std::string& figure_id)
     : args(argc, argv),
       fast(args.get_bool("fast", false)),
       shots(static_cast<std::size_t>(args.get_int("shots", 2048))),
-      csv_path(args.get("csv", figure_id + ".csv")) {}
+      csv_path(args.get("csv", figure_id + ".csv")) {
+  obs::init_from_env();
+  if (args.has("version")) {
+    std::printf("%s\n", obs::build_info_summary().c_str());
+    std::exit(0);
+  }
+}
 
 void print_banner(const std::string& id, const std::string& title) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("build: %s\n", obs::build_info_summary().c_str());
   std::printf("==============================================================\n");
 }
 

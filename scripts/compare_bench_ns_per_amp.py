@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare ns_per_amp figures between two BENCH_kernels.json reports.
+
+Usage: compare_bench_ns_per_amp.py BASELINE CURRENT [--threshold PCT]
+
+Prints one line per benchmark that carries an `ns_per_amp` counter and a
+WARNING for every benchmark whose ns_per_amp regressed by more than the
+threshold (default 25%). Exit code is always 0: CI runners are too noisy for
+a hard gate, the warnings exist to make drift visible in the job log.
+"""
+
+import argparse
+import json
+import sys
+
+
+def ns_per_amp_by_name(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if "ns_per_amp" in bench:
+            out[bench["name"]] = float(bench["ns_per_amp"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="regression warning threshold in percent")
+    args = parser.parse_args()
+
+    base = ns_per_amp_by_name(args.baseline)
+    cur = ns_per_amp_by_name(args.current)
+    if not base:
+        print(f"no ns_per_amp entries in baseline {args.baseline}; nothing to compare")
+        return 0
+
+    warnings = 0
+    for name in sorted(base):
+        if name not in cur:
+            print(f"MISSING  {name}: present in baseline, absent in current run")
+            warnings += 1
+            continue
+        b, c = base[name], cur[name]
+        delta = 100.0 * (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = f"  WARNING: >{args.threshold:.0f}% regression"
+            warnings += 1
+        print(f"{name}: {b:.3f} -> {c:.3f} ns/amp ({delta:+.1f}%){marker}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"NEW      {name}: {cur[name]:.3f} ns/amp (no baseline)")
+
+    if warnings:
+        print(f"\n{warnings} benchmark(s) regressed past the threshold "
+              "(informational only — CI runners are noisy; refresh "
+              "results/BENCH_kernels.json if the change is expected)")
+    else:
+        print("\nall ns_per_amp figures within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

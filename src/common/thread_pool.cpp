@@ -1,24 +1,101 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace qc::common {
 
+namespace {
+
+/// Pool-wide instruments, bound once. queue_depth counts tasks sitting in
+/// pool queues; tasks_executed counts completions (worker or helping caller);
+/// busy_ns / task_ns are recorded only while obs::timing_enabled().
+struct PoolMetrics {
+  obs::Counter& tasks_executed{obs::counter("pool.tasks_executed")};
+  obs::Counter& busy_ns{obs::counter("pool.busy_ns")};
+  obs::Counter& helper_tasks{obs::counter("pool.caller_helped_tasks")};
+  obs::Gauge& queue_depth{obs::gauge("pool.queue_depth")};
+  obs::Gauge& workers{obs::gauge("pool.workers")};
+  obs::Histogram& task_ns{obs::histogram("pool.task_ns")};
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+/// Runs one queued task, feeding the execution counters (and, when timing is
+/// on, the duration instruments). `per_worker_busy_ns` is null on the
+/// caller-helping path.
+void run_task(const std::function<void()>& task, obs::Counter* per_worker_busy_ns) {
+  PoolMetrics& m = pool_metrics();
+  if (obs::timing_enabled()) {
+    const std::uint64_t t0 = obs::detail::trace_now_ns();
+    task();
+    const std::uint64_t dt = obs::detail::trace_now_ns() - t0;
+    m.busy_ns.add(dt);
+    m.task_ns.record(dt);
+    if (per_worker_busy_ns != nullptr) per_worker_busy_ns->add(dt);
+  } else {
+    task();
+  }
+  m.tasks_executed.add(1);
+  if (per_worker_busy_ns == nullptr) m.helper_tasks.add(1);
+}
+
+}  // namespace
+
+std::size_t parse_thread_count_env(const char* text) {
+  if (text == nullptr) return 0;
+  if (*text == '\0') {
+    QC_LOG_WARN("thread_pool",
+                "QAPPROX_THREADS is set but empty; using hardware concurrency");
+    return 0;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == text || end == nullptr || *end != '\0') {
+    QC_LOG_WARN("thread_pool",
+                "QAPPROX_THREADS=\"%s\" is not a number; using hardware concurrency",
+                text);
+    return 0;
+  }
+  if (errno == ERANGE || v > static_cast<long>(kMaxThreadPoolSize)) {
+    QC_LOG_WARN("thread_pool", "QAPPROX_THREADS=%s is absurd; clamping to %zu",
+                text, kMaxThreadPoolSize);
+    return kMaxThreadPoolSize;
+  }
+  if (v <= 0) {
+    QC_LOG_WARN("thread_pool",
+                "QAPPROX_THREADS=%ld must be positive; using hardware concurrency",
+                v);
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  obs::init_from_env();
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  pool_metrics().workers.set(static_cast<std::int64_t>(num_threads));
+  QC_LOG_DEBUG("thread_pool", "pool started with %zu workers", num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -30,7 +107,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Per-worker tallies make utilization skew visible: a starving worker shows
+  // a busy_ns far below its siblings. Bound once per thread (cold).
+  obs::Counter& worker_busy =
+      obs::counter("pool.worker." + std::to_string(worker_index) + ".busy_ns");
+  PoolMetrics& m = pool_metrics();
   for (;;) {
     std::function<void()> task;
     {
@@ -40,7 +122,8 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    m.queue_depth.add(-1);
+    run_task(task, &worker_busy);
   }
 }
 
@@ -91,6 +174,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       });
     }
   }
+  pool_metrics().queue_depth.add(static_cast<std::int64_t>(num_chunks));
   cv_.notify_all();
 
   // Help drain the queue while waiting. The tasks we pick up may belong to
@@ -107,7 +191,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       }
     }
     if (task) {
-      task();
+      pool_metrics().queue_depth.add(-1);
+      run_task(task, nullptr);
       continue;
     }
     // Queue empty but our chunks still run elsewhere: sleep with a short
@@ -122,11 +207,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("QAPPROX_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{0};
+    obs::init_from_env();  // QAPPROX_LOG must apply before any parse warning
+    return parse_thread_count_env(std::getenv("QAPPROX_THREADS"));
   }());
   return pool;
 }

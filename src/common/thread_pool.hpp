@@ -42,7 +42,7 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -54,5 +54,16 @@ class ThreadPool {
 /// Convenience wrapper over ThreadPool::global().parallel_for.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
+
+/// Hard ceiling on QAPPROX_THREADS (values above it are clamped with a
+/// warning — a mistyped value must not spawn tens of thousands of threads).
+inline constexpr std::size_t kMaxThreadPoolSize = 1024;
+
+/// Validates a QAPPROX_THREADS value. Returns the parsed count, clamped to
+/// kMaxThreadPoolSize; non-numeric, empty, zero, negative, or overflowing
+/// input returns 0 ("use hardware concurrency"). Every override of the
+/// requested value emits a warn-level log. nullptr (variable unset) returns
+/// 0 silently.
+std::size_t parse_thread_count_env(const char* text);
 
 }  // namespace qc::common

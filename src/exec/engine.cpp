@@ -7,10 +7,50 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "metrics/distribution.hpp"
+#include "obs/obs.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/routing.hpp"
 
 namespace qc::exec {
+
+namespace {
+
+/// Per-phase duration histograms (ns). Sampled only while
+/// obs::timing_enabled(); name contract documented in DESIGN.md §obs.
+struct EngineTimers {
+  obs::Histogram& run{obs::histogram("exec.run_ns")};
+  obs::Histogram& transpile{obs::histogram("exec.transpile_ns")};
+  obs::Histogram& model{obs::histogram("exec.model_ns")};
+  obs::Histogram& compile{obs::histogram("exec.compile_ns")};
+  obs::Histogram& evolve{obs::histogram("exec.evolve_ns")};
+};
+
+EngineTimers& timers() {
+  static EngineTimers t;
+  return t;
+}
+
+/// Mirrors one run's kernel dispatch classes (RunRecord::kernel_counts) into
+/// the process-wide sim.kernel.* counters, one name per KernelKind label.
+void record_kernel_metrics(const linalg::KernelCounts& kc) {
+  struct KernelCounters {
+    obs::Counter& oneq_diag{obs::counter("sim.kernel.1q_diag")};
+    obs::Counter& oneq_general{obs::counter("sim.kernel.1q_general")};
+    obs::Counter& twoq_diag{obs::counter("sim.kernel.2q_diag")};
+    obs::Counter& twoq_perm_phase{obs::counter("sim.kernel.2q_perm_phase")};
+    obs::Counter& twoq_general{obs::counter("sim.kernel.2q_general")};
+    obs::Counter& generic{obs::counter("sim.kernel.generic")};
+  };
+  static KernelCounters c;
+  c.oneq_diag.add(kc.oneq_diag);
+  c.oneq_general.add(kc.oneq_general);
+  c.twoq_diag.add(kc.twoq_diag);
+  c.twoq_perm_phase.add(kc.twoq_perm_phase);
+  c.twoq_general.add(kc.twoq_general);
+  c.generic.add(kc.generic);
+}
+
+}  // namespace
 
 // ---- ExecutionConfig -------------------------------------------------------
 
@@ -51,20 +91,52 @@ transpile::TranspileOptions ExecutionConfig::transpile_options() const {
 
 // ---- cache plumbing --------------------------------------------------------
 
+void ExecutionEngine::count_cache_event(CacheId id, bool hit) {
+  // Process-wide counters (all engines); the per-engine CacheStats feeds
+  // cache_stats() and the run-record hit flags.
+  struct Pair {
+    obs::Counter& hits;
+    obs::Counter& misses;
+  };
+  static Pair global[] = {
+      {obs::counter("exec.cache.transpile.hits"),
+       obs::counter("exec.cache.transpile.misses")},
+      {obs::counter("exec.cache.model.hits"),
+       obs::counter("exec.cache.model.misses")},
+      {obs::counter("exec.cache.compiled.hits"),
+       obs::counter("exec.cache.compiled.misses")},
+      {obs::counter("exec.cache.matrix.hits"),
+       obs::counter("exec.cache.matrix.misses")},
+  };
+  Pair& pair = global[static_cast<int>(id)];
+  (hit ? pair.hits : pair.misses).add(1);
+  switch (id) {
+    case CacheId::Transpile:
+      ++(hit ? stats_.transpile_hits : stats_.transpile_misses);
+      break;
+    case CacheId::Model:
+      ++(hit ? stats_.model_hits : stats_.model_misses);
+      break;
+    case CacheId::Compiled:
+      ++(hit ? stats_.compiled_hits : stats_.compiled_misses);
+      break;
+    case CacheId::Matrix:
+      ++(hit ? stats_.matrix_hits : stats_.matrix_misses);
+      break;
+  }
+}
+
 template <typename K, typename V, typename Make>
 std::shared_ptr<const V> ExecutionEngine::get_or_compute(OnceCache<K, V>& cache,
-                                                         const K& key, bool* was_hit,
+                                                         CacheId id, const K& key,
+                                                         bool* was_hit,
                                                          Make&& make) {
   std::shared_ptr<Slot<V>> slot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = cache.entries.try_emplace(key);
-    if (inserted) {
-      it->second = std::make_shared<Slot<V>>();
-      ++cache.misses;
-    } else {
-      ++cache.hits;
-    }
+    if (inserted) it->second = std::make_shared<Slot<V>>();
+    count_cache_event(id, !inserted);
     if (was_hit) *was_hit = !inserted;
     slot = it->second;
   }
@@ -81,6 +153,7 @@ common::ThreadPool& ExecutionEngine::pool() {
 }
 
 ExecutionEngine::ExecutionEngine(EngineOptions options) : options_(options) {
+  obs::init_from_env();
   QC_CHECK(options_.trajectory_block > 0);
   if (options_.num_threads > 0)
     owned_pool_ = std::make_unique<common::ThreadPool>(options_.num_threads);
@@ -95,16 +168,7 @@ ExecutionEngine& ExecutionEngine::global() {
 
 CacheStats ExecutionEngine::cache_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  CacheStats s;
-  s.transpile_hits = transpile_cache_.hits;
-  s.transpile_misses = transpile_cache_.misses;
-  s.model_hits = model_cache_.hits;
-  s.model_misses = model_cache_.misses;
-  s.compiled_hits = compiled_cache_.hits;
-  s.compiled_misses = compiled_cache_.misses;
-  s.matrix_hits = matrix_cache_.hits;
-  s.matrix_misses = matrix_cache_.misses;
-  return s;
+  return stats_;
 }
 
 void ExecutionEngine::clear_caches() {
@@ -113,6 +177,7 @@ void ExecutionEngine::clear_caches() {
   model_cache_ = {};
   compiled_cache_ = {};
   matrix_cache_ = {};
+  stats_ = {};
 }
 
 // ---- cache keys ------------------------------------------------------------
@@ -157,7 +222,7 @@ ExecutionEngine::ModelKey ExecutionEngine::make_model_key(
 std::shared_ptr<const transpile::TranspileResult> ExecutionEngine::transpile_cached(
     const RunRequest& request, bool* hit) {
   const TranspileKey key = make_transpile_key(request);
-  return get_or_compute(transpile_cache_, key, hit, [&] {
+  return get_or_compute(transpile_cache_, CacheId::Transpile, key, hit, [&] {
     return transpile::transpile(request.circuit, request.config.device,
                                 request.config.transpile_options());
   });
@@ -166,7 +231,7 @@ std::shared_ptr<const transpile::TranspileResult> ExecutionEngine::transpile_cac
 std::shared_ptr<const noise::NoiseModel> ExecutionEngine::model_cached(
     const RunRequest& request, const transpile::TranspileResult& tr, bool* hit) {
   const ModelKey key = make_model_key(request, tr);
-  return get_or_compute(model_cache_, key, hit, [&] {
+  return get_or_compute(model_cache_, CacheId::Model, key, hit, [&] {
     const noise::DeviceProperties sub = tr.restricted_device(request.config.device);
     return noise::NoiseModel::from_device(sub, request.config.noise_options);
   });
@@ -177,7 +242,7 @@ linalg::Matrix ExecutionEngine::gate_matrix(const ir::Gate& gate) {
   key.kind = static_cast<int>(gate.kind);
   key.params.reserve(gate.params.size());
   for (double p : gate.params) key.params.push_back(std::bit_cast<std::uint64_t>(p));
-  const auto m = get_or_compute(matrix_cache_, key, nullptr,
+  const auto m = get_or_compute(matrix_cache_, CacheId::Matrix, key, nullptr,
                                 [&] { return gate.matrix(); });
   return *m;
 }
@@ -187,7 +252,7 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_cached(
     const transpile::TranspileResult& tr, const noise::NoiseModel& model,
     bool* hit) {
   const CompiledKey key{tkey, mkey};
-  return get_or_compute(compiled_cache_, key, hit, [&] {
+  return get_or_compute(compiled_cache_, CacheId::Compiled, key, hit, [&] {
     return sim::compile_noisy_circuit(
         tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); });
   });
@@ -196,7 +261,7 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_cached(
 std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_ideal_cached(
     const TranspileKey& tkey, const transpile::TranspileResult& tr, bool* hit) {
   const CompiledKey key{tkey, ModelKey{}, /*ideal=*/1};
-  return get_or_compute(compiled_cache_, key, hit, [&] {
+  return get_or_compute(compiled_cache_, CacheId::Compiled, key, hit, [&] {
     const noise::NoiseModel model = noise::NoiseModel::ideal(tr.circuit.num_qubits());
     return sim::compile_noisy_circuit(
         tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); });
@@ -210,14 +275,23 @@ std::vector<double> ExecutionEngine::trajectory_probabilities(
   QC_CHECK(shots > 0);
   const std::size_t block = options_.trajectory_block;
   const std::size_t num_blocks = (shots + block - 1) / block;
+  obs::Span span("exec.trajectories");
+  if (span.active()) {
+    span.arg("shots", shots);
+    span.arg("blocks", num_blocks);
+  }
+  static obs::Counter& shot_counter = obs::counter("sim.trajectory_shots");
+  shot_counter.add(shots);
   std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
   std::mutex merge_mutex;
   // The block partition depends only on `trajectory_block`, and each shot
   // draws from its own counter-derived stream, so the merged integer counts
   // are bit-identical for every pool size and merge order.
   pool().parallel_for(0, num_blocks, [&](std::size_t b) {
+    obs::Span block_span("exec.traj_block");
     const std::size_t begin = b * block;
     const std::size_t end = std::min(shots, begin + block);
+    if (block_span.active()) block_span.arg("shots", end - begin);
     const auto local = sim::trajectory_counts_streamed(compiled, begin, end, seed);
     std::lock_guard<std::mutex> lock(merge_mutex);
     for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
@@ -226,38 +300,64 @@ std::vector<double> ExecutionEngine::trajectory_probabilities(
 }
 
 RunResult ExecutionEngine::run(const RunRequest& request) {
+  obs::Span run_span("exec.run", &timers().run);
+  static obs::Counter& runs_counter = obs::counter("exec.runs");
+  runs_counter.add(1);
   common::Stopwatch watch;
   RunResult result;
   RunRecord& rec = result.record;
+  rec.build_stamp = obs::build_info_summary();
 
-  const auto tr = transpile_cached(request, &rec.transpile_cache_hit);
-  rec.transpiled_cx = tr->circuit.count(ir::GateKind::CX);
-  rec.transpiled_depth = tr->circuit.depth();
-  rec.added_swaps = tr->added_swaps;
-  rec.initial_layout = tr->initial_layout;
-  rec.active_physical = tr->active_physical;
+  std::shared_ptr<const transpile::TranspileResult> tr;
+  {
+    obs::Span span("exec.transpile", &timers().transpile);
+    tr = transpile_cached(request, &rec.transpile_cache_hit);
+    rec.transpiled_cx = tr->circuit.count(ir::GateKind::CX);
+    rec.transpiled_depth = tr->circuit.depth();
+    rec.added_swaps = tr->added_swaps;
+    rec.initial_layout = tr->initial_layout;
+    rec.active_physical = tr->active_physical;
+    if (span.active()) {
+      span.arg("cache_hit", rec.transpile_cache_hit);
+      span.arg("cx", rec.transpiled_cx);
+      span.arg("depth", rec.transpiled_depth);
+      span.arg("swaps", rec.added_swaps);
+    }
+  }
 
   // Every engine runs the same cached, step-fused compiled program; they
   // differ only in how they evolve it.
-  std::vector<double> probs;
+  std::shared_ptr<const sim::CompiledCircuit> compiled;
+  std::shared_ptr<const noise::NoiseModel> model;
   if (request.config.ideal) {
     rec.engine = "ideal";
-    const auto compiled =
-        compiled_ideal_cached(make_transpile_key(request), *tr,
-                              &rec.compiled_cache_hit);
-    rec.compiled_steps = compiled->steps.size();
-    rec.fused_gates = compiled->fused_gates;
-    rec.kernel_counts = compiled->kernel_counts;
-    probs = sim::statevector_probabilities(*compiled);
+    obs::Span span("exec.compile", &timers().compile);
+    compiled = compiled_ideal_cached(make_transpile_key(request), *tr,
+                                     &rec.compiled_cache_hit);
+    if (span.active()) span.arg("cache_hit", rec.compiled_cache_hit);
   } else {
-    const auto model = model_cached(request, *tr, &rec.noise_model_cache_hit);
-    const auto compiled =
-        compiled_cached(make_transpile_key(request), make_model_key(request, *tr),
-                        *tr, *model, &rec.compiled_cache_hit);
-    rec.compiled_steps = compiled->steps.size();
-    rec.fused_gates = compiled->fused_gates;
-    rec.kernel_counts = compiled->kernel_counts;
-    if (request.config.use_trajectories) {
+    {
+      obs::Span span("exec.model", &timers().model);
+      model = model_cached(request, *tr, &rec.noise_model_cache_hit);
+      if (span.active()) span.arg("cache_hit", rec.noise_model_cache_hit);
+    }
+    obs::Span span("exec.compile", &timers().compile);
+    compiled = compiled_cached(make_transpile_key(request),
+                               make_model_key(request, *tr), *tr, *model,
+                               &rec.compiled_cache_hit);
+    if (span.active()) span.arg("cache_hit", rec.compiled_cache_hit);
+  }
+  rec.compiled_steps = compiled->steps.size();
+  rec.fused_gates = compiled->fused_gates;
+  rec.kernel_counts = compiled->kernel_counts;
+  record_kernel_metrics(rec.kernel_counts);
+
+  std::vector<double> probs;
+  {
+    obs::Span span("exec.evolve", &timers().evolve);
+    if (request.config.ideal) {
+      probs = sim::statevector_probabilities(*compiled);
+    } else if (request.config.use_trajectories) {
       rec.engine = "traj:" + model->device_name();
       rec.shots = request.config.shots;
       probs = trajectory_probabilities(*compiled, request.config.shots,
@@ -266,14 +366,21 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
       rec.engine = "dm:" + model->device_name();
       probs = sim::density_matrix_probabilities(*compiled);
     }
+    if (span.active()) span.arg("engine", rec.engine);
   }
   result.probabilities = transpile::unpermute_distribution(probs, tr->wire_of_virtual);
   rec.wall_ms = watch.millis();
+  if (run_span.active()) {
+    run_span.arg("engine", rec.engine);
+    run_span.arg("compiled_steps", rec.compiled_steps);
+  }
   return result;
 }
 
 std::vector<RunResult> ExecutionEngine::run_batch(
     const std::vector<RunRequest>& requests) {
+  obs::Span span("exec.run_batch");
+  if (span.active()) span.arg("requests", requests.size());
   std::vector<RunResult> results(requests.size());
   pool().parallel_for(0, requests.size(),
                       [&](std::size_t i) { results[i] = run(requests[i]); });

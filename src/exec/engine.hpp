@@ -22,6 +22,13 @@
 // additionally fans shots out in fixed-size blocks with counter-based
 // per-shot RNG streams (common::derive_stream_seed), so results are
 // bit-identical for every thread count, including QAPPROX_THREADS=1.
+//
+// The engine is fully instrumented through src/obs: every phase (transpile /
+// noise model / compile / evolve) runs under a Span with a duration
+// histogram, cache hits and misses feed the process-wide metrics registry
+// (exec.cache.*) as well as the per-engine CacheStats, and each run's kernel
+// dispatch counts are mirrored into sim.kernel.* counters. All of it is
+// zero-overhead unless QAPPROX_TRACE / QAPPROX_METRICS are set.
 #pragma once
 
 #include <cstdint>
@@ -65,10 +72,12 @@ class ExecutionEngine {
   /// `requests` and identical to running each request serially.
   std::vector<RunResult> run_batch(const std::vector<RunRequest>& requests);
 
-  /// Snapshot of the session cache counters.
+  /// Snapshot of this engine's cache counters. Process-wide aggregates (all
+  /// engines) live in the obs metrics registry under exec.cache.*.
   CacheStats cache_stats() const;
 
-  /// Drops every cached entry and zeroes the counters.
+  /// Drops every cached entry and zeroes this engine's counters (the global
+  /// exec.cache.* metrics are monotonic and unaffected).
   void clear_caches();
 
   /// Process-wide shared engine (used by the approx drivers and benchmarks
@@ -124,14 +133,21 @@ class ExecutionEngine {
   template <typename K, typename V>
   struct OnceCache {
     std::map<K, std::shared_ptr<Slot<V>>> entries;
-    std::size_t hits = 0, misses = 0;
   };
 
-  /// Finds-or-creates the slot for `key` (counting a hit or a miss), then
-  /// computes the value exactly once with `make`.
+  /// Which session cache an event belongs to, for counter routing.
+  enum class CacheId { Transpile, Model, Compiled, Matrix };
+
+  /// Finds-or-creates the slot for `key` (counting a hit or a miss against
+  /// both this engine's CacheStats and the process-wide metrics registry),
+  /// then computes the value exactly once with `make`.
   template <typename K, typename V, typename Make>
-  std::shared_ptr<const V> get_or_compute(OnceCache<K, V>& cache, const K& key,
-                                          bool* was_hit, Make&& make);
+  std::shared_ptr<const V> get_or_compute(OnceCache<K, V>& cache, CacheId id,
+                                          const K& key, bool* was_hit,
+                                          Make&& make);
+
+  /// Tallies one lookup. Requires mutex_ to be held.
+  void count_cache_event(CacheId id, bool hit);
 
   common::ThreadPool& pool();
 
@@ -158,7 +174,8 @@ class ExecutionEngine {
   EngineOptions options_;
   std::unique_ptr<common::ThreadPool> owned_pool_;
 
-  mutable std::mutex mutex_;  // guards the four caches and their counters
+  mutable std::mutex mutex_;  // guards the four caches and stats_
+  CacheStats stats_;
   OnceCache<TranspileKey, transpile::TranspileResult> transpile_cache_;
   OnceCache<ModelKey, noise::NoiseModel> model_cache_;
   OnceCache<CompiledKey, sim::CompiledCircuit> compiled_cache_;

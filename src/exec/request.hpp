@@ -79,6 +79,10 @@ struct RunRecord {
   bool noise_model_cache_hit = false;
   bool compiled_cache_hit = false;      // compiled-program cache (all engines)
   double wall_ms = 0.0;
+  /// Which binary produced this record (obs::build_info_summary(): git SHA,
+  /// compiler, build type, native/flags) — lets archived results name the
+  /// exact build they came from.
+  std::string build_stamp;
 };
 
 /// Outcome distribution (virtual bit order, normalized) plus its provenance.

@@ -1,0 +1,51 @@
+// Internal JSON emission helpers shared by the trace and metrics exporters.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace qc::obs::detail {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_string(std::string_view text) {
+  return "\"" + json_escape(text) + "\"";
+}
+
+/// JSON has no Inf/NaN literals; non-finite doubles degrade to a string.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return json_string(v > 0 ? "inf" : (v < 0 ? "-inf" : "nan"));
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace qc::obs::detail

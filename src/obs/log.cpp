@@ -1,0 +1,86 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace qc::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::Warn)};
+}  // namespace detail
+
+namespace {
+std::atomic<LogSink> g_sink{nullptr};
+
+double seconds_since_start() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Serializes whole lines so concurrent emitters never interleave mid-line.
+std::mutex& stderr_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+LogLevel parse_log_level(const char* text, LogLevel fallback) {
+  if (text == nullptr) return fallback;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return fallback;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+void set_log_sink(LogSink sink) { g_sink.store(sink, std::memory_order_release); }
+
+void log_emit(LogLevel level, const char* module, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+
+  if (const LogSink sink = g_sink.load(std::memory_order_acquire)) {
+    sink(level, module, buf);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stderr_mutex());
+  std::fprintf(stderr, "[qapprox +%.3fs t%02u %-5s %s] %s\n",
+               seconds_since_start(), detail::this_thread_id(),
+               log_level_name(level), module, buf);
+}
+
+}  // namespace qc::obs

@@ -1,0 +1,68 @@
+// Leveled structured logging: the process-wide sink for everything qapprox
+// wants to tell an operator.
+//
+// The QC_LOG_* macros evaluate a relaxed atomic level check before touching
+// their arguments, so a filtered-out statement costs one load and a branch —
+// no formatting, no allocation. The level comes from QAPPROX_LOG
+// (debug|info|warn|error|off; default warn) or set_log_level(). The default
+// sink writes one structured line per message to stderr:
+//
+//   [qapprox +0.123s t01 warn  thread_pool] QAPPROX_THREADS="x" is not a number
+//
+// Tests and embedders can replace the sink wholesale with set_log_sink.
+#pragma once
+
+#include <atomic>
+
+namespace qc::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+}  // namespace detail
+
+/// True when `level` messages currently pass the filter (relaxed load; this
+/// is the hot-path guard the macros use).
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// anything else returns `fallback`.
+LogLevel parse_log_level(const char* text, LogLevel fallback);
+
+const char* log_level_name(LogLevel level);
+
+/// Replacement sink (tests, embedders); nullptr restores the stderr default.
+/// `message` is the fully formatted body without the structured prefix.
+using LogSink = void (*)(LogLevel level, const char* module, const char* message);
+void set_log_sink(LogSink sink);
+
+/// printf-style emit. Prefer the QC_LOG_* macros, which skip the call (and
+/// all argument evaluation) when the level is filtered out.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void log_emit(LogLevel level, const char* module, const char* fmt, ...);
+
+}  // namespace qc::obs
+
+#define QC_LOG_AT(level, module, ...)                  \
+  do {                                                 \
+    if (::qc::obs::log_enabled(level))                 \
+      ::qc::obs::log_emit(level, module, __VA_ARGS__); \
+  } while (0)
+
+#define QC_LOG_DEBUG(module, ...) \
+  QC_LOG_AT(::qc::obs::LogLevel::Debug, module, __VA_ARGS__)
+#define QC_LOG_INFO(module, ...) \
+  QC_LOG_AT(::qc::obs::LogLevel::Info, module, __VA_ARGS__)
+#define QC_LOG_WARN(module, ...) \
+  QC_LOG_AT(::qc::obs::LogLevel::Warn, module, __VA_ARGS__)
+#define QC_LOG_ERROR(module, ...) \
+  QC_LOG_AT(::qc::obs::LogLevel::Error, module, __VA_ARGS__)

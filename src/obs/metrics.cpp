@@ -1,0 +1,182 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+
+namespace qc::obs {
+
+namespace detail {
+std::atomic<bool> g_timing_enabled{false};
+}  // namespace detail
+
+void set_timing_enabled(bool enabled) {
+  detail::g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Name -> instrument maps. unique_ptr entries give the returned references
+/// process-lifetime stability; leaked so worker threads of static-duration
+/// pools can still update instruments during static destruction.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                  std::mutex& mu, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.counters, r.mu, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.gauges, r.mu, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.histograms, r.mu, name);
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    MetricsSnapshot::Hist hist;
+    hist.name = name;
+    hist.count = h->count();
+    hist.sum = h->sum();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b)
+      if (const std::uint64_t n = h->bucket(b)) hist.buckets.emplace_back(b, n);
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+std::string metrics_json() {
+  const MetricsSnapshot snap = metrics_snapshot();
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) os << ",";
+    os << detail::json_string(snap.counters[i].first) << ":"
+       << snap.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) os << ",";
+    os << detail::json_string(snap.gauges[i].first) << ":" << snap.gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i) os << ",";
+    os << detail::json_string(h.name) << ":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"buckets\":{";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) os << ",";
+      os << "\"" << h.buckets[b].first << "\":" << h.buckets[b].second;
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string metrics_table() {
+  const MetricsSnapshot snap = metrics_snapshot();
+  std::ostringstream os;
+  char line[192];
+  if (!snap.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, v] : snap.counters) {
+      std::snprintf(line, sizeof(line), "  %-44s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      os << line;
+    }
+  }
+  if (!snap.gauges.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, v] : snap.gauges) {
+      std::snprintf(line, sizeof(line), "  %-44s %20lld\n", name.c_str(),
+                    static_cast<long long>(v));
+      os << line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    os << "histograms (count / mean):\n";
+    for (const auto& h : snap.histograms) {
+      const double mean =
+          h.count ? static_cast<double>(h.sum) / static_cast<double>(h.count) : 0.0;
+      std::snprintf(line, sizeof(line), "  %-44s %12llu / %.1f\n", h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), mean);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+bool write_metrics_json(const std::string& path) {
+  const std::string json =
+      "{\"build\":" + build_info_json() + ",\"metrics\":" + metrics_json() + "}";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    QC_LOG_ERROR("obs", "cannot write metrics to %s", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    QC_LOG_ERROR("obs", "short write to metrics file %s", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace qc::obs

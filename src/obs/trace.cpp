@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+
+namespace qc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  // string-literal contract (see trace.hpp)
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::vector<SpanArg> args;
+};
+
+/// One buffer per thread. The mutex is uncontended except while an exporter
+/// drains: the owning thread appends, the exporter copies.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+/// Buffers are shared_ptr-owned by both the thread_local handle and this
+/// registry, so events survive thread exit and the exporter can always drain
+/// every thread that ever traced. Leaked on purpose: worker threads of
+/// static-duration pools may still record while statics are destroyed.
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::uint64_t t0_ns = trace_now_ns();
+};
+
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::vector<SpanArg>&& args) {
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(TraceEvent{name, start_ns, end_ns, std::move(args)});
+}
+
+std::uint32_t this_thread_id() { return thread_buffer().tid; }
+
+}  // namespace detail
+
+void enable_tracing() {
+  detail::registry();  // pin t0 before the first event
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable_tracing() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  detail::TraceRegistry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::string chrome_trace_json() {
+  detail::TraceRegistry& reg = detail::registry();
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  std::uint64_t t0 = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+    t0 = reg.t0_ns;
+  }
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"qapprox\"}}";
+  char num[64];
+  for (const auto& buf : buffers) {
+    std::vector<detail::TraceEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(buf->mu);
+      events = buf->events;
+    }
+    for (const auto& ev : events) {
+      // Complete ("X") events; ts/dur are microseconds in the trace format.
+      os << ",{\"name\":" << detail::json_string(ev.name)
+         << ",\"cat\":\"qapprox\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buf->tid;
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(ev.start_ns - t0) / 1000.0);
+      os << ",\"ts\":" << num;
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0);
+      os << ",\"dur\":" << num;
+      if (!ev.args.empty()) {
+        os << ",\"args\":{";
+        bool first = true;
+        for (const auto& a : ev.args) {
+          if (!first) os << ",";
+          first = false;
+          os << detail::json_string(a.key) << ":";
+          switch (a.kind) {
+            case detail::SpanArg::Kind::Int: os << a.i; break;
+            case detail::SpanArg::Kind::Double:
+              os << detail::json_number(a.d);
+              break;
+            case detail::SpanArg::Kind::Str:
+              os << detail::json_string(a.s);
+              break;
+          }
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    QC_LOG_ERROR("obs", "cannot write trace to %s", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    QC_LOG_ERROR("obs", "short write to trace file %s", path.c_str());
+    return false;
+  }
+  QC_LOG_INFO("obs", "wrote %zu bytes of trace to %s", json.size(), path.c_str());
+  return true;
+}
+
+}  // namespace qc::obs

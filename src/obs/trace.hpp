@@ -1,0 +1,120 @@
+// Span tracing: RAII spans buffered per thread, exported as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// A Span is a named interval on the current thread. When tracing is disabled
+// (the default) constructing one costs a relaxed atomic load and a branch —
+// no clock read, no allocation. When enabled (QAPPROX_TRACE=<path> or
+// enable_tracing()), the destructor records {name, start, duration, thread,
+// args} into a per-thread buffer; write_chrome_trace() drains every buffer
+// into one JSON file (armed automatically at process exit when the
+// environment variable is set).
+//
+// A span can also carry a duration histogram: pass &obs::histogram(...) and
+// the scope's duration (ns) is recorded whenever timing_enabled(), even with
+// tracing off. This is how per-phase timings reach the metrics snapshot.
+//
+// Span names and arg keys must be string literals (or otherwise outlive the
+// span); arg string *values* are copied.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace qc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+std::uint64_t trace_now_ns();
+
+struct SpanArg {
+  enum class Kind { Int, Double, Str };
+  const char* key;
+  Kind kind;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::vector<SpanArg>&& args);
+
+/// Small dense id for the current thread (shared with the log prefix).
+std::uint32_t this_thread_id();
+}  // namespace detail
+
+/// Hot-path guard: relaxed atomic load.
+inline bool tracing_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void enable_tracing();
+void disable_tracing();
+
+/// Drops every buffered event (tests).
+void reset_trace();
+
+/// Chrome trace-event JSON of everything buffered so far. Events are grouped
+/// by thread, in completion order within each thread.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; false (and an error log) on failure.
+bool write_chrome_trace(const std::string& path);
+
+class Span {
+ public:
+  explicit Span(const char* name, Histogram* duration_hist = nullptr) {
+    const bool trace = tracing_enabled();
+    hist_ = (duration_hist != nullptr && timing_enabled()) ? duration_hist : nullptr;
+    if (trace || hist_ != nullptr) {
+      name_ = name;
+      trace_ = trace;
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ == nullptr) return;
+    const std::uint64_t end_ns = detail::trace_now_ns();
+    if (hist_ != nullptr) hist_->record(end_ns - start_ns_);
+    if (trace_) detail::record_span(name_, start_ns_, end_ns, std::move(args_));
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span will emit a trace event — guard arg computations
+  /// that are themselves not free (e.g. gate-count scans).
+  bool active() const { return trace_; }
+
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  void arg(const char* key, T v) {
+    if (trace_)
+      args_.push_back({key, detail::SpanArg::Kind::Int,
+                       static_cast<std::int64_t>(v), 0.0, {}});
+  }
+  void arg(const char* key, double v) {
+    if (trace_) args_.push_back({key, detail::SpanArg::Kind::Double, 0, v, {}});
+  }
+  void arg(const char* key, const std::string& v) {
+    if (trace_) args_.push_back({key, detail::SpanArg::Kind::Str, 0, 0.0, v});
+  }
+  void arg(const char* key, const char* v) {
+    if (trace_)
+      args_.push_back({key, detail::SpanArg::Kind::Str, 0, 0.0, std::string(v)});
+  }
+
+ private:
+  const char* name_ = nullptr;  // non-null iff the span is live in any sense
+  bool trace_ = false;
+  Histogram* hist_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::vector<detail::SpanArg> args_;
+};
+
+}  // namespace qc::obs

@@ -6,6 +6,7 @@
 #include "linalg/embed.hpp"
 #include "metrics/distribution.hpp"
 #include "noise/readout.hpp"
+#include "obs/obs.hpp"
 #include "sim/density_matrix.hpp"
 
 namespace qc::sim {
@@ -57,6 +58,8 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
                                       const CompileOptions& options) {
   QC_CHECK_MSG(circuit.num_qubits() <= model.num_qubits(),
                "circuit wider than the noise model's device");
+  static obs::Histogram& compile_ns = obs::histogram("sim.compile_ns");
+  obs::Span span("sim.compile", &compile_ns);
   CompiledCircuit compiled;
   compiled.num_qubits = circuit.num_qubits();
   compiled.readout = readout_slice(model, circuit.num_qubits());
@@ -100,6 +103,25 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
       for (const linalg::Matrix& k : op.operators)
         op.adjoints.push_back(k.adjoint());
     }
+  }
+  // Fusion effectiveness across the whole process; the per-run view lives in
+  // RunRecord::{fused_gates, kernel_counts}.
+  struct FusionCounters {
+    obs::Counter& compiles{obs::counter("sim.compile.circuits")};
+    obs::Counter& source{obs::counter("sim.compile.source_gates")};
+    obs::Counter& fused{obs::counter("sim.compile.fused_gates")};
+    obs::Counter& steps{obs::counter("sim.compile.steps")};
+  };
+  static FusionCounters c;
+  c.compiles.add(1);
+  c.source.add(compiled.source_gates);
+  c.fused.add(compiled.fused_gates);
+  c.steps.add(compiled.steps.size());
+  if (span.active()) {
+    span.arg("qubits", compiled.num_qubits);
+    span.arg("source_gates", compiled.source_gates);
+    span.arg("fused_gates", compiled.fused_gates);
+    span.arg("steps", compiled.steps.size());
   }
   return compiled;
 }

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "linalg/kernels.hpp"
 #include "metrics/process.hpp"
+#include "obs/obs.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/euler.hpp"
 
@@ -123,6 +124,27 @@ QFactorResult qfactor_optimize(const QuantumCircuit& structure, const Matrix& ta
   const std::size_t m = mats.size();
 
   QFactorResult result;
+  static obs::Histogram& opt_ns = obs::histogram("synth.qfactor_ns");
+  obs::Span span("synth.qfactor", &opt_ns);
+  // Destroyed before `span`, so the args land on it. The residual histogram
+  // stores hs_distance * 1e12 (log2 buckets then read as order of magnitude:
+  // bucket b covers residuals around 2^b * 1e-12).
+  struct Tally {
+    QFactorResult& r;
+    obs::Span& s;
+    ~Tally() {
+      static obs::Counter& sweeps = obs::counter("synth.qfactor.sweeps");
+      static obs::Histogram& residual = obs::histogram("synth.qfactor.residual_e12");
+      sweeps.add(static_cast<std::uint64_t>(r.sweeps));
+      if (obs::timing_enabled() && r.hs_distance >= 0.0)
+        residual.record(static_cast<std::uint64_t>(r.hs_distance * 1e12));
+      if (s.active()) {
+        s.arg("sweeps", r.sweeps);
+        s.arg("residual", r.hs_distance);
+        s.arg("converged", static_cast<int>(r.converged));
+      }
+    }
+  } tally{result, span};
   result.circuit = basis;
   if (m == 0) {
     result.hs_distance = metrics::hs_distance(target, Matrix::identity(dim));

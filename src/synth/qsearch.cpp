@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "synth/cost.hpp"
 
 namespace qc::synth {
@@ -55,6 +56,27 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
   common::Rng rng(options.seed);
   QSearchResult result;
   std::uint64_t insert_counter = 0;
+
+  static obs::Histogram& search_ns = obs::histogram("synth.qsearch_ns");
+  obs::Span span("synth.qsearch", &search_ns);
+  // Tally on every exit path (the search returns from inside the expansion
+  // loop on convergence). Destroyed before `span`, so the args land on it.
+  struct Tally {
+    QSearchResult& r;
+    obs::Span& s;
+    ~Tally() {
+      static obs::Counter& expanded = obs::counter("synth.qsearch.nodes_expanded");
+      static obs::Counter& optimized = obs::counter("synth.qsearch.nodes_optimized");
+      expanded.add(r.nodes_expanded);
+      optimized.add(r.nodes_optimized);
+      if (s.active()) {
+        s.arg("nodes_expanded", r.nodes_expanded);
+        s.arg("nodes_optimized", r.nodes_optimized);
+        s.arg("best_hs", r.best.hs_distance);
+        s.arg("converged", static_cast<int>(r.converged));
+      }
+    }
+  } tally{result, span};
 
   auto optimize_node = [&](Node& node) {
     const TemplateCircuit tpl = build_template(num_qubits, node.blocks);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/peephole.hpp"
 #include "transpile/routing.hpp"
@@ -13,6 +14,37 @@ namespace qc::transpile {
 using ir::Gate;
 using ir::GateKind;
 using ir::QuantumCircuit;
+
+namespace {
+
+/// One histogram per pipeline pass (ns); the matching spans carry the
+/// per-invocation gate/CX deltas as args.
+struct PassTimers {
+  obs::Histogram& decompose{obs::histogram("transpile.decompose_ns")};
+  obs::Histogram& peephole{obs::histogram("transpile.peephole_ns")};
+  obs::Histogram& layout{obs::histogram("transpile.layout_ns")};
+  obs::Histogram& route{obs::histogram("transpile.route_ns")};
+  obs::Histogram& cleanup{obs::histogram("transpile.cleanup_ns")};
+  obs::Histogram& compact{obs::histogram("transpile.compact_ns")};
+};
+
+PassTimers& pass_timers() {
+  static PassTimers t;
+  return t;
+}
+
+/// Records how a pass changed the circuit: total gates and CX count before
+/// and after. Only evaluated when the span is live.
+void pass_delta(obs::Span& span, std::size_t gates_before, std::size_t cx_before,
+                const QuantumCircuit& after) {
+  if (!span.active()) return;
+  span.arg("gates_in", gates_before);
+  span.arg("gates_out", after.size());
+  span.arg("cx_in", cx_before);
+  span.arg("cx_out", after.count(GateKind::CX));
+}
+
+}  // namespace
 
 noise::DeviceProperties restrict_device(const noise::DeviceProperties& device,
                                         const std::vector<int>& physical_qubits) {
@@ -78,29 +110,63 @@ TranspileResult transpile(const QuantumCircuit& circuit,
                           const TranspileOptions& options) {
   QC_CHECK(options.optimization_level >= 0 && options.optimization_level <= 3);
 
-  QuantumCircuit basis = decompose_to_cx_u3(circuit);
-  if (options.optimization_level >= 2) basis = optimize_peephole(basis);
+  const std::size_t in_gates = circuit.size();
+  const std::size_t in_cx = circuit.count(GateKind::CX);
+
+  QuantumCircuit basis = [&] {
+    obs::Span span("transpile.decompose", &pass_timers().decompose);
+    QuantumCircuit out = decompose_to_cx_u3(circuit);
+    pass_delta(span, in_gates, in_cx, out);
+    return out;
+  }();
+  if (options.optimization_level >= 2) {
+    obs::Span span("transpile.peephole", &pass_timers().peephole);
+    const std::size_t g = basis.size(), cx = basis.count(GateKind::CX);
+    basis = optimize_peephole(basis);
+    pass_delta(span, g, cx, basis);
+  }
 
   Layout layout;
-  if (options.initial_layout) {
-    layout = *options.initial_layout;
-    QC_CHECK_MSG(layout.size() == static_cast<std::size_t>(circuit.num_qubits()),
-                 "initial_layout size must equal circuit width");
-  } else if (options.optimization_level >= 3) {
-    layout = noise_aware_layout(basis, device);
-  } else {
-    layout = trivial_layout(basis, device);
+  {
+    obs::Span span("transpile.layout", &pass_timers().layout);
+    if (options.initial_layout) {
+      layout = *options.initial_layout;
+      QC_CHECK_MSG(layout.size() == static_cast<std::size_t>(circuit.num_qubits()),
+                   "initial_layout size must equal circuit width");
+    } else if (options.optimization_level >= 3) {
+      layout = noise_aware_layout(basis, device);
+    } else {
+      layout = trivial_layout(basis, device);
+    }
   }
 
-  RoutingResult routed = options.router == TranspileOptions::Router::Sabre
-                             ? route_sabre(basis, device.coupling, layout)
-                             : route(basis, device.coupling, layout);
-  QuantumCircuit physical = decompose_to_cx_u3(routed.circuit);  // expand SWAPs
-  if (options.optimization_level >= 2) {
-    physical = optimize_peephole(physical);
-  } else if (options.optimization_level >= 1) {
-    cancel_adjacent_cx(physical);
+  RoutingResult routed = [&] {
+    obs::Span span("transpile.route", &pass_timers().route);
+    RoutingResult out = options.router == TranspileOptions::Router::Sabre
+                            ? route_sabre(basis, device.coupling, layout)
+                            : route(basis, device.coupling, layout);
+    if (span.active()) {
+      span.arg("router",
+               options.router == TranspileOptions::Router::Sabre ? "sabre" : "greedy");
+      span.arg("added_swaps", out.added_swaps);
+    }
+    return out;
+  }();
+  QuantumCircuit physical;
+  {
+    obs::Span span("transpile.cleanup", &pass_timers().cleanup);
+    const std::size_t g = routed.circuit.size();
+    const std::size_t cx = routed.circuit.count(GateKind::CX);
+    physical = decompose_to_cx_u3(routed.circuit);  // expand SWAPs
+    if (options.optimization_level >= 2) {
+      physical = optimize_peephole(physical);
+    } else if (options.optimization_level >= 1) {
+      cancel_adjacent_cx(physical);
+    }
+    pass_delta(span, g, cx, physical);
   }
+
+  obs::Span compact_span("transpile.compact", &pass_timers().compact);
 
   // Compact onto the physical qubits actually touched (plus all layout
   // targets, so an idle virtual qubit still owns a wire).
