@@ -15,7 +15,7 @@
 #include "sim/backend.hpp"
 #include "transpile/pipeline.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_engines");
   bench::print_banner("Ablation", "Density-matrix vs trajectory engines");
@@ -50,4 +50,8 @@ int main(int argc, char** argv) {
   bench::shape_check("trajectory converges to the DM answer with shots",
                      tvd_hi < tvd_lo, tvd_hi, tvd_lo);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

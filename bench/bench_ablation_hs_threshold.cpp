@@ -12,7 +12,7 @@
 #include "noise/catalog.hpp"
 #include "sim/observables.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_hs_threshold");
   bench::print_banner("Ablation", "HS selection threshold");
@@ -68,4 +68,8 @@ int main(int argc, char** argv) {
       best_err_by_threshold.back() <= best_err_by_threshold.front() + 1e-9,
       best_err_by_threshold.back(), best_err_by_threshold.front());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

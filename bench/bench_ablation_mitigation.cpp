@@ -15,7 +15,7 @@
 #include "noise/mitigation.hpp"
 #include "sim/observables.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_mitigation");
   bench::print_banner("Ablation", "Readout mitigation vs approximate circuits");
@@ -70,4 +70,8 @@ int main(int argc, char** argv) {
   std::printf("(mitigation removes readout error for everyone; the CNOT-noise gap\n"
               " that approximate circuits exploit remains)\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -11,7 +11,7 @@
 #include "common/strings.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_noise_sources");
   bench::print_banner("Ablation", "Noise-source contributions to Toffoli JS");
@@ -57,4 +57,8 @@ int main(int argc, char** argv) {
                      js_values.back() > js_values.front() + 1e-3, js_values.back(),
                      js_values.front());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

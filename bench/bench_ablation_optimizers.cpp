@@ -12,7 +12,7 @@
 #include "synth/cost.hpp"
 #include "synth/optimize.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_optimizers");
   bench::print_banner("Ablation", "Numerical optimizer comparison");
@@ -63,4 +63,8 @@ int main(int argc, char** argv) {
   bench::shape_check("multistart at least matches single-start L-BFGS",
                      ms_hs <= lbfgs_hs + 1e-9, ms_hs, lbfgs_hs);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

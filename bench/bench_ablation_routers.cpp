@@ -16,7 +16,7 @@
 #include "sim/backend.hpp"
 #include "transpile/decompose.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_routers");
   bench::print_banner("Ablation", "Greedy vs SABRE-style routing");
@@ -73,4 +73,8 @@ int main(int argc, char** argv) {
                      tvd_sabre_total <= tvd_greedy_total + 0.02, tvd_sabre_total,
                      tvd_greedy_total);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -11,7 +11,7 @@
 #include "common/stopwatch.hpp"
 #include "synth/qsearch.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_synth_budget");
   bench::print_banner("Ablation", "QSearch node budget");
@@ -40,4 +40,8 @@ int main(int argc, char** argv) {
                      best_hs.back() <= best_hs.front(), best_hs.back(),
                      best_hs.front());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

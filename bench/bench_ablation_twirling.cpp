@@ -15,7 +15,7 @@
 #include "transpile/pipeline.hpp"
 #include "transpile/twirling.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ablation_twirling");
   bench::print_banner("Ablation", "Pauli twirling vs hardware coherent errors");
@@ -69,4 +69,8 @@ int main(int argc, char** argv) {
   std::printf("(randomized compiling randomizes coherent CX errors; the depth\n"
               " asymmetry that favours approximate circuits is untouched)\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -39,7 +39,7 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ext_metric_predictivity");
   bench::print_banner("Extension", "Which metric predicts output quality?");
@@ -104,4 +104,8 @@ int main(int argc, char** argv) {
   std::printf("(the paper's conclusion, quantified: process metrics alone cannot\n"
               " select circuits — the target machine's noise must enter the score)\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -16,7 +16,7 @@
 #include "bench_util.hpp"
 #include "common/strings.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ext_noise_aware_selection");
   bench::print_banner("Extension", "Noise-aware circuit selection across the sweep");
@@ -63,4 +63,8 @@ int main(int argc, char** argv) {
                      aware_never_worse_at_high_noise,
                      aware_never_worse_at_high_noise ? 1 : 0, 1);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -18,7 +18,7 @@
 #include "synth/partition.hpp"
 #include "transpile/decompose.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ext_partition");
   bench::print_banner("Extension", "Partitioned approximate synthesis at 5-6 qubits");
@@ -83,4 +83,8 @@ int main(int argc, char** argv) {
   bench::shape_check("compressed circuits are closer to ideal under noise",
                      err_after_sum < err_before_sum, err_after_sum, err_before_sum);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

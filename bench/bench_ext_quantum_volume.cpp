@@ -13,7 +13,7 @@
 #include "common/strings.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "ext_qv");
   bench::print_banner("Extension", "Quantum volume of the catalog devices");
@@ -54,4 +54,8 @@ int main(int argc, char** argv) {
   bench::shape_check("hardware mode never beats the noise model",
                      qv_ourense_hw <= qv_ourense, qv_ourense_hw, qv_ourense);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

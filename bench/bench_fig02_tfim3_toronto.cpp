@@ -10,7 +10,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig02");
   bench::print_banner("Figure 2", "3q TFIM, Toronto noise model: reference vs picks");
@@ -45,4 +45,8 @@ int main(int argc, char** argv) {
   bench::shape_check("precision gain is substantial (>30%)",
                      result.max_precision_gain > 0.30, result.max_precision_gain, 0.30);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -10,7 +10,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig03");
   bench::print_banner("Figure 3", "3q TFIM, Toronto noise model: full cloud");
@@ -38,4 +38,8 @@ int main(int argc, char** argv) {
                      min_cx <= 2 && max_cx >= 5, static_cast<double>(min_cx),
                      static_cast<double>(max_cx));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig04");
   bench::print_banner("Figure 4", "4q TFIM, Santiago noise model: full cloud");
@@ -43,4 +43,8 @@ int main(int argc, char** argv) {
                      min_cx <= 3 && max_cx >= (ctx.fast ? 10u : 30u),
                      static_cast<double>(min_cx), static_cast<double>(max_cx));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

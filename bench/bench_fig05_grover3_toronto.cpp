@@ -9,7 +9,7 @@
 #include "bench_util.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig05");
   bench::print_banner("Figure 5",
@@ -44,4 +44,8 @@ int main(int argc, char** argv) {
                      best > study.reference_metric + 0.05, best,
                      study.reference_metric);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

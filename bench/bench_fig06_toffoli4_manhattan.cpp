@@ -12,7 +12,7 @@
 #include "bench_util.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig06");
   bench::print_banner("Figure 6",
@@ -47,4 +47,8 @@ int main(int argc, char** argv) {
                      winner.cnot_count <= 12,
                      static_cast<double>(winner.cnot_count), 12);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

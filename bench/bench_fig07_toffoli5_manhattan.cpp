@@ -11,7 +11,7 @@
 #include "bench_util.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig07");
   bench::print_banner("Figure 7",
@@ -59,4 +59,8 @@ int main(int argc, char** argv) {
   bench::shape_check("best 5q approximation beats the 5q reference",
                      best < study5.reference_metric, best, study5.reference_metric);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -8,7 +8,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig08");
   bench::print_banner("Figure 8", "3q TFIM, Ourense model, CNOT error = 0");
@@ -21,4 +21,8 @@ int main(int argc, char** argv) {
   bench::shape_check("depth is weakly predictive without CNOT noise (|r| < 0.5)",
                      std::abs(corr) < 0.5, std::abs(corr), 0.5);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

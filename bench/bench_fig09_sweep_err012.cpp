@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig09");
   bench::print_banner("Figure 9", "3q TFIM, Ourense model, CNOT error = 0.12");
@@ -39,4 +39,8 @@ int main(int argc, char** argv) {
   std::printf("depth-vs-error Pearson correlation: %.3f\n", corr);
   bench::shape_check("depth now predicts error (r > 0.3)", corr > 0.3, corr, 0.3);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

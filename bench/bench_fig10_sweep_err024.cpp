@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig10");
   bench::print_banner("Figure 10", "3q TFIM, Ourense model, CNOT error = 0.24");
@@ -47,4 +47,8 @@ int main(int argc, char** argv) {
   bench::shape_check("depth strongly predicts error (r > 0.45)", corr > 0.45, corr,
                      0.45);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

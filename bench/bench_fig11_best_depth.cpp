@@ -11,7 +11,7 @@
 #include "common/strings.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig11");
   bench::print_banner("Figure 11",
@@ -48,4 +48,8 @@ int main(int argc, char** argv) {
   bench::shape_check("worst error level favors shallower best circuits",
                      avg.back() <= avg.front(), avg.back(), avg.front());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

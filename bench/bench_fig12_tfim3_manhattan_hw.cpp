@@ -11,7 +11,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig12");
   bench::print_banner("Figure 12", "3q TFIM on the Manhattan physical machine");
@@ -34,4 +34,8 @@ int main(int argc, char** argv) {
                      frac > 0.7, frac, 0.7);
   std::printf("max precision gain: %.1f%%\n", 100 * result.max_precision_gain);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

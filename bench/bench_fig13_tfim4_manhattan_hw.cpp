@@ -7,7 +7,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig13");
   bench::print_banner("Figure 13", "4q TFIM on the Manhattan physical machine");
@@ -34,4 +34,8 @@ int main(int argc, char** argv) {
   bench::shape_check("large majority of approximations beat the reference",
                      frac > 0.55, frac, 0.55);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -10,7 +10,7 @@
 #include "bench_util.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig14");
   bench::print_banner("Figure 14", "3q Grover ('111') on the Rome physical machine");
@@ -44,4 +44,8 @@ int main(int argc, char** argv) {
                      study.reference_cnots >= 24,
                      static_cast<double>(study.reference_cnots), 24);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig15");
   bench::print_banner("Figure 15", "4q Toffoli on the Manhattan physical machine");
@@ -45,4 +45,8 @@ int main(int argc, char** argv) {
   std::printf("%zu/%zu approximations worse than random noise\n", beyond,
               study.scores.size());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

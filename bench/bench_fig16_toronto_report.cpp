@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig16");
   bench::print_banner("Figure 16", "Toronto noise report and candidate mappings");
@@ -33,4 +33,8 @@ int main(int argc, char** argv) {
                      mappings.front().cost < mappings[mappings.size() - 2].cost,
                      mappings.front().cost, mappings[mappings.size() - 2].cost);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -8,7 +8,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig17");
   bench::print_banner("Figure 17", "4q Toffoli on Toronto hardware, best mapping");
@@ -29,4 +29,8 @@ int main(int argc, char** argv) {
   bench::shape_check("a sizable fraction of the cloud beats the reference",
                      frac > 0.15, frac, 0.15);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -7,7 +7,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig18");
   bench::print_banner("Figure 18", "4q Toffoli on Toronto hardware, worst mapping");
@@ -39,4 +39,8 @@ int main(int argc, char** argv) {
                      worst.layout_cost > best_map.layout_cost, worst.layout_cost,
                      best_map.layout_cost);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

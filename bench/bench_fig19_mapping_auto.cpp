@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "fig19");
   bench::print_banner("Figure 19",
@@ -38,4 +38,8 @@ int main(int argc, char** argv) {
   bench::shape_check("some circuits still beat the reference under auto mapping",
                      frac > 0.05, frac, 0.05);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
 #include "common/rng.hpp"
 #include "obs/obs.hpp"
 #include "ir/circuit.hpp"
@@ -305,8 +308,12 @@ void stamp_bench_json(const std::string& json_path) {
                              ",\n  \"qapprox_metrics\": " +
                              qc::obs::metrics_json() + ",";
   text.insert(brace + 1, inject);
-  std::ofstream out(json_path, std::ios::trunc);
-  out << text;
+  // tmp + rename so an interrupted stamp never truncates the report.
+  try {
+    qc::common::atomic_write_file(json_path, text);
+  } catch (const qc::common::Error&) {
+    // Stamping is best-effort; the unstamped report is still valid JSON.
+  }
 }
 
 }  // namespace
@@ -315,7 +322,7 @@ void stamp_bench_json(const std::string& json_path) {
 // not ask for a report file, the run still leaves machine-readable JSON in
 // BENCH_kernels.json (path overridable via QAPPROX_BENCH_JSON), stamped with
 // the build info and the run's metrics snapshot.
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   qc::obs::init_from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--version") {
@@ -342,4 +349,8 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (!has_out) stamp_bench_json(out_path);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

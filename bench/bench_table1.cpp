@@ -11,7 +11,7 @@
 #include "common/strings.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   bench::BenchContext ctx(argc, argv, "table1");
   bench::print_banner("Table 1", "Average CNOT errors on IBM physical machines");
@@ -39,4 +39,8 @@ int main(int argc, char** argv) {
   bench::shape_check("all five device averages equal the paper's Table 1", all_match,
                      all_match ? 1 : 0, 1);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -19,7 +19,7 @@
 #include "synth/partition.hpp"
 #include "transpile/decompose.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
   const int qubits = args.get_int("qubits", 6);
@@ -63,4 +63,8 @@ int main(int argc, char** argv) {
                              ? "the compressed approximation wins under noise"
                              : "no gain at this budget; raise --budget or steps");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

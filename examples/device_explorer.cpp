@@ -10,7 +10,7 @@
 #include "metrics/distribution.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
   const int cnots = args.get_int("cnots", 20);
@@ -40,4 +40,8 @@ int main(int argc, char** argv) {
               "(trivial layout -> physical qubits {0,1}), not just the device\n"
               "average — the reason the paper's mapping study (Figs 16-19) matters.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -11,7 +11,7 @@
 #include "common/cli.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
   const auto device = noise::device_by_name(args.get("device", "rome"));
@@ -49,4 +49,8 @@ int main(int argc, char** argv) {
   std::printf("\n(ideal = noiseless success probability of the exact 2-iteration "
               "circuit)\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -11,11 +11,12 @@
 #include "approx/experiment.hpp"
 #include "approx/selection.hpp"
 #include "approx/workflow.hpp"
+#include "common/cli.hpp"
 #include "metrics/distribution.hpp"
 #include "noise/catalog.hpp"
 #include "sim/backend.hpp"
 
-int main() {
+static int run(int, char**) {
   using namespace qc;
 
   // 1. A small circuit that is needlessly deep: a GHZ-like state prepared
@@ -81,4 +82,8 @@ int main() {
     std::printf("\n=> on this target the exact circuit held up; try a deeper one.\n");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

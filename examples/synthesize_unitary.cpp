@@ -14,7 +14,7 @@
 #include "synth/qfast.hpp"
 #include "synth/qsearch.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
   const int qubits = args.get_int("qubits", 2);
@@ -62,4 +62,8 @@ int main(int argc, char** argv) {
                               : qf_result.best.circuit)
                   .c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

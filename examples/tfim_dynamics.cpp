@@ -12,7 +12,7 @@
 #include "common/cli.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
   const int qubits = args.get_int("qubits", 3);
@@ -43,4 +43,8 @@ int main(int argc, char** argv) {
   std::printf("\nmax precision gain of best approximation over the reference: %.1f%%\n",
               100.0 * result.max_precision_gain);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

@@ -17,7 +17,7 @@
 #include "common/cli.hpp"
 #include "noise/catalog.hpp"
 
-int main(int argc, char** argv) {
+static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
   const auto device = noise::device_by_name(args.get("device", "manhattan"));
@@ -73,4 +73,8 @@ int main(int argc, char** argv) {
   std::printf("\nObservation 4: the deeper the reference, the larger the win for\n"
               "approximate circuits (3q barely benefits; 4-5q clearly do).\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return qc::common::run_main(argc, argv, run);
 }

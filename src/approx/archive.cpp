@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "common/strings.hpp"
 #include "ir/qasm.hpp"
 
@@ -17,16 +18,16 @@ void save_circuit_set(const std::string& directory,
                       const std::vector<synth::ApproxCircuit>& circuits) {
   fs::create_directories(directory);
 
+  // Atomic writes (tmp + rename) throughout: a crash or injected fault mid-
+  // save never leaves a truncated .qasm or manifest behind, and the manifest
+  // lands last so a directory with a manifest always has all its circuits.
   std::ostringstream manifest;
   manifest << "index,file,cnots,hs_distance,source\n";
   for (std::size_t i = 0; i < circuits.size(); ++i) {
     char name[64];
     std::snprintf(name, sizeof(name), "circuit_%04zu.qasm", i);
     const fs::path path = fs::path(directory) / name;
-    std::ofstream out(path, std::ios::trunc);
-    QC_CHECK_MSG(out.good(), "cannot open " + path.string());
-    out << ir::to_qasm(circuits[i].circuit);
-    QC_CHECK_MSG(out.good(), "write failed for " + path.string());
+    common::atomic_write_file(path.string(), ir::to_qasm(circuits[i].circuit));
 
     char hs[40];
     std::snprintf(hs, sizeof(hs), "%.17g", circuits[i].hs_distance);
@@ -34,10 +35,7 @@ void save_circuit_set(const std::string& directory,
              << circuits[i].source << '\n';
   }
   const fs::path manifest_path = fs::path(directory) / "manifest.csv";
-  std::ofstream out(manifest_path, std::ios::trunc);
-  QC_CHECK_MSG(out.good(), "cannot open " + manifest_path.string());
-  out << manifest.str();
-  QC_CHECK_MSG(out.good(), "write failed for " + manifest_path.string());
+  common::atomic_write_file(manifest_path.string(), manifest.str());
 }
 
 std::vector<synth::ApproxCircuit> load_circuit_set(const std::string& directory) {

@@ -1,7 +1,10 @@
 #include "approx/experiment.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "metrics/distribution.hpp"
+#include "obs/obs.hpp"
 #include "sim/observables.hpp"
 
 namespace qc::approx {
@@ -47,7 +50,25 @@ ScatterStudy run_scatter_study(const ir::QuantumCircuit& reference,
     cfg.seed = execution.seed + 7919 * (i + 1);  // independent shot streams
     requests.push_back({approximations[i].circuit, cfg});
   }
-  const std::vector<exec::RunResult> results = eng.run_batch(requests);
+  std::vector<exec::RunResult> results = eng.run_batch(requests);
+
+  // Failed slots get one direct retry. Injected worker faults key off the
+  // batch index, so a direct run clears them; a genuine failure (e.g. NaN
+  // drift) fails again and keeps its error annotation. The retry uses the
+  // identical request, so a recovered slot is bit-identical to an unfaulted
+  // batch run at the same seed.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].status != exec::RunStatus::Failed) continue;
+    static obs::Counter& retries = obs::counter("approx.scatter_retries");
+    retries.add(1);
+    try {
+      results[i] = eng.run(requests[i]);
+    } catch (const common::Error& e) {
+      results[i].record.error = std::string(e.kind()) + ": " + e.what();
+      QC_LOG_WARN("approx", "scatter slot %zu failed after retry: %s", i,
+                  results[i].record.error.c_str());
+    }
+  }
 
   ScatterStudy study;
   study.reference_record = results[0].record;
@@ -55,9 +76,18 @@ ScatterStudy run_scatter_study(const ir::QuantumCircuit& reference,
   study.reference_metric = score_distribution(results[0].probabilities, metric);
   study.scores.resize(approximations.size());
   for (std::size_t i = 0; i < approximations.size(); ++i) {
-    study.scores[i] = CircuitScore{i, approximations[i].cnot_count,
-                                   approximations[i].hs_distance,
-                                   score_distribution(results[i + 1].probabilities, metric)};
+    CircuitScore& s = study.scores[i];
+    s.index = i;
+    s.cnot_count = approximations[i].cnot_count;
+    s.hs_distance = approximations[i].hs_distance;
+    const exec::RunResult& r = results[i + 1];
+    if (r.status == exec::RunStatus::Failed) {
+      s.metric = std::numeric_limits<double>::quiet_NaN();
+      s.error = r.record.error.empty() ? "failed" : r.record.error;
+    } else {
+      s.metric = score_distribution(r.probabilities, metric);
+      s.timed_out = r.status == exec::RunStatus::TimedOut;
+    }
   }
   return study;
 }

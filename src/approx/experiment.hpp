@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "exec/engine.hpp"
@@ -50,6 +51,13 @@ struct CircuitScore {
   std::size_t cnot_count = 0;  // logical CX count of the approximation
   double hs_distance = 0.0;
   double metric = 0.0;
+  /// Resilience annotations: a run that failed even after one retry keeps
+  /// its error here and scores metric = NaN (selection skips NaN entries);
+  /// a deadline-truncated run keeps its partial-shots metric but is flagged.
+  std::string error;
+  bool timed_out = false;
+
+  bool failed() const { return !error.empty(); }
 };
 
 /// Scatter study (Grover / Toffoli figures): scores the reference and every
@@ -63,6 +71,12 @@ struct ScatterStudy {
   exec::RunRecord reference_record;
 };
 
+/// Runs reference + approximations as one batch. Resilient: a slot that
+/// fails inside the batch (worker fault, simulation error) is retried once
+/// directly; a slot that fails twice is annotated on its CircuitScore
+/// (metric = NaN) instead of aborting the study, so the result set always
+/// covers every approximation. Non-faulted slots are bit-identical to an
+/// unfaulted run at the same seed (per-slot shot streams are independent).
 ScatterStudy run_scatter_study(const ir::QuantumCircuit& reference,
                                const std::vector<synth::ApproxCircuit>& approximations,
                                const ExecutionConfig& execution,

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 #include "transpile/decompose.hpp"
 
 namespace qc::approx {
@@ -69,8 +70,17 @@ MappingStudyResult run_mapping_study(
       cfg.optimization_level = 1;
       cfg.initial_layout = candidate.layout;
     }
-    MappingStudyEntry entry{
-        candidate, run_scatter_study(reference, approximations, cfg, metric, engine)};
+    MappingStudyEntry entry;
+    entry.mapping = candidate;
+    // Candidates are independent; annotate a failing one and keep going so
+    // the report always covers every enumerated mapping.
+    try {
+      entry.scatter = run_scatter_study(reference, approximations, cfg, metric, engine);
+    } catch (const common::Error& e) {
+      entry.error = std::string(e.kind()) + ": " + e.what();
+      QC_LOG_ERROR("approx", "mapping candidate '%s' failed: %s",
+                   candidate.label.c_str(), entry.error.c_str());
+    }
     result.entries.push_back(std::move(entry));
   }
   return result;

@@ -29,6 +29,11 @@ std::vector<MappingCandidate> enumerate_mappings(const ir::QuantumCircuit& circu
 struct MappingStudyEntry {
   MappingCandidate mapping;
   ScatterStudy scatter;
+  /// Non-empty when this candidate's scatter study failed outright (its
+  /// `scatter` is then empty); the study still reports every candidate.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
 };
 
 struct MappingStudyResult {

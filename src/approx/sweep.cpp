@@ -1,5 +1,8 @@
 #include "approx/sweep.hpp"
 
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
 namespace qc::approx {
 
 SweepResult run_cx_error_sweep(const SweepConfig& config) {
@@ -10,7 +13,15 @@ SweepResult run_cx_error_sweep(const SweepConfig& config) {
     cfg.execution.noise_options.uniform_cx_error = level;
     SweepLevelResult out;
     out.cx_error = level;
-    out.study = run_tfim_study(cfg);
+    // Levels are independent measurements; one failing must not discard the
+    // others (timesteps already self-isolate — this catches setup failures).
+    try {
+      out.study = run_tfim_study(cfg);
+    } catch (const common::Error& e) {
+      out.error = std::string(e.kind()) + ": " + e.what();
+      QC_LOG_ERROR("approx", "sweep level cx_error=%g failed: %s", level,
+                   out.error.c_str());
+    }
     result.levels.push_back(std::move(out));
   }
   return result;
@@ -23,7 +34,9 @@ std::vector<std::vector<std::size_t>> SweepResult::best_depth_series() const {
     std::vector<std::size_t> depths;
     depths.reserve(level.study.timesteps.size());
     for (const auto& ts : level.study.timesteps)
-      depths.push_back(ts.scores[ts.best_output].cnot_count);
+      depths.push_back(ts.ok() && !ts.scores.empty()
+                           ? ts.scores[ts.best_output].cnot_count
+                           : 0);
     series.push_back(std::move(depths));
   }
   return series;

@@ -7,6 +7,8 @@
 // timestep per error level.
 #pragma once
 
+#include <string>
+
 #include "approx/tfim_study.hpp"
 
 namespace qc::approx {
@@ -19,13 +21,19 @@ struct SweepConfig {
 struct SweepLevelResult {
   double cx_error = 0.0;
   TfimStudyResult study;
+  /// Non-empty when the whole level failed (its study is then empty); the
+  /// sweep itself always completes with one entry per requested level.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
 };
 
 struct SweepResult {
   std::vector<SweepLevelResult> levels;
 
   /// best_depth[level][timestep_index] = CNOT count of the best-output
-  /// approximation (Figure 11's series).
+  /// approximation (Figure 11's series). Failed timesteps contribute 0 to
+  /// keep the series aligned with the timestep axis.
   std::vector<std::vector<std::size_t>> best_depth_series() const;
 };
 

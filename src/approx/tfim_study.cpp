@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/observables.hpp"
 
 namespace qc::approx {
@@ -55,43 +56,54 @@ TfimStudyResult run_tfim_study(const TfimStudyConfig& config) {
     TfimTimestepResult& out = result.timesteps[si];
     out.step = step;
 
-    const ir::QuantumCircuit reference = config.model.circuit_up_to(step);
+    // One failing timestep must not abort the study (parallel_for rethrows
+    // the first worker exception); it completes annotated instead.
+    try {
+      const ir::QuantumCircuit reference = config.model.circuit_up_to(step);
 
-    // Per-timestep deterministic seeds so the clouds differ across steps.
-    GeneratorConfig gen = config.generator;
-    gen.qsearch.seed += static_cast<std::uint64_t>(step) * 101;
-    gen.qfast.seed += static_cast<std::uint64_t>(step) * 103;
-    gen.reducer.seed += static_cast<std::uint64_t>(step) * 107;
-    // Machine-aware synthesis (as the paper configured QSearch): restrict
-    // blocks to a line, which embeds swap-free into every catalog device —
-    // otherwise routing would inflate the approximations' CNOT counts while
-    // the line-shaped TFIM reference routes for free.
-    const noise::CouplingMap line = noise::CouplingMap::line(config.model.num_qubits);
-    out.circuits = generate_from_reference(reference, gen, &line);
-    QC_CHECK_MSG(!out.circuits.empty(), "no approximations survived selection");
+      // Per-timestep deterministic seeds so the clouds differ across steps.
+      GeneratorConfig gen = config.generator;
+      gen.qsearch.seed += static_cast<std::uint64_t>(step) * 101;
+      gen.qfast.seed += static_cast<std::uint64_t>(step) * 103;
+      gen.reducer.seed += static_cast<std::uint64_t>(step) * 107;
+      // Machine-aware synthesis (as the paper configured QSearch): restrict
+      // blocks to a line, which embeds swap-free into every catalog device —
+      // otherwise routing would inflate the approximations' CNOT counts while
+      // the line-shaped TFIM reference routes for free.
+      const noise::CouplingMap line = noise::CouplingMap::line(config.model.num_qubits);
+      GenerationReport gen_report;
+      out.circuits = generate_from_reference(reference, gen, &line, &gen_report);
+      out.degraded = gen_report.degraded();
 
-    // Noise-free reference (ideal sim of the Trotter circuit).
-    ExecutionConfig ideal = config.execution;
-    ideal.ideal = true;
-    out.noise_free_reference = sim::average_z_magnetization(
-        execute_distribution(reference, ideal));
+      // Noise-free reference (ideal sim of the Trotter circuit).
+      ExecutionConfig ideal = config.execution;
+      ideal.ideal = true;
+      out.noise_free_reference = sim::average_z_magnetization(
+          execute_distribution(reference, ideal));
 
-    // Noisy reference + cloud under the study's execution config.
-    MetricSpec metric;
-    metric.kind = MetricSpec::Kind::Magnetization;
-    ExecutionConfig noisy = config.execution;
-    noisy.seed = config.execution.seed + static_cast<std::uint64_t>(step) * 7919;
-    const ScatterStudy scatter =
-        run_scatter_study(reference, out.circuits, noisy, metric);
-    out.noisy_reference = scatter.reference_metric;
-    out.reference_cnots = scatter.reference_cnots;
-    out.scores = scatter.scores;
+      // Noisy reference + cloud under the study's execution config.
+      MetricSpec metric;
+      metric.kind = MetricSpec::Kind::Magnetization;
+      ExecutionConfig noisy = config.execution;
+      noisy.seed = config.execution.seed + static_cast<std::uint64_t>(step) * 7919;
+      const ScatterStudy scatter =
+          run_scatter_study(reference, out.circuits, noisy, metric);
+      out.noisy_reference = scatter.reference_metric;
+      out.reference_cnots = scatter.reference_cnots;
+      out.scores = scatter.scores;
+      for (const auto& s : out.scores)
+        if (s.failed() || s.timed_out) out.degraded = true;
 
-    out.minimal_hs = minimal_hs_index(out.circuits);
-    out.best_output = best_by_target_value(out.scores, out.noise_free_reference);
+      out.minimal_hs = minimal_hs_index(out.circuits);
+      out.best_output = best_by_target_value(out.scores, out.noise_free_reference);
+    } catch (const common::Error& e) {
+      out.error = std::string(e.kind()) + ": " + e.what();
+      QC_LOG_ERROR("approx", "TFIM timestep %d failed: %s", step, out.error.c_str());
+    }
   });
 
   for (const auto& ts : result.timesteps) {
+    if (!ts.ok() || ts.scores.empty()) continue;
     result.max_precision_gain =
         std::max(result.max_precision_gain,
                  precision_gain(ts.scores, ts.noisy_reference, ts.noise_free_reference));

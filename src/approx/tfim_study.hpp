@@ -31,6 +31,14 @@ struct TfimTimestepResult {
   std::vector<CircuitScore> scores;       // noisy magnetization per circuit
   std::size_t minimal_hs = 0;             // indices into `circuits`/`scores`
   std::size_t best_output = 0;
+  /// Resilience annotations. `degraded` means generation lost a tool, timed
+  /// out, or fell back to the reference (see GenerationReport); a non-empty
+  /// `error` means the whole timestep failed — its `circuits`/`scores` may
+  /// then be empty and must not be indexed.
+  bool degraded = false;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
 };
 
 struct TfimStudyResult {

@@ -2,13 +2,58 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "transpile/decompose.hpp"
 
 namespace qc::approx {
 
 using synth::ApproxCircuit;
+
+namespace {
+
+/// Runs one synthesis tool; on SynthesisError applies `reduce_budget` (which
+/// also bumps the tool's seed, so seed-keyed injected faults can clear) and
+/// tries once more. A second failure is recorded and swallowed — the caller
+/// continues with whatever the other tools harvested.
+void run_with_retry(const char* tool, const std::function<void()>& attempt,
+                    const std::function<void()>& reduce_budget,
+                    GenerationReport& report) {
+  ++report.attempts;
+  try {
+    attempt();
+    return;
+  } catch (const common::Error& e) {
+    ++report.failures;
+    report.errors.push_back(std::string(tool) + ": " + e.what());
+    QC_LOG_WARN("approx", "%s failed (%s); retrying with reduced budget", tool,
+                e.what());
+    static obs::Counter& failed = obs::counter("approx.generator_failures");
+    failed.add(1);
+  }
+  reduce_budget();
+  ++report.attempts;
+  ++report.retries;
+  try {
+    attempt();
+  } catch (const common::Error& e) {
+    ++report.failures;
+    report.errors.push_back(std::string(tool) + " (retry): " + e.what());
+    QC_LOG_WARN("approx", "%s failed twice; dropping it for this target (%s)",
+                tool, e.what());
+    static obs::Counter& dropped = obs::counter("approx.generators_dropped");
+    dropped.add(1);
+  }
+}
+
+/// Budget shrink used for retries: halve the expensive knobs, keep at least
+/// one unit of work, and move the seed off the faulted stream.
+constexpr std::uint64_t kRetrySeedBump = 0x5245;  // "RE"
+
+}  // namespace
 
 std::vector<ApproxCircuit> select_candidates(std::vector<ApproxCircuit> harvest,
                                              double hs_threshold,
@@ -68,51 +113,124 @@ std::vector<ApproxCircuit> select_candidates(std::vector<ApproxCircuit> harvest,
   return out;
 }
 
-std::vector<ApproxCircuit> generate_approximations(const linalg::Matrix& target,
-                                                   int num_qubits,
-                                                   const GeneratorConfig& config,
-                                                   const noise::CouplingMap* coupling) {
+namespace {
+
+/// Shared harvest pass over the enabled tools (the reducer additionally
+/// needs the reference circuit, so it only runs when one is supplied).
+std::vector<ApproxCircuit> harvest_tools(const linalg::Matrix& target, int num_qubits,
+                                         const GeneratorConfig& config,
+                                         const noise::CouplingMap* coupling,
+                                         const ir::QuantumCircuit* reference,
+                                         GenerationReport& report) {
   std::vector<ApproxCircuit> harvest;
   auto collect = [&harvest](const ApproxCircuit& c) { harvest.push_back(c); };
+  const common::Deadline fallback_deadline =
+      config.deadline.bounded() ? config.deadline : common::Deadline::from_env();
 
   if (config.use_qsearch) {
     synth::QSearchOptions opts = config.qsearch;
     opts.intermediate_callback = collect;
-    synth::qsearch_synthesize(target, num_qubits, opts, coupling);
+    if (!opts.deadline.bounded()) opts.deadline = fallback_deadline;
+    run_with_retry(
+        "qsearch",
+        [&] {
+          if (synth::qsearch_synthesize(target, num_qubits, opts, coupling).timed_out)
+            report.timed_out = true;
+        },
+        [&] {
+          opts.seed += kRetrySeedBump;
+          opts.max_nodes = std::max(1, opts.max_nodes / 2);
+          opts.restarts_per_node = std::max(1, opts.restarts_per_node / 2);
+          opts.optimizer.max_iterations = std::max(1, opts.optimizer.max_iterations / 2);
+        },
+        report);
   }
   if (config.use_qfast) {
     synth::QFastOptions opts = config.qfast;
     opts.partial_solution_callback = collect;
-    synth::qfast_synthesize(target, num_qubits, opts, coupling);
+    if (!opts.deadline.bounded()) opts.deadline = fallback_deadline;
+    run_with_retry(
+        "qfast",
+        [&] {
+          if (synth::qfast_synthesize(target, num_qubits, opts, coupling).timed_out)
+            report.timed_out = true;
+        },
+        [&] {
+          opts.seed += kRetrySeedBump;
+          opts.max_blocks = std::max(1, opts.max_blocks / 2);
+          opts.restarts_per_depth = std::max(1, opts.restarts_per_depth / 2);
+          opts.optimizer.max_iterations = std::max(1, opts.optimizer.max_iterations / 2);
+        },
+        report);
   }
+  if (config.use_reducer && reference != nullptr) {
+    synth::ReducerOptions opts = config.reducer;
+    opts.callback = {};
+    if (!opts.deadline.bounded()) opts.deadline = fallback_deadline;
+    run_with_retry(
+        "reducer",
+        [&] {
+          bool timed_out = false;
+          for (auto& c : synth::reduce_circuit(*reference, opts, &timed_out))
+            harvest.push_back(std::move(c));
+          if (timed_out) report.timed_out = true;
+        },
+        [&] {
+          opts.seed += kRetrySeedBump;
+          opts.variants_per_size = std::max(1, opts.variants_per_size / 2);
+          opts.optimizer.max_iterations = std::max(1, opts.optimizer.max_iterations / 2);
+        },
+        report);
+  }
+  return harvest;
+}
+
+}  // namespace
+
+std::vector<ApproxCircuit> generate_approximations(const linalg::Matrix& target,
+                                                   int num_qubits,
+                                                   const GeneratorConfig& config,
+                                                   const noise::CouplingMap* coupling,
+                                                   GenerationReport* report) {
+  GenerationReport local;
+  GenerationReport& rep = report != nullptr ? *report : local;
+  rep = GenerationReport{};
+  std::vector<ApproxCircuit> harvest =
+      harvest_tools(target, num_qubits, config, coupling, nullptr, rep);
   return select_candidates(std::move(harvest), config.hs_threshold,
                            config.max_circuits);
 }
 
 std::vector<ApproxCircuit> generate_from_reference(const ir::QuantumCircuit& reference,
                                                    const GeneratorConfig& config,
-                                                   const noise::CouplingMap* coupling) {
+                                                   const noise::CouplingMap* coupling,
+                                                   GenerationReport* report) {
+  GenerationReport local;
+  GenerationReport& rep = report != nullptr ? *report : local;
+  rep = GenerationReport{};
   const linalg::Matrix target = reference.unitary_part().to_unitary();
-  std::vector<ApproxCircuit> harvest;
-  auto collect = [&harvest](const ApproxCircuit& c) { harvest.push_back(c); };
+  std::vector<ApproxCircuit> harvest =
+      harvest_tools(target, reference.num_qubits(), config, coupling, &reference, rep);
+  std::vector<ApproxCircuit> selected = select_candidates(
+      std::move(harvest), config.hs_threshold, config.max_circuits);
 
-  if (config.use_qsearch) {
-    synth::QSearchOptions opts = config.qsearch;
-    opts.intermediate_callback = collect;
-    synth::qsearch_synthesize(target, reference.num_qubits(), opts, coupling);
+  if (selected.empty()) {
+    // Graceful degradation: the study must always have something to execute,
+    // and the reference is by definition an exact (HS = 0) stand-in.
+    ApproxCircuit fallback;
+    fallback.circuit = transpile::decompose_to_cx_u3(reference).unitary_part();
+    fallback.hs_distance = 0.0;
+    fallback.cnot_count = fallback.circuit.count(ir::GateKind::CX);
+    fallback.source = "reference-fallback";
+    selected.push_back(std::move(fallback));
+    rep.fell_back = true;
+    QC_LOG_WARN("approx",
+                "harvest for '%s' came up empty; substituting the exact reference",
+                reference.name().c_str());
+    static obs::Counter& fellback = obs::counter("approx.reference_fallbacks");
+    fellback.add(1);
   }
-  if (config.use_qfast) {
-    synth::QFastOptions opts = config.qfast;
-    opts.partial_solution_callback = collect;
-    synth::qfast_synthesize(target, reference.num_qubits(), opts, coupling);
-  }
-  if (config.use_reducer) {
-    synth::ReducerOptions opts = config.reducer;
-    opts.callback = {};
-    for (auto& c : synth::reduce_circuit(reference, opts)) harvest.push_back(std::move(c));
-  }
-  return select_candidates(std::move(harvest), config.hs_threshold,
-                           config.max_circuits);
+  return selected;
 }
 
 }  // namespace qc::approx

@@ -8,8 +8,10 @@
 // This module covers steps 1-3.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "synth/qfast.hpp"
 #include "synth/qsearch.hpp"
 #include "synth/reducer.hpp"
@@ -34,19 +36,51 @@ struct GeneratorConfig {
   /// harvest exceeds it, the lowest-HS circuit per CNOT count is kept first,
   /// then remaining slots fill by ascending HS.
   std::size_t max_circuits = 300;
+
+  /// Wall-clock bound for the whole generation pass, copied into every
+  /// enabled tool whose own options are unbounded. Unbounded configs fall
+  /// back to the QAPPROX_DEADLINE_MS process default.
+  common::Deadline deadline;
+};
+
+/// What happened while harvesting (resilience bookkeeping). A synthesis tool
+/// that throws SynthesisError is retried once with half its budget and a
+/// bumped seed; a tool that fails twice is dropped and its errors recorded.
+/// When nothing survives selection, generate_from_reference substitutes the
+/// exact reference circuit (`source == "reference-fallback"`).
+struct GenerationReport {
+  int attempts = 0;   // tool invocations, including retries
+  int failures = 0;   // invocations that threw
+  int retries = 0;    // reduced-budget second attempts
+  bool timed_out = false;   // some tool hit its deadline (partial harvest)
+  bool fell_back = false;   // exact reference substituted for an empty set
+  std::vector<std::string> errors;  // one entry per failed invocation
+
+  /// True when the result is anything less than a clean full harvest.
+  bool degraded() const { return failures > 0 || timed_out || fell_back; }
 };
 
 /// Harvested + filtered approximate circuits for a target unitary.
 /// Deterministic in (target, config). Sorted by CNOT count, then HS.
+/// Failed tools are retried once with a reduced budget (see
+/// GenerationReport); with no reference circuit available there is no
+/// fallback, so the result may be empty when every tool fails.
 std::vector<synth::ApproxCircuit> generate_approximations(
     const linalg::Matrix& target, int num_qubits, const GeneratorConfig& config,
-    const noise::CouplingMap* coupling = nullptr);
+    const noise::CouplingMap* coupling = nullptr,
+    GenerationReport* report = nullptr);
 
 /// Convenience: target extracted from a reference circuit (its unitary
-/// part); the reducer, when enabled, perturbs this same reference.
+/// part); the reducer, when enabled, perturbs this same reference. Never
+/// returns an empty set: when the harvest dies (all tools failed, or the
+/// selection threshold ate everything), the lowered reference itself is
+/// returned as a single exact "approximation" with
+/// source == "reference-fallback", so every downstream study always has a
+/// full result set to execute.
 std::vector<synth::ApproxCircuit> generate_from_reference(
     const ir::QuantumCircuit& reference, const GeneratorConfig& config,
-    const noise::CouplingMap* coupling = nullptr);
+    const noise::CouplingMap* coupling = nullptr,
+    GenerationReport* report = nullptr);
 
 /// Step-3 selection on an existing harvest (exposed for the HS-threshold
 /// ablation): clamps the threshold to >= 0.1, filters, dedups, caps.

@@ -1,6 +1,8 @@
 #include "common/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -50,6 +52,19 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
 std::uint64_t CliArgs::get_seed(const std::string& name, std::uint64_t fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+int run_main(int argc, char** argv, int (*body)(int, char**)) noexcept {
+  try {
+    return body(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "qapprox %s error: %s\n", e.kind(), e.what());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qapprox error: %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "qapprox error: unknown exception\n");
+  }
+  return 1;
 }
 
 }  // namespace qc::common

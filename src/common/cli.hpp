@@ -1,6 +1,7 @@
-// Minimal command-line flag parsing for examples and bench binaries.
+// Minimal command-line flag parsing for examples and bench binaries, plus the
+// shared main() guard every binary runs under.
 //
-// Syntax: --name=value or --name value; bare --flag sets "true".
+// Flag syntax: --name=value or --name value; bare --flag sets "true".
 #pragma once
 
 #include <map>
@@ -22,5 +23,17 @@ class CliArgs {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Runs `body(argc, argv)` with a top-level exception guard: qc::common::Error
+/// prints one structured line ("qapprox <kind> error: <what>") to stderr and
+/// exits 1; other std::exceptions print their what() and exit 1. Use as
+///
+///   int main(int argc, char** argv) {
+///     return qc::common::run_main(argc, argv, run);
+///   }
+///
+/// so bench and example binaries never die with a raw terminate() on a
+/// contract violation or an injected fault.
+int run_main(int argc, char** argv, int (*body)(int, char**)) noexcept;
 
 }  // namespace qc::common

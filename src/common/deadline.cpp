@@ -1,0 +1,85 @@
+#include "common/deadline.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "obs/log.hpp"
+
+namespace qc::common {
+
+CancelToken CancelToken::make() {
+  CancelToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+void CancelToken::request_cancel() const noexcept {
+  if (flag_) flag_->store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::cancelled() const noexcept {
+  return flag_ && flag_->load(std::memory_order_relaxed);
+}
+
+Deadline Deadline::after_ms(double ms) {
+  Deadline d;
+  d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(ms));
+  return d;
+}
+
+Deadline Deadline::at(Clock::time_point tp) {
+  Deadline d;
+  d.at_ = tp;
+  return d;
+}
+
+Deadline Deadline::with_token(CancelToken token) const {
+  Deadline d = *this;
+  d.token_ = std::move(token);
+  return d;
+}
+
+double Deadline::remaining_ms() const {
+  if (token_.valid() && token_.cancelled()) return 0.0;
+  if (!at_.has_value()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(*at_ - Clock::now()).count();
+}
+
+void Deadline::raise_if_expired(const std::string& what) const {
+  if (expired()) throw TimeoutError(what + ": deadline expired");
+}
+
+std::int64_t parse_deadline_ms_env(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == text || end == nullptr || *end != '\0' || errno == ERANGE) {
+    QC_LOG_WARN("deadline",
+                "QAPPROX_DEADLINE_MS=\"%s\" is not a number; running unbounded",
+                text);
+    return 0;
+  }
+  if (v < 0) {
+    QC_LOG_WARN("deadline",
+                "QAPPROX_DEADLINE_MS=%lld must be non-negative; running unbounded",
+                v);
+    return 0;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Deadline Deadline::from_env() {
+  static const std::int64_t budget_ms = [] {
+    return parse_deadline_ms_env(std::getenv("QAPPROX_DEADLINE_MS"));
+  }();
+  return budget_ms > 0 ? Deadline::after_ms(static_cast<double>(budget_ms))
+                       : Deadline::never();
+}
+
+}  // namespace qc::common

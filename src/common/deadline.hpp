@@ -1,0 +1,139 @@
+// Wall-clock deadlines and cooperative cancellation.
+//
+// The execution engine, all three synthesizers, and the simulators run
+// open-ended heuristic work (A* expansion, depth growth, ALS sweeps, shot
+// blocks). A Deadline bounds any of them: the work polls `expired()` at its
+// natural granularity (per node / depth / sweep / shot) and, on expiry,
+// returns whatever it has as a best-effort partial result flagged
+// `timed_out` — it never throws from deep inside a computation.
+//
+// A Deadline combines an optional wall-clock limit with an optional
+// CancelToken, so one poll covers both "out of time" and "caller gave up".
+// Copies share the token (shared_ptr), so a request handed to a worker
+// thread can be cancelled from the submitting thread.
+//
+// The process-wide default comes from QAPPROX_DEADLINE_MS (0 / unset =
+// unbounded); per-request overrides ride on exec::RunRequest::deadline and
+// the synthesis option structs. Polling an unbounded Deadline is one branch
+// — no clock read, no atomic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace qc::common {
+
+/// Cooperative cancellation flag, shared between the requester and the
+/// worker. Default-constructed tokens carry no state: `cancelled()` is
+/// always false and `request_cancel()` is a no-op, so APIs can take a token
+/// by value without forcing every caller to allocate one.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Creates a token with live shared state.
+  static CancelToken make();
+
+  /// Requests cancellation; every copy of this token observes it. No-op on
+  /// a stateless (default-constructed) token.
+  void request_cancel() const noexcept;
+
+  /// True once any copy called request_cancel().
+  bool cancelled() const noexcept;
+
+  /// True when this token carries live state (was created via make()).
+  bool valid() const noexcept { return static_cast<bool>(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A point in time work must not run past, plus an optional CancelToken.
+/// Default-constructed: unbounded and never cancelled (polls are one branch).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Unbounded deadline (same as default construction; reads better at call
+  /// sites that mean it).
+  static Deadline never() { return {}; }
+
+  /// Expires `ms` milliseconds from now. ms <= 0 is already expired.
+  static Deadline after_ms(double ms);
+
+  /// Expires at an absolute steady-clock time point.
+  static Deadline at(Clock::time_point tp);
+
+  /// Process-default deadline from QAPPROX_DEADLINE_MS (unbounded when the
+  /// variable is unset, empty, zero, or malformed — malformed values warn).
+  /// The environment is read once; the returned Deadline's countdown starts
+  /// at this call.
+  static Deadline from_env();
+
+  /// Attaches a cancellation token (kept alongside any time limit).
+  Deadline with_token(CancelToken token) const;
+
+  const CancelToken& token() const { return token_; }
+
+  /// True when this deadline can ever expire (has a time limit or a token).
+  bool bounded() const { return at_.has_value() || token_.valid(); }
+
+  /// One-branch fast path for unbounded deadlines; otherwise an atomic load
+  /// (token) and/or a clock read.
+  bool expired() const {
+    if (token_.valid() && token_.cancelled()) return true;
+    return at_.has_value() && Clock::now() >= *at_;
+  }
+
+  /// Milliseconds until expiry; +infinity when unbounded, <= 0 when expired.
+  double remaining_ms() const;
+
+  /// Throws TimeoutError("<what>: deadline expired") when expired. For call
+  /// sites with no partial result to return; everything else polls
+  /// expired() and flags `timed_out` instead.
+  void raise_if_expired(const std::string& what) const;
+
+ private:
+  std::optional<Clock::time_point> at_;
+  CancelToken token_;
+};
+
+/// Amortizing poll helper for per-iteration checks in hot loops: consults the
+/// token every call but the clock only every `stride` calls, so polling a
+/// time-limited deadline from a tight loop stays cheap. Once a check
+/// triggers, the poller stays triggered.
+class StopPoller {
+ public:
+  explicit StopPoller(const Deadline& deadline, std::uint32_t stride = 16)
+      : deadline_(deadline), stride_(stride == 0 ? 1 : stride) {}
+
+  /// True once the deadline has expired or the token was cancelled.
+  bool should_stop() {
+    if (triggered_) return true;
+    if (!deadline_.bounded()) return false;
+    if (++calls_ % stride_ != 0) return false;
+    triggered_ = deadline_.expired();
+    return triggered_;
+  }
+
+  bool triggered() const { return triggered_; }
+
+ private:
+  const Deadline& deadline_;
+  std::uint32_t stride_;
+  std::uint32_t calls_ = 0;
+  bool triggered_ = false;
+};
+
+/// Validates a QAPPROX_DEADLINE_MS value. Returns the parsed budget in
+/// milliseconds, or 0 ("unbounded") for unset/empty/zero input; non-numeric
+/// or negative input warns and returns 0. Exposed for tests (mirrors
+/// parse_thread_count_env).
+std::int64_t parse_deadline_ms_env(const char* text);
+
+}  // namespace qc::common

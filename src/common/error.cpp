@@ -9,7 +9,7 @@ void throw_check_failure(const char* expr, const char* file, int line,
   std::ostringstream os;
   os << "qapprox check failed: (" << expr << ") at " << file << ":" << line;
   if (!detail.empty()) os << " — " << detail;
-  throw Error(os.str());
+  throw ContractError(os.str());
 }
 
 }  // namespace qc::common

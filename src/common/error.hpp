@@ -1,9 +1,26 @@
 // Error handling for the qapprox library.
 //
-// All precondition/invariant failures throw qc::common::Error, carrying the
-// failing expression and source location. Library code never calls abort()
-// or exit(); recoverable misuse is always reported through exceptions so
-// hosts (tests, benches, long experiment drivers) can continue.
+// All precondition/invariant failures throw qc::common::Error (or a
+// subclass), carrying the failing expression and source location. Library
+// code never calls abort() or exit(); recoverable misuse is always reported
+// through exceptions so hosts (tests, benches, long experiment drivers) can
+// continue.
+//
+// The taxonomy (see DESIGN.md §9) lets hosts route failures without string
+// matching:
+//
+//   Error            — base; any qapprox failure
+//   ├─ ContractError  — precondition/invariant violation (every QC_CHECK)
+//   ├─ SynthesisError — a synthesizer failed outright (as opposed to merely
+//   │                   not converging, which is a normal non-error result)
+//   ├─ SimulationError — a simulator produced or detected corrupt state
+//   │                    (NaN amplitudes, norm drift, injected worker faults)
+//   └─ TimeoutError   — a deadline expired where no partial result exists
+//
+// Deadline expiry inside synthesis/simulation normally returns a best-effort
+// partial result flagged `timed_out` instead of throwing; TimeoutError is for
+// the few places (Deadline::raise_if_expired) where there is nothing partial
+// to return.
 #pragma once
 
 #include <stdexcept>
@@ -15,9 +32,46 @@ namespace qc::common {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  /// Stable one-word tag for structured messages ("error", "contract",
+  /// "synthesis", "simulation", "timeout").
+  virtual const char* kind() const noexcept { return "error"; }
 };
 
-/// Builds the message for a failed QC_CHECK and throws Error.
+/// A QC_CHECK / precondition / invariant failure: the caller misused an API
+/// or internal state went inconsistent. Not retryable.
+class ContractError : public Error {
+ public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "contract"; }
+};
+
+/// A synthesizer failed outright (injected fault, degenerate target, dead
+/// search space). Distinct from returning `converged == false`, which is a
+/// normal result. Drivers respond by retrying with a reduced budget and then
+/// falling back to the exact reference circuit.
+class SynthesisError : public Error {
+ public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "synthesis"; }
+};
+
+/// A simulator detected corrupt state (NaN amplitudes, norm/trace drift) or
+/// an injected worker fault. The offending run is reported failed; sibling
+/// runs in the same batch are unaffected.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "simulation"; }
+};
+
+/// A Deadline expired in a context with no partial result to return.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+  const char* kind() const noexcept override { return "timeout"; }
+};
+
+/// Builds the message for a failed QC_CHECK and throws ContractError.
 [[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
                                       const std::string& detail);
 

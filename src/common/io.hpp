@@ -1,0 +1,20 @@
+// Crash-safe file output.
+//
+// Experiment drivers write archives, CSV tables, and JSON stamps that a later
+// analysis step reads; a process killed mid-write (deadline overrun, fault
+// injection, operator Ctrl-C) must never leave a truncated file behind.
+// atomic_write_file stages the content in `<path>.tmp` and renames it over
+// the destination, so readers observe either the old file or the complete
+// new one.
+#pragma once
+
+#include <string>
+
+namespace qc::common {
+
+/// Writes `content` to `path` atomically (stage to `<path>.tmp`, flush, then
+/// rename over `path`). Throws Error when the file cannot be staged or
+/// renamed; the destination is left untouched on failure.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace qc::common

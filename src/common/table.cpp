@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "common/strings.hpp"
 
 namespace qc::common {
@@ -89,10 +90,8 @@ std::string Table::to_csv() const {
 }
 
 void Table::write_csv(const std::string& path) const {
-  std::ofstream f(path, std::ios::trunc);
-  QC_CHECK_MSG(f.good(), "cannot open " + path);
-  f << to_csv();
-  QC_CHECK_MSG(f.good(), "write failed for " + path);
+  // tmp + rename: readers never observe a half-written CSV.
+  atomic_write_file(path, to_csv());
 }
 
 }  // namespace qc::common

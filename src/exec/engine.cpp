@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/faults.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "metrics/distribution.hpp"
@@ -154,7 +155,23 @@ common::ThreadPool& ExecutionEngine::pool() {
 
 ExecutionEngine::ExecutionEngine(EngineOptions options) : options_(options) {
   obs::init_from_env();
-  QC_CHECK(options_.trajectory_block > 0);
+  QC_CHECK_MSG(options_.trajectory_block > 0,
+               "EngineOptions::trajectory_block must be positive (it is the "
+               "shots-per-work-block partition; use the default 128 if unsure)");
+  if (options_.trajectory_block > kMaxTrajectoryBlock) {
+    QC_LOG_WARN("exec",
+                "EngineOptions::trajectory_block=%zu exceeds the ceiling %zu; "
+                "clamping",
+                options_.trajectory_block, kMaxTrajectoryBlock);
+    options_.trajectory_block = kMaxTrajectoryBlock;
+  }
+  if (options_.num_threads > common::kMaxThreadPoolSize) {
+    QC_LOG_WARN("exec",
+                "EngineOptions::num_threads=%zu exceeds the ceiling %zu; "
+                "clamping",
+                options_.num_threads, common::kMaxThreadPoolSize);
+    options_.num_threads = common::kMaxThreadPoolSize;
+  }
   if (options_.num_threads > 0)
     owned_pool_ = std::make_unique<common::ThreadPool>(options_.num_threads);
 }
@@ -271,7 +288,8 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_ideal_cach
 // ---- execution -------------------------------------------------------------
 
 std::vector<double> ExecutionEngine::trajectory_probabilities(
-    const sim::CompiledCircuit& compiled, std::size_t shots, std::uint64_t seed) {
+    const sim::CompiledCircuit& compiled, std::size_t shots, std::uint64_t seed,
+    const common::Deadline& deadline, RunRecord& rec) {
   QC_CHECK(shots > 0);
   const std::size_t block = options_.trajectory_block;
   const std::size_t num_blocks = (shots + block - 1) / block;
@@ -281,21 +299,33 @@ std::vector<double> ExecutionEngine::trajectory_probabilities(
     span.arg("blocks", num_blocks);
   }
   static obs::Counter& shot_counter = obs::counter("sim.trajectory_shots");
-  shot_counter.add(shots);
   std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
   std::mutex merge_mutex;
+  std::size_t completed_total = 0;
   // The block partition depends only on `trajectory_block`, and each shot
   // draws from its own counter-derived stream, so the merged integer counts
-  // are bit-identical for every pool size and merge order.
+  // are bit-identical for every pool size and merge order. (A timed-out run
+  // is the exception: which shots finish before expiry depends on thread
+  // scheduling, so partial results are flagged, not reproducible.)
   pool().parallel_for(0, num_blocks, [&](std::size_t b) {
     obs::Span block_span("exec.traj_block");
     const std::size_t begin = b * block;
     const std::size_t end = std::min(shots, begin + block);
     if (block_span.active()) block_span.arg("shots", end - begin);
-    const auto local = sim::trajectory_counts_streamed(compiled, begin, end, seed);
+    std::size_t completed = 0;
+    const auto local = sim::trajectory_counts_streamed(compiled, begin, end, seed,
+                                                       deadline, &completed);
     std::lock_guard<std::mutex> lock(merge_mutex);
+    completed_total += completed;
     for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
   });
+  shot_counter.add(completed_total);
+  rec.completed_shots = completed_total;
+  rec.timed_out = completed_total < shots;
+  if (completed_total == 0) {
+    // Nothing finished before expiry: uniform placeholder (flagged timed_out).
+    return std::vector<double>(counts.size(), 1.0 / static_cast<double>(counts.size()));
+  }
   return metrics::counts_to_distribution(counts);
 }
 
@@ -304,6 +334,10 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
   static obs::Counter& runs_counter = obs::counter("exec.runs");
   runs_counter.add(1);
   common::Stopwatch watch;
+  // Per-request bound wins; otherwise the QAPPROX_DEADLINE_MS process default
+  // (its countdown starts here, covering this run only).
+  const common::Deadline deadline =
+      request.deadline.bounded() ? request.deadline : common::Deadline::from_env();
   RunResult result;
   RunRecord& rec = result.record;
   rec.build_stamp = obs::build_info_summary();
@@ -356,34 +390,88 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
   {
     obs::Span span("exec.evolve", &timers().evolve);
     if (request.config.ideal) {
-      probs = sim::statevector_probabilities(*compiled);
+      probs = sim::statevector_probabilities(*compiled, deadline, &rec.timed_out);
     } else if (request.config.use_trajectories) {
       rec.engine = "traj:" + model->device_name();
       rec.shots = request.config.shots;
       probs = trajectory_probabilities(*compiled, request.config.shots,
-                                       request.config.seed);
+                                       request.config.seed, deadline, rec);
     } else {
       rec.engine = "dm:" + model->device_name();
-      probs = sim::density_matrix_probabilities(*compiled);
+      probs = sim::density_matrix_probabilities(*compiled, deadline, &rec.timed_out);
     }
     if (span.active()) span.arg("engine", rec.engine);
   }
   result.probabilities = transpile::unpermute_distribution(probs, tr->wire_of_virtual);
+  if (rec.timed_out) {
+    result.status = RunStatus::TimedOut;
+    static obs::Counter& timeouts = obs::counter("exec.runs_timed_out");
+    timeouts.add(1);
+  }
   rec.wall_ms = watch.millis();
   if (run_span.active()) {
     run_span.arg("engine", rec.engine);
     run_span.arg("compiled_steps", rec.compiled_steps);
+    run_span.arg("status", run_status_name(result.status));
   }
   return result;
 }
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::TimedOut: return "timed_out";
+    case RunStatus::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A RunStatus::Failed placeholder: uniform distribution over the request
+/// circuit's outcome space (so downstream index math stays in bounds) plus
+/// the error recorded for annotation.
+RunResult failed_result(const RunRequest& request, const common::Error& e) {
+  RunResult result;
+  result.status = RunStatus::Failed;
+  result.record.engine = "failed";
+  result.record.error = std::string(e.kind()) + ": " + e.what();
+  result.record.build_stamp = obs::build_info_summary();
+  const std::size_t dim = std::size_t{1} << request.circuit.num_qubits();
+  result.probabilities.assign(dim, 1.0 / static_cast<double>(dim));
+  return result;
+}
+
+}  // namespace
 
 std::vector<RunResult> ExecutionEngine::run_batch(
     const std::vector<RunRequest>& requests) {
   obs::Span span("exec.run_batch");
   if (span.active()) span.arg("requests", requests.size());
+  static obs::Counter& failed_counter = obs::counter("exec.runs_failed");
   std::vector<RunResult> results(requests.size());
-  pool().parallel_for(0, requests.size(),
-                      [&](std::size_t i) { results[i] = run(requests[i]); });
+  // Each task owns exactly one result slot; a throwing task is captured in
+  // place as a Failed result, so one bad request can never tear down the pool
+  // or drop its siblings' outputs.
+  pool().parallel_for(0, requests.size(), [&](std::size_t i) {
+    try {
+      if (common::faults::enabled()) {
+        common::faults::maybe_delay(/*stream=*/i);
+        if (common::faults::fires(common::faults::Site::WorkerThrow, i))
+          throw common::SimulationError(
+              "injected worker fault (batch index " + std::to_string(i) + ")");
+      }
+      results[i] = run(requests[i]);
+    } catch (const common::Error& e) {
+      results[i] = failed_result(requests[i], e);
+      failed_counter.add(1);
+      QC_LOG_ERROR("exec", "run_batch request %zu failed: %s", i, e.what());
+    } catch (const std::exception& e) {
+      results[i] = failed_result(requests[i], common::Error(e.what()));
+      failed_counter.add(1);
+      QC_LOG_ERROR("exec", "run_batch request %zu failed: %s", i, e.what());
+    }
+  });
   return results;
 }
 

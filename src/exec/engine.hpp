@@ -49,13 +49,20 @@ namespace qc::exec {
 struct EngineOptions {
   /// 0: schedule on common::ThreadPool::global(); otherwise the engine owns a
   /// private pool of exactly this many workers (lets tests pin thread counts
-  /// without environment variables).
+  /// without environment variables). Values above kMaxThreadPoolSize are
+  /// clamped with a warning.
   std::size_t num_threads = 0;
   /// Shots per trajectory work block. The partition is fixed by this value,
   /// not by the thread count, so per-block counts merge to identical totals
-  /// on any pool size.
+  /// on any pool size. Must be positive (ContractError otherwise); values
+  /// above kMaxTrajectoryBlock are clamped with a warning.
   std::size_t trajectory_block = 128;
 };
+
+/// Ceiling on EngineOptions::trajectory_block: a block far beyond any real
+/// shot budget defeats parallelism without changing results, so it is a
+/// config mistake, not a tuning choice.
+inline constexpr std::size_t kMaxTrajectoryBlock = 1u << 20;
 
 class ExecutionEngine {
  public:
@@ -65,11 +72,18 @@ class ExecutionEngine {
   ExecutionEngine(const ExecutionEngine&) = delete;
   ExecutionEngine& operator=(const ExecutionEngine&) = delete;
 
-  /// Executes one request through the cached pipeline.
+  /// Executes one request through the cached pipeline. The request's deadline
+  /// (or the QAPPROX_DEADLINE_MS default) is polled during evolution; on
+  /// expiry the result carries a best-effort partial distribution with
+  /// status == RunStatus::TimedOut. Throws (e.g. SimulationError from the
+  /// norm-drift guard) only for errors with no meaningful partial result.
   RunResult run(const RunRequest& request);
 
   /// Executes a batch concurrently; results are positionally aligned with
-  /// `requests` and identical to running each request serially.
+  /// `requests` and identical to running each request serially. A request
+  /// that throws is captured as a RunStatus::Failed result (uniform
+  /// placeholder distribution, error text in its RunRecord) — sibling
+  /// requests, the pool, and the engine are unaffected.
   std::vector<RunResult> run_batch(const std::vector<RunRequest>& requests);
 
   /// Snapshot of this engine's cache counters. Process-wide aggregates (all
@@ -169,7 +183,9 @@ class ExecutionEngine {
 
   std::vector<double> trajectory_probabilities(const sim::CompiledCircuit& compiled,
                                                std::size_t shots,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               const common::Deadline& deadline,
+                                               RunRecord& rec);
 
   EngineOptions options_;
   std::unique_ptr<common::ThreadPool> owned_pool_;

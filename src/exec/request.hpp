@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "ir/circuit.hpp"
 #include "linalg/kernels.hpp"
 #include "noise/device.hpp"
@@ -56,7 +57,18 @@ struct ExecutionConfig {
 struct RunRequest {
   ir::QuantumCircuit circuit;
   ExecutionConfig config;
+  /// Per-request execution bound (time limit and/or cancel token). Unbounded
+  /// requests fall back to the process default from QAPPROX_DEADLINE_MS.
+  common::Deadline deadline;
 };
+
+/// How a request finished. TimedOut results still carry a best-effort
+/// distribution (completed trajectory shots, or the partially evolved exact
+/// state); Failed results carry a uniform placeholder plus the error text in
+/// RunRecord::error.
+enum class RunStatus { Ok = 0, TimedOut = 1, Failed = 2 };
+
+const char* run_status_name(RunStatus status);
 
 /// Provenance of one execution: what the transpiler produced, which engine
 /// ran it, and which session caches were warm.
@@ -83,12 +95,22 @@ struct RunRecord {
   /// compiler, build type, native/flags) — lets archived results name the
   /// exact build they came from.
   std::string build_stamp;
+  /// True when the run's deadline expired and `probabilities` is a flagged
+  /// partial result rather than the full computation.
+  bool timed_out = false;
+  /// "<kind>: <what>" of the error that failed this run ("" on success).
+  std::string error;
+  /// Trajectory engine only: shots actually completed before the deadline
+  /// (== `shots` on an untimed run).
+  std::size_t completed_shots = 0;
 };
 
 /// Outcome distribution (virtual bit order, normalized) plus its provenance.
 struct RunResult {
   std::vector<double> probabilities;
   RunRecord record;
+  RunStatus status = RunStatus::Ok;
+  bool ok() const { return status == RunStatus::Ok; }
 };
 
 /// Aggregate hit/miss counters across an engine's session caches.

@@ -1,8 +1,12 @@
 #include "sim/compiled.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/faults.hpp"
 #include "linalg/embed.hpp"
 #include "metrics/distribution.hpp"
 #include "noise/readout.hpp"
@@ -126,8 +130,37 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
   return compiled;
 }
 
+namespace {
+
+/// 2x2 all-NaN operator used by the StateNan fault site: one application
+/// poisons every amplitude, exactly like a broken kernel would.
+const linalg::Matrix& nan_matrix() {
+  static const linalg::Matrix m = [] {
+    const auto nan = std::numeric_limits<double>::quiet_NaN();
+    linalg::Matrix out(2, 2);
+    for (std::size_t r = 0; r < 2; ++r)
+      for (std::size_t c = 0; c < 2; ++c) out(r, c) = linalg::cplx(nan, nan);
+    return out;
+  }();
+  return m;
+}
+
+/// Norm-drift guard: NaN, infinity, and drift all fail the negated
+/// comparison, so a corrupt state is reported instead of sampled.
+void check_state_norm(double norm_squared) {
+  if (std::fabs(norm_squared - 1.0) <= kNormDriftTolerance) return;
+  std::ostringstream os;
+  os << "trajectory state corrupt: |psi|^2 = " << norm_squared
+     << " after step loop (norm-drift guard, tolerance " << kNormDriftTolerance
+     << ")";
+  throw common::SimulationError(os.str());
+}
+
+}  // namespace
+
 std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng,
-                                  TrajectoryScratch& scratch) {
+                                  TrajectoryScratch& scratch,
+                                  std::uint64_t fault_stream) {
   StateVector& state = scratch.state;
   state.reset();
   for (const CompiledStep& step : compiled.steps) {
@@ -153,6 +186,13 @@ std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& 
       state.normalize();
     }
   }
+  // Fault firing never touches `rng`, so non-faulted shots draw the exact
+  // same stream with or without injection armed.
+  if (common::faults::enabled() &&
+      common::faults::fires(common::faults::Site::StateNan, fault_stream)) {
+    state.apply_matrix(nan_matrix(), {0});
+  }
+  check_state_norm(state.norm_squared());
   std::uint64_t outcome = state.sample(rng);
   return noise::sample_readout_flip(outcome, compiled.readout, rng);
 }
@@ -175,24 +215,70 @@ std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& com
                                                       std::size_t shot_begin,
                                                       std::size_t shot_end,
                                                       std::uint64_t seed) {
+  return trajectory_counts_streamed(compiled, shot_begin, shot_end, seed,
+                                    common::Deadline::never(), nullptr);
+}
+
+std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& compiled,
+                                                      std::size_t shot_begin,
+                                                      std::size_t shot_end,
+                                                      std::uint64_t seed,
+                                                      const common::Deadline& deadline,
+                                                      std::size_t* completed) {
   std::vector<std::uint64_t> counts(std::size_t{1} << compiled.num_qubits, 0);
   TrajectoryScratch scratch(compiled.num_qubits);
+  common::StopPoller poller(deadline, /*stride=*/4);
+  std::size_t done = 0;
   for (std::size_t shot = shot_begin; shot < shot_end; ++shot) {
-    common::Rng rng(common::derive_stream_seed(seed, shot));
-    ++counts[run_trajectory_shot(compiled, rng, scratch)];
+    if (poller.should_stop()) break;
+    const std::uint64_t stream = common::derive_stream_seed(seed, shot);
+    common::Rng rng(stream);
+    // The per-shot stream seed doubles as the NaN-fault stream id: stable
+    // across thread counts and block partitions.
+    ++counts[run_trajectory_shot(compiled, rng, scratch, stream)];
+    ++done;
   }
+  if (completed != nullptr) *completed = done;
   return counts;
 }
 
+namespace {
+
+/// Trace-drift guard for the exact engines: the raw outcome mass must be
+/// finite and near 1 before normalization smooths corruption away.
+void check_outcome_mass(const std::vector<double>& probs, const char* engine) {
+  double mass = 0.0;
+  for (double p : probs) mass += p;
+  if (std::fabs(mass - 1.0) <= kNormDriftTolerance) return;
+  std::ostringstream os;
+  os << engine << " state corrupt: outcome mass = " << mass
+     << " (norm-drift guard, tolerance " << kNormDriftTolerance << ")";
+  throw common::SimulationError(os.str());
+}
+
+}  // namespace
+
 std::vector<double> density_matrix_probabilities(const CompiledCircuit& compiled) {
+  bool timed_out = false;
+  return density_matrix_probabilities(compiled, common::Deadline::never(),
+                                      &timed_out);
+}
+
+std::vector<double> density_matrix_probabilities(const CompiledCircuit& compiled,
+                                                 const common::Deadline& deadline,
+                                                 bool* timed_out) {
   DensityMatrix rho(compiled.num_qubits);
+  common::StopPoller poller(deadline, /*stride=*/1);
   for (const CompiledStep& step : compiled.steps) {
+    if (poller.should_stop()) break;
     rho.apply_unitary(step.unitary, step.unitary_adjoint, step.qubits);
     for (const CompiledNoiseOp& op : step.noise)
       rho.apply_kraus(op.operators, op.adjoints,
                       op.mixed_unitary ? &op.probs : nullptr, op.qubits);
   }
+  if (timed_out != nullptr) *timed_out = poller.triggered();
   auto probs = rho.probabilities();
+  check_outcome_mass(probs, "density-matrix");
   probs = noise::apply_readout_error(probs, compiled.readout);
   return metrics::normalized(std::move(probs));
 }
@@ -203,13 +289,26 @@ std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circu
 }
 
 std::vector<double> statevector_probabilities(const CompiledCircuit& compiled) {
+  bool timed_out = false;
+  return statevector_probabilities(compiled, common::Deadline::never(),
+                                   &timed_out);
+}
+
+std::vector<double> statevector_probabilities(const CompiledCircuit& compiled,
+                                              const common::Deadline& deadline,
+                                              bool* timed_out) {
   StateVector state(compiled.num_qubits);
+  common::StopPoller poller(deadline, /*stride=*/1);
   for (const CompiledStep& step : compiled.steps) {
     QC_CHECK_MSG(step.noise.empty(),
                  "statevector_probabilities requires a noise-free program");
+    if (poller.should_stop()) break;
     state.apply_matrix(step.unitary, step.qubits);
   }
-  return state.probabilities();
+  if (timed_out != nullptr) *timed_out = poller.triggered();
+  auto probs = state.probabilities();
+  check_outcome_mass(probs, "statevector");
+  return probs;
 }
 
 std::vector<std::uint64_t> sample_counts_from_probs(const std::vector<double>& probs,

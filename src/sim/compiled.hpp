@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 #include "ir/circuit.hpp"
 #include "linalg/kernels.hpp"
@@ -94,14 +95,25 @@ struct TrajectoryScratch {
   std::vector<double> weights;
 };
 
+/// Relative tolerance on |norm² - 1| after a shot's step loop. Unitary and
+/// renormalized-Kraus applications preserve the norm to rounding, so drift
+/// beyond this means the state is corrupt (NaN amplitudes, a broken kernel, an
+/// injected fault) and the shot throws SimulationError instead of sampling
+/// garbage.
+inline constexpr double kNormDriftTolerance = 1e-6;
+
 /// Evolves one shot: |0...0> through every compiled step, measurement sample,
 /// readout bit flips. All randomness is drawn from `rng` in a fixed order.
+/// Throws SimulationError when the final state fails the norm-drift guard.
 std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng);
 
 /// Same, but reusing caller-owned buffers across shots (the hot path; the
 /// two-argument overload is a convenience wrapper that allocates one).
+/// `fault_stream` keys deterministic NaN injection (faults::Site::StateNan);
+/// callers with no stable stream id pass 0.
 std::uint64_t run_trajectory_shot(const CompiledCircuit& compiled, common::Rng& rng,
-                                  TrajectoryScratch& scratch);
+                                  TrajectoryScratch& scratch,
+                                  std::uint64_t fault_stream = 0);
 
 /// Serial shot loop over one shared RNG stream (the seed TrajectoryBackend
 /// semantics — kept for the Backend API).
@@ -117,6 +129,18 @@ std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& com
                                                       std::size_t shot_end,
                                                       std::uint64_t seed);
 
+/// Deadline-aware variant: polls `deadline` between shots and stops early on
+/// expiry, returning the counts accumulated so far. `*completed` (if non-null)
+/// receives the number of shots actually run from this range. The per-shot
+/// streams are unchanged, so completed shots are bit-identical to an unbounded
+/// run's.
+std::vector<std::uint64_t> trajectory_counts_streamed(const CompiledCircuit& compiled,
+                                                      std::size_t shot_begin,
+                                                      std::size_t shot_end,
+                                                      std::uint64_t seed,
+                                                      const common::Deadline& deadline,
+                                                      std::size_t* completed);
+
 /// Exact noisy evolution of `circuit` under `model` (density matrix + exact
 /// readout confusion), normalized. The DensityMatrixBackend delegates here;
 /// compiles internally, then runs the compiled overload below.
@@ -126,11 +150,25 @@ std::vector<double> density_matrix_probabilities(const ir::QuantumCircuit& circu
 /// Exact noisy evolution of an already-compiled program, using its hoisted
 /// unitary/Kraus adjoints. The execution engine calls this with cached
 /// CompiledCircuits so repeated DM runs skip compilation and adjoints.
+/// Throws SimulationError when the evolved trace drifts (corrupt state).
 std::vector<double> density_matrix_probabilities(const CompiledCircuit& compiled);
+
+/// Deadline-aware variant: polls between steps; on expiry sets `*timed_out`
+/// and returns the distribution of the partially evolved state (readout error
+/// still applied) as a best-effort answer.
+std::vector<double> density_matrix_probabilities(const CompiledCircuit& compiled,
+                                                 const common::Deadline& deadline,
+                                                 bool* timed_out);
 
 /// Noise-free evolution of a compiled program (every step must carry no
 /// noise, e.g. compiled against NoiseModel::ideal): one state-vector pass.
 std::vector<double> statevector_probabilities(const CompiledCircuit& compiled);
+
+/// Deadline-aware variant: polls between steps; on expiry sets `*timed_out`
+/// and returns the partially evolved state's distribution.
+std::vector<double> statevector_probabilities(const CompiledCircuit& compiled,
+                                              const common::Deadline& deadline,
+                                              bool* timed_out);
 
 /// Samples `shots` outcomes from a (normalized) distribution via cumulative
 /// sums + binary search — O(2^n + shots log 2^n), replacing the seed's

@@ -30,7 +30,9 @@ OptimizeResult lbfgs_minimize(const CostFn& f, const GradFn& grad,
 
   std::vector<double> direction(n), x_new(n), g_new(n), q(n);
 
+  common::StopPoller poller(options.deadline, /*stride=*/1);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (poller.should_stop()) break;
     ++result.iterations;
 
     double gnorm = 0.0;
@@ -143,7 +145,9 @@ OptimizeResult nelder_mead_minimize(const CostFn& f, const std::vector<double>& 
 
   // Nelder-Mead needs many more iterations than quasi-Newton per dimension.
   const int max_iter = options.max_iterations * static_cast<int>(n);
+  common::StopPoller poller(options.deadline, /*stride=*/4);
   for (int iter = 0; iter < max_iter; ++iter) {
+    if (poller.should_stop()) break;
     ++result.iterations;
     for (std::size_t i = 0; i <= n; ++i) order[i] = i;
     std::sort(order.begin(), order.end(),
@@ -217,6 +221,8 @@ OptimizeResult multistart_minimize(const CostFn& f, const GradFn& grad,
   bool have_best = false;
 
   for (int start = 0; start < options.num_starts; ++start) {
+    // Stop between restarts too; started restarts stop via the inner poll.
+    if (have_best && options.inner.deadline.expired()) break;
     std::vector<double> x = x0;
     if (start > 0) {
       for (double& v : x) v = rng.uniform(-std::numbers::pi, std::numbers::pi);

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 
 namespace qc::synth {
@@ -23,6 +24,9 @@ struct OptimizeOptions {
   int max_iterations = 120;
   double tolerance = 1e-12;  // stop when improvement/gradient falls below
   int lbfgs_memory = 8;
+  /// Polled once per iteration; on expiry the optimizer returns the best
+  /// point reached so far (a valid, if less converged, result).
+  common::Deadline deadline;
 };
 
 struct OptimizeResult {

@@ -156,6 +156,12 @@ QFactorResult qfactor_optimize(const QuantumCircuit& structure, const Matrix& ta
 
   std::vector<Matrix> suffix(m + 1);  // suffix[k] = O_{m-1} ... O_k (embedded)
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Sweeps improve monotonically, so stopping after any whole sweep still
+    // returns a valid (just less converged) circuit.
+    if (options.deadline.expired()) {
+      result.timed_out = true;
+      break;
+    }
     ++result.sweeps;
 
     // suffix[k] = product of ops k..m-1 applied after slot k-1.

@@ -9,6 +9,7 @@
 // search because the per-sweep cost is linear in gate count.
 #pragma once
 
+#include "common/deadline.hpp"
 #include "ir/circuit.hpp"
 #include "linalg/matrix.hpp"
 
@@ -20,6 +21,9 @@ struct QFactorOptions {
   double tolerance = 1e-12;
   /// Declare convergence below this HS distance.
   double success_threshold = 1e-5;
+  /// Polled once per sweep; on expiry the current (monotonically improved)
+  /// angles are returned flagged `timed_out`.
+  common::Deadline deadline;
 };
 
 struct QFactorResult {
@@ -27,6 +31,8 @@ struct QFactorResult {
   double hs_distance = 1.0;
   int sweeps = 0;
   bool converged = false;
+  /// True when the deadline cut the sweep loop short.
+  bool timed_out = false;
 };
 
 /// Re-optimizes every U3 in `structure` (a {CX, U3} circuit; other gates are

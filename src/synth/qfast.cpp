@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/faults.hpp"
 #include "synth/cost.hpp"
 
 namespace qc::synth {
@@ -12,6 +13,11 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
                              const noise::CouplingMap* coupling) {
   QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
   QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
+  if (common::faults::enabled() &&
+      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
+    throw common::SynthesisError("injected synthesis fault (qfast, seed " +
+                                 std::to_string(options.seed) + ")");
+  }
 
   std::vector<std::pair<int, int>> edges;
   if (coupling) {
@@ -28,6 +34,10 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
 
   std::vector<double> warm;  // parameters carried across depths
   for (int depth = 1; depth <= options.max_blocks; ++depth) {
+    if (options.deadline.expired()) {
+      result.timed_out = true;
+      break;
+    }
     ++result.depths_tried;
 
     TemplateCircuit tpl(num_qubits);
@@ -48,6 +58,7 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
     // these are the "circuits it checks along the way".
     if (options.emit_coarse_passes && options.partial_solution_callback) {
       OptimizeOptions coarse = options.optimizer;
+      coarse.deadline = options.deadline;
       coarse.max_iterations = std::max(5, options.optimizer.max_iterations / 6);
       const OptimizeResult quick = lbfgs_minimize(f, g, x0, coarse);
       ApproxCircuit snap{tpl.instantiate(quick.params),
@@ -58,6 +69,7 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
 
     MultistartOptions ms;
     ms.inner = options.optimizer;
+    ms.inner.deadline = options.deadline;  // per-iteration polling inside
     ms.num_starts = options.restarts_per_depth;
     common::Rng depth_rng = rng.split(static_cast<std::uint64_t>(depth));
     const OptimizeResult opt = multistart_minimize(f, g, x0, depth_rng, ms);

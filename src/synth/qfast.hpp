@@ -28,12 +28,17 @@ struct QFastOptions {
   /// Also emit snapshots at reduced optimization budgets per depth, widening
   /// the harvested approximation set (off reproduces stock QFast output).
   bool emit_coarse_passes = true;
+  /// Polled before each depth growth and inside each depth's optimization;
+  /// on expiry the best circuit so far is returned flagged `timed_out`.
+  common::Deadline deadline;
 };
 
 struct QFastResult {
   ApproxCircuit best;
   bool converged = false;
   int depths_tried = 0;
+  /// True when the deadline cut depth growth short.
+  bool timed_out = false;
 };
 
 /// Synthesizes `target`; block placement follows a fixed deterministic sweep

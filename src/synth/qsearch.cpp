@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/faults.hpp"
 #include "obs/obs.hpp"
 #include "synth/cost.hpp"
 
@@ -39,6 +40,11 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
                                  const noise::CouplingMap* coupling) {
   QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
   QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
+  if (common::faults::enabled() &&
+      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
+    throw common::SynthesisError("injected synthesis fault (qsearch, seed " +
+                                 std::to_string(options.seed) + ")");
+  }
 
   // Expansion edges: coupling-map edges, or all pairs. Both CX directions
   // are equivalent up to the surrounding U3s, so one orientation suffices.
@@ -93,6 +99,7 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
 
     MultistartOptions ms;
     ms.inner = options.optimizer;
+    ms.inner.deadline = options.deadline;  // per-iteration polling inside
     ms.num_starts = options.restarts_per_node;
     common::Rng node_rng = rng.split(insert_counter + 1);
     const OptimizeResult opt = multistart_minimize(f, g, x0, node_rng, ms);
@@ -121,6 +128,10 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
   while (!open.empty()) {
     if (result.best.hs_distance < options.success_threshold) break;
     if (result.nodes_expanded >= options.max_nodes) break;
+    if (options.deadline.expired()) {
+      result.timed_out = true;
+      break;
+    }
 
     Node current = open.top();
     open.pop();
@@ -128,6 +139,12 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
     if (static_cast<int>(current.blocks.size()) >= options.max_cnots) continue;
 
     for (const auto& edge : edges) {
+      // Each child costs a full continuous optimization, so poll here too —
+      // the response to expiry stays within one node's optimization budget.
+      if (options.deadline.expired()) {
+        result.timed_out = true;
+        break;
+      }
       Node child;
       child.blocks = current.blocks;
       child.blocks.push_back(edge);
@@ -140,6 +157,7 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
       }
       open.push(std::move(child));
     }
+    if (result.timed_out) break;
   }
 
   result.converged = result.best.hs_distance < options.success_threshold;

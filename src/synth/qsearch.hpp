@@ -54,6 +54,9 @@ struct QSearchOptions {
   std::uint64_t seed = 0x51534541;  // deterministic searches
   /// Report every optimized structure (the paper's modification).
   IntermediateCallback intermediate_callback;
+  /// Polled at every node expansion and inside each node's optimization; on
+  /// expiry the search returns its best circuit so far flagged `timed_out`.
+  common::Deadline deadline;
 };
 
 struct QSearchResult {
@@ -63,11 +66,15 @@ struct QSearchResult {
   bool converged = false;
   int nodes_expanded = 0;
   int nodes_optimized = 0;
+  /// True when the deadline cut the search short; `best` is still the best
+  /// structure optimized before expiry.
+  bool timed_out = false;
 };
 
 /// Synthesizes `target` over `num_qubits` qubits. If `coupling` is given,
 /// expansion blocks are restricted to its edges (machine-aware synthesis);
-/// otherwise all qubit pairs are allowed.
+/// otherwise all qubit pairs are allowed. Throws SynthesisError when the
+/// synth fault-injection site fires (keyed by options.seed).
 QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
                                  const QSearchOptions& options = {},
                                  const noise::CouplingMap* coupling = nullptr);

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/faults.hpp"
 #include "metrics/process.hpp"
 #include "synth/cost.hpp"
 #include "transpile/decompose.hpp"
@@ -136,7 +137,14 @@ std::vector<std::size_t> choose_subset(std::size_t total, std::size_t k, int var
 }  // namespace
 
 std::vector<ApproxCircuit> reduce_circuit(const QuantumCircuit& reference,
-                                          const ReducerOptions& options) {
+                                          const ReducerOptions& options,
+                                          bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (common::faults::enabled() &&
+      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
+    throw common::SynthesisError("injected synthesis fault (reducer, seed " +
+                                 std::to_string(options.seed) + ")");
+  }
   const QuantumCircuit basis = transpile::decompose_to_cx_u3(reference).unitary_part();
   const Matrix target = basis.to_unitary();
   const int n = basis.num_qubits();
@@ -157,6 +165,10 @@ std::vector<ApproxCircuit> reduce_circuit(const QuantumCircuit& reference,
     const int variants = (k == 0 || k == cx_positions.size()) ? 1 : options.variants_per_size;
 
     for (int variant = 0; variant < variants; ++variant) {
+      if (options.deadline.expired()) {
+        if (timed_out != nullptr) *timed_out = true;
+        break;
+      }
       if (!seen.insert({k, variant}).second) continue;
       common::Rng subset_rng = rng.split((k << 8) + static_cast<std::uint64_t>(variant));
       const auto kept_cx = choose_subset(cx_positions.size(), k, variant, subset_rng);
@@ -180,6 +192,7 @@ std::vector<ApproxCircuit> reduce_circuit(const QuantumCircuit& reference,
                                     std::vector<double>& gr) { cost.gradient(x, gr); };
         MultistartOptions ms;
         ms.inner = options.optimizer;
+        ms.inner.deadline = options.deadline;  // per-iteration polling inside
         ms.num_starts = 2;
         const OptimizeResult opt =
             multistart_minimize(f, grad, tpl.identity_params(), subset_rng, ms);
@@ -202,7 +215,9 @@ std::vector<ApproxCircuit> reduce_circuit(const QuantumCircuit& reference,
         const GradFn grad = [&cost](const std::vector<double>& x,
                                     std::vector<double>& gr) { cost.gradient(x, gr); };
         std::vector<double> x0(static_cast<std::size_t>(6 * n), 0.0);
-        const OptimizeResult opt = lbfgs_minimize(f, grad, x0, options.optimizer);
+        OptimizeOptions inner = options.optimizer;
+        inner.deadline = options.deadline;
+        const OptimizeResult opt = lbfgs_minimize(f, grad, x0, inner);
 
         QuantumCircuit bound(n);
         for (int q = 0; q < n; ++q)

@@ -32,12 +32,19 @@ struct ReducerOptions {
   OptimizeOptions optimizer;
   std::uint64_t seed = 0x52454455;
   IntermediateCallback callback;
+  /// Polled before each variant's optimization; on expiry the variants
+  /// finished so far are returned (and *timed_out is set).
+  common::Deadline deadline;
 };
 
 /// Generates approximations of `reference` (any gate set; lowered
 /// internally). Deterministic in (reference, options.seed). Results are
-/// sorted by CNOT count, deduplicated by (cx count, variant).
+/// sorted by CNOT count, deduplicated by (cx count, variant). On deadline
+/// expiry the variants completed so far are returned and `*timed_out` (when
+/// non-null) is set. Throws SynthesisError when the synth fault-injection
+/// site fires (keyed by options.seed).
 std::vector<ApproxCircuit> reduce_circuit(const ir::QuantumCircuit& reference,
-                                          const ReducerOptions& options = {});
+                                          const ReducerOptions& options = {},
+                                          bool* timed_out = nullptr);
 
 }  // namespace qc::synth
