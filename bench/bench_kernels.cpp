@@ -12,16 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <iterator>
 #include <string>
 #include <vector>
 
-#include "common/cli.hpp"
-#include "common/error.hpp"
-#include "common/io.hpp"
+#include "gbench_main.hpp"
+
 #include "common/rng.hpp"
 #include "obs/obs.hpp"
 #include "ir/circuit.hpp"
@@ -139,6 +134,7 @@ void BM_QFactorSweep(benchmark::State& state) {
   }
   synth::QFactorOptions opts;
   opts.max_sweeps = 1;
+  opts.use_cache = false;  // measure the sweep, not a memoized lookup
   for (auto _ : state) {
     benchmark::DoNotOptimize(synth::qfactor_optimize(structure, target, opts).sweeps);
   }
@@ -289,68 +285,4 @@ BENCHMARK(BM_Kernel2q)->Arg(12)->Arg(14);
 
 }  // namespace
 
-namespace {
-
-// Splices `"qapprox_build": ... , "qapprox_metrics": ...` right after the
-// opening brace of a google-benchmark JSON report, so the archived baseline
-// names the exact build and carries the run's counters. Leaves the file
-// untouched (still valid JSON) if it doesn't look like a JSON object.
-void stamp_bench_json(const std::string& json_path) {
-  std::ifstream in(json_path);
-  if (!in) return;
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  in.close();
-  const std::size_t brace = text.find('{');
-  if (brace == std::string::npos) return;
-  const std::string inject = std::string("\n  \"qapprox_build\": ") +
-                             qc::obs::build_info_json() +
-                             ",\n  \"qapprox_metrics\": " +
-                             qc::obs::metrics_json() + ",";
-  text.insert(brace + 1, inject);
-  // tmp + rename so an interrupted stamp never truncates the report.
-  try {
-    qc::common::atomic_write_file(json_path, text);
-  } catch (const qc::common::Error&) {
-    // Stamping is best-effort; the unstamped report is still valid JSON.
-  }
-}
-
-}  // namespace
-
-// Custom main: identical to BENCHMARK_MAIN() except that when the caller did
-// not ask for a report file, the run still leaves machine-readable JSON in
-// BENCH_kernels.json (path overridable via QAPPROX_BENCH_JSON), stamped with
-// the build info and the run's metrics snapshot.
-static int run(int argc, char** argv) {
-  qc::obs::init_from_env();
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--version") {
-      std::printf("%s\n", qc::obs::build_info_summary().c_str());
-      return 0;
-    }
-  }
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
-  const char* path = std::getenv("QAPPROX_BENCH_JSON");
-  const std::string out_path = path ? path : "BENCH_kernels.json";
-  std::string out_flag = "--benchmark_out=" + out_path;
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int eff_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&eff_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(eff_argc, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  if (!has_out) stamp_bench_json(out_path);
-  return 0;
-}
-
-int main(int argc, char** argv) {
-  return qc::common::run_main(argc, argv, run);
-}
+QAPPROX_BENCH_MAIN("BENCH_kernels.json")

@@ -1,0 +1,90 @@
+// Shared custom main for the google-benchmark binaries (bench_kernels,
+// bench_synth): identical to BENCHMARK_MAIN() except that when the caller
+// did not ask for a report file, the run still leaves machine-readable JSON
+// at `default_json_name` (path overridable via QAPPROX_BENCH_JSON), stamped
+// with the build info and the run's metrics snapshot so archived baselines
+// name the exact build they came from.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "obs/obs.hpp"
+
+namespace qapprox_bench {
+
+// Splices `"qapprox_build": ... , "qapprox_metrics": ...` right after the
+// opening brace of a google-benchmark JSON report, so the archived baseline
+// names the exact build and carries the run's counters. Leaves the file
+// untouched (still valid JSON) if it doesn't look like a JSON object.
+inline void stamp_bench_json(const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in) return;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t brace = text.find('{');
+  if (brace == std::string::npos) return;
+  const std::string inject = std::string("\n  \"qapprox_build\": ") +
+                             qc::obs::build_info_json() +
+                             ",\n  \"qapprox_metrics\": " +
+                             qc::obs::metrics_json() + ",";
+  text.insert(brace + 1, inject);
+  // tmp + rename so an interrupted stamp never truncates the report.
+  try {
+    qc::common::atomic_write_file(json_path, text);
+  } catch (const qc::common::Error&) {
+    // Stamping is best-effort; the unstamped report is still valid JSON.
+  }
+}
+
+inline int run_benchmarks(int argc, char** argv, const char* default_json_name) {
+  qc::obs::init_from_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--version") {
+      std::printf("%s\n", qc::obs::build_info_summary().c_str());
+      return 0;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  const char* path = std::getenv("QAPPROX_BENCH_JSON");
+  const std::string out_path = path ? path : default_json_name;
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int eff_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&eff_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(eff_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) stamp_bench_json(out_path);
+  return 0;
+}
+
+}  // namespace qapprox_bench
+
+/// Expands to a main() that runs the registered benchmarks through
+/// common::run_main (crash-reporting wrapper) with the given default JSON
+/// report name.
+#define QAPPROX_BENCH_MAIN(default_json_name)                            \
+  static int qapprox_bench_run(int argc, char** argv) {                  \
+    return qapprox_bench::run_benchmarks(argc, argv, default_json_name); \
+  }                                                                      \
+  int main(int argc, char** argv) {                                      \
+    return qc::common::run_main(argc, argv, qapprox_bench_run);          \
+  }

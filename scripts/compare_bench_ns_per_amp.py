@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
-"""Compare ns_per_amp figures between two BENCH_kernels.json reports.
+"""Compare one metric between two google-benchmark JSON reports.
 
 Usage: compare_bench_ns_per_amp.py BASELINE CURRENT [--threshold PCT]
+                                   [--metric NAME]
 
-Prints one line per benchmark that carries an `ns_per_amp` counter and a
-WARNING for every benchmark whose ns_per_amp regressed by more than the
-threshold (default 25%). Exit code is always 0: CI runners are too noisy for
-a hard gate, the warnings exist to make drift visible in the job log.
+--metric selects what to compare (default: the ns_per_amp counter, which
+keeps the historical BENCH_kernels.json invocation working unchanged):
+
+  ns_per_amp        kernel figure of merit (custom counter; only benchmarks
+                    that carry it are compared)
+  real_time         wall-clock per iteration (every benchmark)
+  cpu_time          CPU time per iteration (every benchmark)
+  <anything else>   treated as a custom counter name, like ns_per_amp
+
+Prints one line per benchmark carrying the metric and a WARNING for every
+benchmark that regressed (grew) by more than the threshold (default 25%).
+Exit code is always 0: CI runners are too noisy for a hard gate, the
+warnings exist to make drift visible in the job log.
 """
 
 import argparse
@@ -14,14 +24,35 @@ import json
 import sys
 
 
-def ns_per_amp_by_name(path):
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def metric_by_name(path, metric):
     with open(path) as f:
         report = json.load(f)
     out = {}
     for bench in report.get("benchmarks", []):
-        if "ns_per_amp" in bench:
-            out[bench["name"]] = float(bench["ns_per_amp"])
+        # Aggregate rows (mean/median/stddev) would double-count; plain runs
+        # carry no run_type in older versions, so only skip known aggregates.
+        if bench.get("run_type") == "aggregate":
+            continue
+        if metric not in bench:
+            continue
+        value = float(bench[metric])
+        if metric in ("real_time", "cpu_time"):
+            # time_unit varies per benchmark; normalize so the report (and
+            # the threshold math on mixed-unit files) stays coherent.
+            value *= _NS_PER_UNIT.get(bench.get("time_unit", "ns"), 1.0)
+        out[bench["name"]] = value
     return out
+
+
+def metric_unit(metric):
+    if metric == "ns_per_amp":
+        return "ns/amp"
+    if metric in ("real_time", "cpu_time"):
+        return "ns"
+    return metric
 
 
 def main():
@@ -30,12 +61,17 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=25.0,
                         help="regression warning threshold in percent")
+    parser.add_argument("--metric", default="ns_per_amp",
+                        help="benchmark field or counter to compare "
+                             "(ns_per_amp, real_time, cpu_time, ...)")
     args = parser.parse_args()
 
-    base = ns_per_amp_by_name(args.baseline)
-    cur = ns_per_amp_by_name(args.current)
+    base = metric_by_name(args.baseline, args.metric)
+    cur = metric_by_name(args.current, args.metric)
+    unit = metric_unit(args.metric)
     if not base:
-        print(f"no ns_per_amp entries in baseline {args.baseline}; nothing to compare")
+        print(f"no {args.metric} entries in baseline {args.baseline}; "
+              "nothing to compare")
         return 0
 
     warnings = 0
@@ -50,16 +86,16 @@ def main():
         if delta > args.threshold:
             marker = f"  WARNING: >{args.threshold:.0f}% regression"
             warnings += 1
-        print(f"{name}: {b:.3f} -> {c:.3f} ns/amp ({delta:+.1f}%){marker}")
+        print(f"{name}: {b:.3f} -> {c:.3f} {unit} ({delta:+.1f}%){marker}")
     for name in sorted(set(cur) - set(base)):
-        print(f"NEW      {name}: {cur[name]:.3f} ns/amp (no baseline)")
+        print(f"NEW      {name}: {cur[name]:.3f} {unit} (no baseline)")
 
     if warnings:
         print(f"\n{warnings} benchmark(s) regressed past the threshold "
-              "(informational only — CI runners are noisy; refresh "
-              "results/BENCH_kernels.json if the change is expected)")
+              "(informational only — CI runners are noisy; refresh the "
+              "committed baseline if the change is expected)")
     else:
-        print("\nall ns_per_amp figures within threshold")
+        print(f"\nall {args.metric} figures within threshold")
     return 0
 
 

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
+#include "synth/cache.hpp"
 #include "transpile/decompose.hpp"
 
 namespace qc::approx {
@@ -126,6 +127,7 @@ std::vector<ApproxCircuit> harvest_tools(const linalg::Matrix& target, int num_q
   auto collect = [&harvest](const ApproxCircuit& c) { harvest.push_back(c); };
   const common::Deadline fallback_deadline =
       config.deadline.bounded() ? config.deadline : common::Deadline::from_env();
+  const synth::SynthCacheStats cache_before = synth::synth_cache_stats();
 
   if (config.use_qsearch) {
     synth::QSearchOptions opts = config.qsearch;
@@ -182,6 +184,9 @@ std::vector<ApproxCircuit> harvest_tools(const linalg::Matrix& target, int num_q
         },
         report);
   }
+  const synth::SynthCacheStats cache_after = synth::synth_cache_stats();
+  report.synth_cache_hits = cache_after.hits - cache_before.hits;
+  report.synth_cache_misses = cache_after.misses - cache_before.misses;
   return harvest;
 }
 

@@ -55,6 +55,10 @@ struct GenerationReport {
   bool timed_out = false;   // some tool hit its deadline (partial harvest)
   bool fell_back = false;   // exact reference substituted for an empty set
   std::vector<std::string> errors;  // one entry per failed invocation
+  /// Synthesis-cache traffic during this harvest (delta of the process-wide
+  /// synth.cache.{hits,misses} totals; see synth/cache.hpp).
+  std::uint64_t synth_cache_hits = 0;
+  std::uint64_t synth_cache_misses = 0;
 
   /// True when the result is anything less than a clean full harvest.
   bool degraded() const { return failures > 0 || timed_out || fell_back; }

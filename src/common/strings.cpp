@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
@@ -58,6 +59,14 @@ std::string to_bitstring(std::uint64_t value, int bits) {
     if ((value >> i) & 1ULL) s[static_cast<std::size_t>(bits - 1 - i)] = '1';
   }
   return s;
+}
+
+bool env_flag(const char* name, bool default_on) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_on;
+  const std::string v = to_lower(trim(raw));
+  if (v.empty()) return default_on;
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
 }
 
 }  // namespace qc::common

@@ -25,4 +25,9 @@ std::string format_double(double v, int max_precision = 6);
 /// Zero-padded binary rendering of `value` over `bits` bits, MSB first.
 std::string to_bitstring(std::uint64_t value, int bits);
 
+/// Boolean environment flag: unset/empty -> `default_on`; "0", "off",
+/// "false", "no" (case-insensitive) -> false; anything else -> true. Used by
+/// the synthesis fast-path kill switches (QAPPROX_SYNTH_*).
+bool env_flag(const char* name, bool default_on);
+
 }  // namespace qc::common

@@ -1,9 +1,11 @@
 #include "linalg/matrix.hpp"
 
+#include <bit>
 #include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace qc::linalg {
 
@@ -143,6 +145,17 @@ std::vector<cplx> Matrix::apply(const std::vector<cplx>& x) const {
     y[r] = acc;
   }
   return y;
+}
+
+std::uint64_t Matrix::fingerprint() const {
+  using common::hash_combine;
+  std::uint64_t h = hash_combine(0xa17c9d3e5b82f641ULL, rows_);
+  h = hash_combine(h, cols_);
+  for (const cplx& v : data_) {
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(v.real()));
+    h = hash_combine(h, std::bit_cast<std::uint64_t>(v.imag()));
+  }
+  return h;
 }
 
 std::string Matrix::to_string(int precision) const {

@@ -8,6 +8,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,11 @@ class Matrix {
 
   /// Matrix-vector product y = A x.
   std::vector<cplx> apply(const std::vector<cplx>& x) const;
+
+  /// Order-dependent content hash over dimensions and entry bit patterns
+  /// (common::hash_combine). Keys the synthesis result cache alongside exact
+  /// structural discriminators, mirroring the execution-engine caches.
+  std::uint64_t fingerprint() const;
 
   std::string to_string(int precision = 4) const;
 

@@ -1,30 +1,78 @@
 #include "synth/cost.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
 
 namespace qc::synth {
 
 using linalg::cplx;
 using linalg::Matrix;
 
-HsCost::HsCost(const TemplateCircuit& tpl, Matrix target)
-    : tpl_(tpl), target_(std::move(target)) {
-  QC_CHECK(target_.rows() == target_.cols());
-  QC_CHECK_MSG(target_.rows() == (std::size_t{1} << tpl_.num_qubits()),
+GradientMode default_gradient_mode() {
+  static const GradientMode mode = [] {
+    const char* raw = std::getenv("QAPPROX_SYNTH_GRAD");
+    if (raw == nullptr) return GradientMode::kAnalytic;
+    const std::string v = common::to_lower(common::trim(raw));
+    if (v == "fd" || v == "finite" || v == "0" || v == "off" || v == "false" ||
+        v == "no") {
+      return GradientMode::kFiniteDifference;
+    }
+    return GradientMode::kAnalytic;
+  }();
+  return mode;
+}
+
+namespace {
+
+void check_target(const TemplateCircuit& tpl, const Matrix& target) {
+  QC_CHECK(target.rows() == target.cols());
+  QC_CHECK_MSG(target.rows() == (std::size_t{1} << tpl.num_qubits()),
                "target dimension must match template width");
-  QC_CHECK_MSG(target_.is_unitary(1e-6), "synthesis target must be unitary");
+  QC_CHECK_MSG(target.is_unitary(1e-6), "synthesis target must be unitary");
+}
+
+/// out := A† (resized if needed).
+void fill_adjoint(const Matrix& a, Matrix& out) {
+  const std::size_t n = a.rows();
+  if (out.rows() != n || out.cols() != n) out = Matrix(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) out(r, c) = std::conj(a(c, r));
+}
+
+void fill_identity(Matrix& m, std::size_t n) {
+  if (m.rows() != n || m.cols() != n) m = Matrix(n, n);
+  cplx* data = m.data();
+  for (std::size_t i = 0; i < n * n; ++i) data[i] = cplx{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) data[i * n + i] = cplx{1.0, 0.0};
+}
+
+}  // namespace
+
+HsCost::HsCost(const TemplateCircuit& tpl, const Matrix& target)
+    : tpl_(tpl), target_(&target) {
+  check_target(tpl_, *target_);
+}
+
+HsCost::HsCost(const TemplateCircuit& tpl, Matrix&& target)
+    : tpl_(tpl),
+      owned_(std::make_shared<const Matrix>(std::move(target))),
+      target_(owned_.get()) {
+  check_target(tpl_, *target_);
 }
 
 double HsCost::operator()(const std::vector<double>& params) const {
   tpl_.unitary(params, scratch_);
-  const cplx* t = target_.data();
+  const cplx* t = target_->data();
   const cplx* v = scratch_.data();
-  const std::size_t n = target_.rows() * target_.cols();
+  const std::size_t n = target_->rows() * target_->cols();
   cplx acc{0.0, 0.0};
   for (std::size_t i = 0; i < n; ++i) acc += std::conj(t[i]) * v[i];
-  const double fid = std::abs(acc) / static_cast<double>(target_.rows());
+  const double fid = std::abs(acc) / static_cast<double>(target_->rows());
   return 1.0 - std::min(fid, 1.0);
 }
 
@@ -39,6 +87,25 @@ double HsCost::hs_distance(const std::vector<double>& params) const {
 
 void HsCost::gradient(const std::vector<double>& params,
                       std::vector<double>& grad) const {
+  const bool timed = obs::timing_enabled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+  if (mode_ == GradientMode::kAnalytic) {
+    gradient_analytic(params, grad);
+  } else {
+    gradient_finite_difference(params, grad);
+  }
+  if (timed) {
+    static obs::Histogram& hist = obs::histogram("synth.gradient_ns");
+    hist.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+}
+
+void HsCost::gradient_finite_difference(const std::vector<double>& params,
+                                        std::vector<double>& grad) const {
   constexpr double h = 1e-6;
   grad.resize(params.size());
   std::vector<double> x = params;
@@ -50,6 +117,99 @@ void HsCost::gradient(const std::vector<double>& params,
     x[i] = params[i];
     grad[i] = (fp - fm) / (2.0 * h);
   }
+}
+
+void HsCost::gradient_analytic(const std::vector<double>& params,
+                               std::vector<double>& grad) const {
+  QC_CHECK(params.size() == static_cast<std::size_t>(tpl_.num_params()));
+  grad.assign(params.size(), 0.0);
+  if (params.empty()) return;
+
+  const auto& ops = tpl_.ops();
+  const std::size_t m = ops.size();
+  const std::size_t dim = target_->rows();
+
+  // Backward pass: suffix_[k] = O_{m-1}···O_k with suffix_[m] = I, built by
+  // column ops (suffix_[k] = suffix_[k+1] · O_k). O(m·dim²).
+  suffix_.resize(m + 1);
+  fill_identity(suffix_[m], dim);
+  for (std::size_t k = m; k-- > 0;) {
+    suffix_[k] = suffix_[k + 1];
+    const auto& op = ops[k];
+    if (op.is_cx) {
+      rowops::right_cx(suffix_[k], op.a, op.b);
+    } else {
+      rowops::right_u3(suffix_[k], op.a,
+                       u3_entries(params[op.param_offset],
+                                  params[op.param_offset + 1],
+                                  params[op.param_offset + 2]));
+    }
+  }
+
+  // Forward pass: prefix_ = L_k = O_{k-1}···O_0 · T†, advanced by row ops.
+  // At each U3 slot, ∂W/∂angle = Tr(L_k · S_{k+1} · ∂O_k); the trace only
+  // touches the 2x2 environment of (L_k · S_{k+1}) on the gate's qubit,
+  //   E(a,b) = Σ_rest (L_k · S_{k+1})(rest|a·bit, rest|b·bit),
+  // extracted directly from L and S in O(dim²) without forming the product.
+  fill_adjoint(*target_, prefix_);
+  std::vector<cplx> dw(params.size(), cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& op = ops[k];
+    if (op.is_cx) {
+      rowops::left_cx(prefix_, op.a, op.b);
+      continue;
+    }
+    const double theta = params[op.param_offset];
+    const double phi = params[op.param_offset + 1];
+    const double lambda = params[op.param_offset + 2];
+    const U3Entries g = u3_entries(theta, phi, lambda);
+
+    const Matrix& s = suffix_[k + 1];
+    const std::size_t bit = std::size_t{1} << op.a;
+    cplx e00{0.0, 0.0}, e01{0.0, 0.0}, e10{0.0, 0.0}, e11{0.0, 0.0};
+    for (std::size_t rest = 0; rest < dim; ++rest) {
+      if (rest & bit) continue;
+      const cplx* lrow0 = prefix_.data() + rest * dim;
+      const cplx* lrow1 = prefix_.data() + (rest | bit) * dim;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const cplx s0 = s(j, rest);
+        const cplx s1 = s(j, rest | bit);
+        e00 += lrow0[j] * s0;
+        e01 += lrow0[j] * s1;
+        e10 += lrow1[j] * s0;
+        e11 += lrow1[j] * s1;
+      }
+    }
+
+    // Tr(M · D_emb) = Σ_{a,b} E(a,b) D(b,a) for a one-qubit D = [[d00,d01],
+    // [d10,d11]]; the three partials of u3_entries:
+    //   ∂θ = ½ [[-s, -e^{iλ}c], [e^{iφ}c, -e^{i(φ+λ)}s]]
+    //   ∂φ = [[0, 0], [i·g10, i·g11]]
+    //   ∂λ = [[0, i·g01], [0, i·g11]]
+    const double c = std::cos(theta / 2.0);
+    const double sn = std::sin(theta / 2.0);
+    const cplx i_unit{0.0, 1.0};
+    const cplx dt00{-0.5 * sn, 0.0};
+    const cplx dt01 = -0.5 * std::polar(c, lambda);
+    const cplx dt10 = 0.5 * std::polar(c, phi);
+    const cplx dt11 = -0.5 * std::polar(sn, phi + lambda);
+    dw[op.param_offset] = e00 * dt00 + e01 * dt10 + e10 * dt01 + e11 * dt11;
+    dw[op.param_offset + 1] = (e01 * g.g10 + e11 * g.g11) * i_unit;
+    dw[op.param_offset + 2] = (e10 * g.g01 + e11 * g.g11) * i_unit;
+
+    rowops::left_u3(prefix_, op.a, g);
+  }
+
+  // After the full forward pass, prefix_ = V·T†, so W = Tr(T†V) = Tr(prefix_).
+  const cplx w = prefix_.trace();
+  const double abs_w = std::abs(w);
+  const double d = static_cast<double>(dim);
+  // Matches operator()'s clamp (fid capped at 1) and avoids the |W| = 0
+  // non-differentiability: both regimes have zero gradient.
+  if (abs_w <= 0.0 || abs_w / d >= 1.0) return;
+  const cplx factor = std::conj(w) * (-1.0 / (d * abs_w));
+  for (std::size_t p = 0; p < grad.size(); ++p)
+    grad[p] = (factor * dw[p]).real();
 }
 
 }  // namespace qc::synth

@@ -3,10 +3,19 @@
 // The objective is the smooth fidelity gap
 //     f(x) = 1 - |Tr(T† V(x))| / d
 // whose zero set coincides with hs_distance = 0; hs_distance follows as
-// sqrt(f (1 + |Tr|/d)) = sqrt(1 - (1-f)^2). Gradients are central-difference
-// numerical (the template rebuild is cheap by construction).
+// sqrt(f (1 + |Tr|/d)) = sqrt(1 - (1-f)^2).
+//
+// Gradients come in two flavors. The analytic mode (default) computes all P
+// partials in one forward/backward partial-product sweep — O(m·dim²), about
+// two unitary builds regardless of P — by writing W = Tr(T† V) and, for the
+// U3 at slot k,  ∂W = Tr(L_k · S_{k+1} · ∂O_k)  with the prefix product
+// L_k = O_{k-1}···O_0 · T† maintained by row ops and the suffix products
+// S_{k+1} = O_{m-1}···O_{k+1} precomputed by column ops. The
+// central-difference mode (2·P unitary builds) is kept as the test oracle
+// and as the QAPPROX_SYNTH_GRAD=fd kill switch.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -14,11 +23,23 @@
 
 namespace qc::synth {
 
+enum class GradientMode { kAnalytic, kFiniteDifference };
+
+/// Process default: analytic unless QAPPROX_SYNTH_GRAD=fd (also accepts
+/// 0/off/false/no). Read once; tests that need both modes in one process use
+/// HsCost::set_gradient_mode instead.
+GradientMode default_gradient_mode();
+
 class HsCost {
  public:
-  HsCost(const TemplateCircuit& tpl, linalg::Matrix target);
+  /// Borrows `target`; the caller keeps it alive for the cost's lifetime.
+  /// Searches build one cost per explored node against the same target, so
+  /// borrowing avoids a dim² copy (and allocation) per node.
+  HsCost(const TemplateCircuit& tpl, const linalg::Matrix& target);
+  /// Takes ownership of a temporary target (benchmarks, one-off callers).
+  HsCost(const TemplateCircuit& tpl, linalg::Matrix&& target);
 
-  int dim() const { return static_cast<int>(target_.rows()); }
+  int dim() const { return static_cast<int>(target_->rows()); }
   int num_params() const { return tpl_.num_params(); }
 
   /// 1 - |Tr(T† V(x))| / d, in [0, 1].
@@ -27,16 +48,33 @@ class HsCost {
   /// HS distance at x: sqrt(1 - (1 - f)^2).
   double hs_distance(const std::vector<double>& params) const;
 
-  /// Central-difference gradient (step 1e-6 radians).
+  /// Gradient in the active mode (records synth.gradient_ns when timing is
+  /// armed).
   void gradient(const std::vector<double>& params, std::vector<double>& grad) const;
 
+  /// Closed-form gradient via the partial-product sweep.
+  void gradient_analytic(const std::vector<double>& params,
+                         std::vector<double>& grad) const;
+  /// Central-difference gradient (step 1e-6 radians); the oracle.
+  void gradient_finite_difference(const std::vector<double>& params,
+                                  std::vector<double>& grad) const;
+
+  GradientMode gradient_mode() const { return mode_; }
+  void set_gradient_mode(GradientMode mode) { mode_ = mode; }
+
   const TemplateCircuit& circuit_template() const { return tpl_; }
-  const linalg::Matrix& target() const { return target_; }
+  const linalg::Matrix& target() const { return *target_; }
 
  private:
   TemplateCircuit tpl_;
-  linalg::Matrix target_;
+  std::shared_ptr<const linalg::Matrix> owned_;  // null when borrowing
+  const linalg::Matrix* target_;
+  GradientMode mode_ = default_gradient_mode();
   mutable linalg::Matrix scratch_;
+  // Analytic-sweep scratch, reused across calls to keep the hot path
+  // allocation-free after warm-up.
+  mutable linalg::Matrix prefix_;
+  mutable std::vector<linalg::Matrix> suffix_;
 };
 
 /// Converts a smooth cost value to the HS distance it implies.

@@ -1,11 +1,14 @@
 #include "synth/qfactor.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "linalg/kernels.hpp"
 #include "metrics/process.hpp"
 #include "obs/obs.hpp"
+#include "synth/cache.hpp"
 #include "transpile/decompose.hpp"
 #include "transpile/euler.hpp"
 
@@ -16,6 +19,11 @@ using ir::GateKind;
 using ir::QuantumCircuit;
 using linalg::cplx;
 using linalg::Matrix;
+
+bool qfactor_incremental_default() {
+  static const bool enabled = common::env_flag("QAPPROX_SYNTH_INCREMENTAL", true);
+  return enabled;
+}
 
 namespace {
 
@@ -48,6 +56,188 @@ void eig_hermitian_2x2(const Matrix& h, double& l0, double& l1, Matrix& q) {
   q(1, 0) = std::conj(v0);
   q(0, 1) = v0;
   q(1, 1) = v1;
+}
+
+QFactorCacheKey make_cache_key(const QuantumCircuit& structure, const Matrix& target,
+                               const QFactorOptions& options) {
+  QFactorCacheKey key;
+  key.target_fp = target.fingerprint();
+  key.structure_fp = structure.fingerprint();  // gates AND starting angles
+  key.dim = target.rows();
+  key.num_qubits = structure.num_qubits();
+  key.tolerance_bits = std::bit_cast<std::uint64_t>(options.tolerance);
+  key.success_threshold_bits = std::bit_cast<std::uint64_t>(options.success_threshold);
+  key.max_sweeps = options.max_sweeps;
+  key.incremental = options.incremental;
+  return key;
+}
+
+QFactorResult run_qfactor(const QuantumCircuit& structure, const Matrix& target,
+                          const QFactorOptions& options) {
+  const QuantumCircuit basis =
+      transpile::decompose_to_cx_u3(structure).unitary_part();
+  const int n = basis.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  QC_CHECK_MSG(target.rows() == dim && target.cols() == dim,
+               "target dimension must match circuit width");
+  const double d = static_cast<double>(dim);
+
+  // Mutable gate matrices (U3 slots get rewritten; CX stays).
+  std::vector<Matrix> mats;
+  std::vector<const Gate*> gates;
+  for (const Gate& g : basis.gates()) {
+    mats.push_back(g.matrix());
+    gates.push_back(&g);
+  }
+  const std::size_t m = mats.size();
+
+  QFactorResult result;
+  static obs::Histogram& opt_ns = obs::histogram("synth.qfactor_ns");
+  obs::Span span("synth.qfactor", &opt_ns);
+  // Destroyed before `span`, so the args land on it. The residual histogram
+  // stores hs_distance * 1e12 (log2 buckets then read as order of magnitude:
+  // bucket b covers residuals around 2^b * 1e-12).
+  struct Tally {
+    QFactorResult& r;
+    obs::Span& s;
+    ~Tally() {
+      static obs::Counter& sweeps = obs::counter("synth.qfactor.sweeps");
+      static obs::Histogram& residual = obs::histogram("synth.qfactor.residual_e12");
+      sweeps.add(static_cast<std::uint64_t>(r.sweeps));
+      if (obs::timing_enabled() && r.hs_distance >= 0.0)
+        residual.record(static_cast<std::uint64_t>(r.hs_distance * 1e12));
+      if (s.active()) {
+        s.arg("sweeps", r.sweeps);
+        s.arg("residual", r.hs_distance);
+        s.arg("converged", static_cast<int>(r.converged));
+      }
+    }
+  } tally{result, span};
+  result.circuit = basis;
+  if (m == 0) {
+    result.hs_distance = metrics::hs_distance(target, Matrix::identity(dim));
+    return result;
+  }
+
+  const Matrix t_dag = target.adjoint();
+  double prev_overlap = -1.0;
+
+  std::vector<Matrix> suffix(m + 1);  // suffix[k] = O_{m-1} ... O_k (embedded)
+  Matrix lmat;  // incremental path: B_k · T†, advanced by left_apply
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Sweeps improve monotonically, so stopping after any whole sweep still
+    // returns a valid (just less converged) circuit.
+    if (options.deadline.expired()) {
+      result.timed_out = true;
+      break;
+    }
+    ++result.sweeps;
+
+    // suffix[k] = product of ops k..m-1 applied after slot k-1.
+    suffix[m] = Matrix::identity(dim);
+    for (std::size_t k = m; k-- > 0;) {
+      suffix[k] = suffix[k + 1];
+      linalg::right_apply(suffix[k], mats[k], gates[k]->qubits);
+      // right-apply builds suffix[k] = suffix[k+1] * embed(O_k)  (= O_{m-1}..O_k
+      // when read as an operator product).
+    }
+
+    double overlap = 0.0;
+    if (options.incremental) {
+      // Forward pass over L = B T† (L_0 = T†); each 1q slot's environment
+      // M = L · suffix[k+1] is only needed on the 2x2 block the gate sees,
+      //   K^T(i, j) = sum_base M(base|i·bit, base|j·bit),
+      // extracted from L and the suffix in O(dim²) without forming M. The
+      // slot update itself is then an O(dim²) row op on L — no dim³ GEMM
+      // anywhere in the sweep.
+      lmat = t_dag;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (gates[k]->qubits.size() == 1) {
+          const Matrix& s = suffix[k + 1];
+          const int qb = gates[k]->qubits[0];
+          const std::size_t bit = std::size_t{1} << qb;
+          Matrix kt(2, 2);
+          for (std::size_t base = 0; base < dim; ++base) {
+            if (base & bit) continue;
+            const cplx* lrow0 = lmat.data() + base * dim;
+            const cplx* lrow1 = lmat.data() + (base | bit) * dim;
+            cplx k00{0.0, 0.0}, k01{0.0, 0.0}, k10{0.0, 0.0}, k11{0.0, 0.0};
+            for (std::size_t j = 0; j < dim; ++j) {
+              const cplx s0 = s(j, base);
+              const cplx s1 = s(j, base | bit);
+              k00 += lrow0[j] * s0;
+              k01 += lrow0[j] * s1;
+              k10 += lrow1[j] * s0;
+              k11 += lrow1[j] * s1;
+            }
+            kt(0, 0) += k00;
+            kt(0, 1) += k01;
+            kt(1, 0) += k10;
+            kt(1, 1) += k11;
+          }
+          mats[k] = best_unitary_for_environment(kt);
+        }
+        linalg::left_apply(lmat, mats[k], gates[k]->qubits);
+      }
+      // L_m = V·T†, so the overlap trace costs O(dim).
+      cplx acc{0.0, 0.0};
+      for (std::size_t i = 0; i < dim; ++i) acc += lmat(i, i);
+      overlap = std::abs(acc) / d;
+    } else {
+      // Dense oracle path: two GEMMs per slot, one for the overlap.
+      Matrix b = Matrix::identity(dim);
+      for (std::size_t k = 0; k < m; ++k) {
+        if (gates[k]->qubits.size() == 1) {
+          // M = B T† A with A = suffix[k+1]; Tr(T† A U_k B) = Tr(U_emb M).
+          Matrix mmat = b * t_dag * suffix[k + 1];
+          // Environment K[a][b] = sum_rest M[(b,rest),(a,rest)]; Tr = Tr(U K^T).
+          const int qb = gates[k]->qubits[0];
+          const std::size_t bit = std::size_t{1} << qb;
+          Matrix kt(2, 2);  // K^T directly: kt[b][a] = K[a][b]
+          for (std::size_t base = 0; base < dim; ++base) {
+            if (base & bit) continue;
+            kt(0, 0) += mmat(base, base);
+            kt(0, 1) += mmat(base, base | bit);
+            kt(1, 0) += mmat(base | bit, base);
+            kt(1, 1) += mmat(base | bit, base | bit);
+          }
+          // kt currently holds K[a][b] at (b? ...) — M[(b,rest),(a,rest)] with
+          // row index carrying b: kt(row=b, col=a) = K[a][b] = (K^T)(b, a). OK.
+          mats[k] = best_unitary_for_environment(kt);
+        }
+        linalg::left_apply(b, mats[k], gates[k]->qubits);
+      }
+
+      // b now holds the full circuit unitary; overlap = |Tr(T† V)|.
+      cplx acc{0.0, 0.0};
+      const Matrix full = t_dag * b;
+      for (std::size_t i = 0; i < dim; ++i) acc += full(i, i);
+      overlap = std::abs(acc) / d;
+    }
+
+    const double fid = std::min(1.0, overlap);
+    result.hs_distance = std::sqrt(std::max(0.0, 1.0 - fid * fid));
+    if (result.hs_distance < options.success_threshold) {
+      result.converged = true;
+      break;
+    }
+    if (overlap - prev_overlap < options.tolerance && sweep > 0) break;
+    prev_overlap = overlap;
+  }
+
+  // Rebuild the circuit with the optimized single-qubit gates.
+  QuantumCircuit out(n, structure.name());
+  for (std::size_t k = 0; k < m; ++k) {
+    if (gates[k]->qubits.size() == 1) {
+      out.append(transpile::u3_from_matrix(mats[k], gates[k]->qubits[0]));
+    } else {
+      out.append(*gates[k]);
+    }
+  }
+  result.circuit = std::move(out);
+  result.hs_distance = metrics::hs_distance(target, result.circuit.to_unitary());
+  result.converged = result.hs_distance < options.success_threshold;
+  return result;
 }
 
 }  // namespace
@@ -106,124 +296,13 @@ Matrix best_unitary_for_environment(const Matrix& k) {
 
 QFactorResult qfactor_optimize(const QuantumCircuit& structure, const Matrix& target,
                                const QFactorOptions& options) {
-  const QuantumCircuit basis =
-      transpile::decompose_to_cx_u3(structure).unitary_part();
-  const int n = basis.num_qubits();
-  const std::size_t dim = std::size_t{1} << n;
-  QC_CHECK_MSG(target.rows() == dim && target.cols() == dim,
-               "target dimension must match circuit width");
-  const double d = static_cast<double>(dim);
+  if (!options.use_cache) return run_qfactor(structure, target, options);
 
-  // Mutable gate matrices (U3 slots get rewritten; CX stays).
-  std::vector<Matrix> mats;
-  std::vector<const Gate*> gates;
-  for (const Gate& g : basis.gates()) {
-    mats.push_back(g.matrix());
-    gates.push_back(&g);
-  }
-  const std::size_t m = mats.size();
+  const QFactorCacheKey key = make_cache_key(structure, target, options);
+  if (auto hit = synth_cache_lookup(key)) return std::move(*hit);
 
-  QFactorResult result;
-  static obs::Histogram& opt_ns = obs::histogram("synth.qfactor_ns");
-  obs::Span span("synth.qfactor", &opt_ns);
-  // Destroyed before `span`, so the args land on it. The residual histogram
-  // stores hs_distance * 1e12 (log2 buckets then read as order of magnitude:
-  // bucket b covers residuals around 2^b * 1e-12).
-  struct Tally {
-    QFactorResult& r;
-    obs::Span& s;
-    ~Tally() {
-      static obs::Counter& sweeps = obs::counter("synth.qfactor.sweeps");
-      static obs::Histogram& residual = obs::histogram("synth.qfactor.residual_e12");
-      sweeps.add(static_cast<std::uint64_t>(r.sweeps));
-      if (obs::timing_enabled() && r.hs_distance >= 0.0)
-        residual.record(static_cast<std::uint64_t>(r.hs_distance * 1e12));
-      if (s.active()) {
-        s.arg("sweeps", r.sweeps);
-        s.arg("residual", r.hs_distance);
-        s.arg("converged", static_cast<int>(r.converged));
-      }
-    }
-  } tally{result, span};
-  result.circuit = basis;
-  if (m == 0) {
-    result.hs_distance = metrics::hs_distance(target, Matrix::identity(dim));
-    return result;
-  }
-
-  const Matrix t_dag = target.adjoint();
-  double prev_overlap = -1.0;
-
-  std::vector<Matrix> suffix(m + 1);  // suffix[k] = O_{m-1} ... O_k (embedded)
-  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
-    // Sweeps improve monotonically, so stopping after any whole sweep still
-    // returns a valid (just less converged) circuit.
-    if (options.deadline.expired()) {
-      result.timed_out = true;
-      break;
-    }
-    ++result.sweeps;
-
-    // suffix[k] = product of ops k..m-1 applied after slot k-1.
-    suffix[m] = Matrix::identity(dim);
-    for (std::size_t k = m; k-- > 0;) {
-      suffix[k] = suffix[k + 1];
-      linalg::right_apply(suffix[k], mats[k], gates[k]->qubits);
-      // right-apply builds suffix[k] = suffix[k+1] * embed(O_k)  (= O_{m-1}..O_k
-      // when read as an operator product).
-    }
-
-    // Forward pass: B accumulates O_{k-1} ... O_0.
-    Matrix b = Matrix::identity(dim);
-    for (std::size_t k = 0; k < m; ++k) {
-      if (gates[k]->qubits.size() == 1) {
-        // M = B T† A with A = suffix[k+1]; Tr(T† A U_k B) = Tr(U_emb M).
-        Matrix mmat = b * t_dag * suffix[k + 1];
-        // Environment K[a][b] = sum_rest M[(b,rest),(a,rest)]; Tr = Tr(U K^T).
-        const int qb = gates[k]->qubits[0];
-        const std::size_t bit = std::size_t{1} << qb;
-        Matrix kt(2, 2);  // K^T directly: kt[b][a] = K[a][b]
-        for (std::size_t base = 0; base < dim; ++base) {
-          if (base & bit) continue;
-          kt(0, 0) += mmat(base, base);
-          kt(0, 1) += mmat(base, base | bit);
-          kt(1, 0) += mmat(base | bit, base);
-          kt(1, 1) += mmat(base | bit, base | bit);
-        }
-        // kt currently holds K[a][b] at (b? ...) — M[(b,rest),(a,rest)] with
-        // row index carrying b: kt(row=b, col=a) = K[a][b] = (K^T)(b, a). OK.
-        mats[k] = best_unitary_for_environment(kt);
-      }
-      linalg::left_apply(b, mats[k], gates[k]->qubits);
-    }
-
-    // b now holds the full circuit unitary; overlap = |Tr(T† V)|.
-    cplx acc{0.0, 0.0};
-    const Matrix full = t_dag * b;
-    for (std::size_t i = 0; i < dim; ++i) acc += full(i, i);
-    const double overlap = std::abs(acc) / d;
-    const double fid = std::min(1.0, overlap);
-    result.hs_distance = std::sqrt(std::max(0.0, 1.0 - fid * fid));
-    if (result.hs_distance < options.success_threshold) {
-      result.converged = true;
-      break;
-    }
-    if (overlap - prev_overlap < options.tolerance && sweep > 0) break;
-    prev_overlap = overlap;
-  }
-
-  // Rebuild the circuit with the optimized single-qubit gates.
-  QuantumCircuit out(n, structure.name());
-  for (std::size_t k = 0; k < m; ++k) {
-    if (gates[k]->qubits.size() == 1) {
-      out.append(transpile::u3_from_matrix(mats[k], gates[k]->qubits[0]));
-    } else {
-      out.append(*gates[k]);
-    }
-  }
-  result.circuit = std::move(out);
-  result.hs_distance = metrics::hs_distance(target, result.circuit.to_unitary());
-  result.converged = result.hs_distance < options.success_threshold;
+  QFactorResult result = run_qfactor(structure, target, options);
+  if (!result.timed_out) synth_cache_store(key, result);
   return result;
 }
 

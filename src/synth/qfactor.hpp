@@ -15,6 +15,14 @@
 
 namespace qc::synth {
 
+/// Process default for QFactorOptions::incremental:
+/// QAPPROX_SYNTH_INCREMENTAL (default on).
+bool qfactor_incremental_default();
+
+/// Process default for the `use_cache` option fields: QAPPROX_SYNTH_CACHE
+/// (default on). Defined with the cache in cache.cpp.
+bool synth_cache_enabled();
+
 struct QFactorOptions {
   int max_sweeps = 60;
   /// Stop when a full sweep improves the cost by less than this.
@@ -24,6 +32,15 @@ struct QFactorOptions {
   /// Polled once per sweep; on expiry the current (monotonically improved)
   /// angles are returned flagged `timed_out`.
   common::Deadline deadline;
+  /// Maintain the forward product B·T† with O(dim²) row ops and extract each
+  /// slot's environment directly from it, instead of two dense O(dim³) GEMMs
+  /// per slot. Same fixed point; per-entry rounding differs from the dense
+  /// path at the ~1e-12 level, so the dense sweep stays available as the
+  /// oracle (QAPPROX_SYNTH_INCREMENTAL=0).
+  bool incremental = qfactor_incremental_default();
+  /// Memoize the whole run on (target, structure, options). Timed-out runs
+  /// are never cached.
+  bool use_cache = synth_cache_enabled();
 };
 
 struct QFactorResult {

@@ -1,34 +1,44 @@
 #include "synth/qfast.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 #include "common/faults.hpp"
+#include "synth/cache.hpp"
 #include "synth/cost.hpp"
 
 namespace qc::synth {
 
-QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
+namespace {
+
+QFastCacheKey make_cache_key(const linalg::Matrix& target, int num_qubits,
                              const QFastOptions& options,
-                             const noise::CouplingMap* coupling) {
-  QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
-  QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
-  if (common::faults::enabled() &&
-      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
-    throw common::SynthesisError("injected synthesis fault (qfast, seed " +
-                                 std::to_string(options.seed) + ")");
-  }
+                             const std::vector<std::pair<int, int>>& edges) {
+  QFastCacheKey key;
+  key.target_fp = target.fingerprint();
+  key.dim = target.rows();
+  key.num_qubits = num_qubits;
+  key.edges = edges;
+  key.success_threshold_bits = std::bit_cast<std::uint64_t>(options.success_threshold);
+  key.opt_tolerance_bits = std::bit_cast<std::uint64_t>(options.optimizer.tolerance);
+  key.max_blocks = options.max_blocks;
+  key.opt_max_iterations = options.optimizer.max_iterations;
+  key.opt_lbfgs_memory = options.optimizer.lbfgs_memory;
+  key.restarts_per_depth = options.restarts_per_depth;
+  // Coarse passes only run when a callback is present, and their result
+  // seeds the full pass — so the *effective* setting is what must key.
+  key.emit_coarse_passes = options.emit_coarse_passes &&
+                           static_cast<bool>(options.partial_solution_callback);
+  key.seed = options.seed;
+  key.gradient_mode = static_cast<int>(default_gradient_mode());
+  return key;
+}
 
-  std::vector<std::pair<int, int>> edges;
-  if (coupling) {
-    for (const auto& e : coupling->edges())
-      if (e.first < num_qubits && e.second < num_qubits) edges.push_back(e);
-  } else {
-    for (int a = 0; a < num_qubits; ++a)
-      for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
-  }
-  QC_CHECK_MSG(!edges.empty(), "no usable edges for synthesis");
-
+QFastResult run_qfast(const linalg::Matrix& target, int num_qubits,
+                      const QFastOptions& options,
+                      const std::vector<std::pair<int, int>>& edges,
+                      std::vector<ApproxCircuit>& stream) {
   common::Rng rng(options.seed);
   QFastResult result;
 
@@ -63,6 +73,7 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
       const OptimizeResult quick = lbfgs_minimize(f, g, x0, coarse);
       ApproxCircuit snap{tpl.instantiate(quick.params),
                          cost_to_hs_distance(quick.value), tpl.cx_count(), "qfast"};
+      stream.push_back(snap);
       options.partial_solution_callback(snap);
       x0 = quick.params;
     }
@@ -77,6 +88,7 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
 
     ApproxCircuit record{tpl.instantiate(opt.params), cost_to_hs_distance(opt.value),
                          tpl.cx_count(), "qfast"};
+    stream.push_back(record);
     if (options.partial_solution_callback) options.partial_solution_callback(record);
 
     const bool better = result.best.circuit.is_null() ||
@@ -89,6 +101,53 @@ QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
     }
   }
   return result;
+}
+
+}  // namespace
+
+QFastResult qfast_synthesize(const linalg::Matrix& target, int num_qubits,
+                             const QFastOptions& options,
+                             const noise::CouplingMap* coupling) {
+  QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
+  QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
+  // Fault injection precedes the cache, as in qsearch.
+  if (common::faults::enabled() &&
+      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
+    throw common::SynthesisError("injected synthesis fault (qfast, seed " +
+                                 std::to_string(options.seed) + ")");
+  }
+
+  std::vector<std::pair<int, int>> edges;
+  if (coupling) {
+    for (const auto& e : coupling->edges())
+      if (e.first < num_qubits && e.second < num_qubits) edges.push_back(e);
+  } else {
+    for (int a = 0; a < num_qubits; ++a)
+      for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
+  }
+  QC_CHECK_MSG(!edges.empty(), "no usable edges for synthesis");
+
+  if (!options.use_cache) {
+    std::vector<ApproxCircuit> stream;
+    return run_qfast(target, num_qubits, options, edges, stream);
+  }
+
+  const QFastCacheKey key = make_cache_key(target, num_qubits, options, edges);
+  if (auto hit = synth_cache_lookup(key)) {
+    if (options.partial_solution_callback)
+      for (const ApproxCircuit& record : hit->stream)
+        options.partial_solution_callback(record);
+    return std::move(hit->result);
+  }
+
+  CachedQFast entry;
+  entry.result = run_qfast(target, num_qubits, options, edges, entry.stream);
+  if (!entry.result.timed_out) {
+    QFastResult result = entry.result;
+    synth_cache_store(key, std::move(entry));
+    return result;
+  }
+  return entry.result;
 }
 
 }  // namespace qc::synth

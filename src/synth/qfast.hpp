@@ -31,6 +31,10 @@ struct QFastOptions {
   /// Polled before each depth growth and inside each depth's optimization;
   /// on expiry the best circuit so far is returned flagged `timed_out`.
   common::Deadline deadline;
+  /// Memoize the whole run on (target, edges, options, seed); repeated calls
+  /// replay the recorded partial-solution stream. Timed-out runs are never
+  /// cached.
+  bool use_cache = synth_cache_enabled();
 };
 
 struct QFastResult {

@@ -1,14 +1,22 @@
 #include "synth/qsearch.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 
 #include "common/error.hpp"
 #include "common/faults.hpp"
+#include "common/strings.hpp"
 #include "obs/obs.hpp"
+#include "synth/cache.hpp"
 #include "synth/cost.hpp"
 
 namespace qc::synth {
+
+bool synth_parallel_default() {
+  static const bool enabled = common::env_flag("QAPPROX_SYNTH_PARALLEL", true);
+  return enabled;
+}
 
 namespace {
 
@@ -33,32 +41,33 @@ TemplateCircuit build_template(int num_qubits,
   return tpl;
 }
 
-}  // namespace
+QSearchCacheKey make_cache_key(const linalg::Matrix& target, int num_qubits,
+                               const QSearchOptions& options,
+                               const std::vector<std::pair<int, int>>& edges) {
+  QSearchCacheKey key;
+  key.target_fp = target.fingerprint();
+  key.dim = target.rows();
+  key.num_qubits = num_qubits;
+  key.edges = edges;
+  key.success_threshold_bits = std::bit_cast<std::uint64_t>(options.success_threshold);
+  key.depth_weight_bits = std::bit_cast<std::uint64_t>(options.depth_weight);
+  key.opt_tolerance_bits = std::bit_cast<std::uint64_t>(options.optimizer.tolerance);
+  key.max_cnots = options.max_cnots;
+  key.max_nodes = options.max_nodes;
+  key.opt_max_iterations = options.optimizer.max_iterations;
+  key.opt_lbfgs_memory = options.optimizer.lbfgs_memory;
+  key.restarts_per_node = options.restarts_per_node;
+  key.seed = options.seed;
+  key.gradient_mode = static_cast<int>(default_gradient_mode());
+  return key;
+}
 
-QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
-                                 const QSearchOptions& options,
-                                 const noise::CouplingMap* coupling) {
-  QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
-  QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
-  if (common::faults::enabled() &&
-      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
-    throw common::SynthesisError("injected synthesis fault (qsearch, seed " +
-                                 std::to_string(options.seed) + ")");
-  }
-
-  // Expansion edges: coupling-map edges, or all pairs. Both CX directions
-  // are equivalent up to the surrounding U3s, so one orientation suffices.
-  std::vector<std::pair<int, int>> edges;
-  if (coupling) {
-    QC_CHECK(coupling->num_qubits() >= num_qubits);
-    for (const auto& e : coupling->edges())
-      if (e.first < num_qubits && e.second < num_qubits) edges.push_back(e);
-  } else {
-    for (int a = 0; a < num_qubits; ++a)
-      for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
-  }
-  QC_CHECK_MSG(!edges.empty(), "no usable edges for synthesis");
-
+/// The search proper; `stream` records every intermediate the callback saw
+/// (also recorded when there is no callback, so the run can be cached).
+QSearchResult run_qsearch(const linalg::Matrix& target, int num_qubits,
+                          const QSearchOptions& options,
+                          const std::vector<std::pair<int, int>>& edges,
+                          std::vector<ApproxCircuit>& stream) {
   common::Rng rng(options.seed);
   QSearchResult result;
   std::uint64_t insert_counter = 0;
@@ -84,7 +93,11 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
     }
   } tally{result, span};
 
-  auto optimize_node = [&](Node& node) {
+  // Pure per-node optimization: touches only `node` and `record`, so any
+  // number of nodes can run concurrently. The RNG stream depends only on
+  // (options.seed, node.order), preserving the serial schedule's streams
+  // (the serial code split at insert_counter + 1 == order + 2).
+  auto optimize_node = [&](Node& node, ApproxCircuit& record) {
     const TemplateCircuit tpl = build_template(num_qubits, node.blocks);
     const HsCost cost(tpl, target);
     const CostFn f = [&cost](const std::vector<double>& x) { return cost(x); };
@@ -101,29 +114,46 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
     ms.inner = options.optimizer;
     ms.inner.deadline = options.deadline;  // per-iteration polling inside
     ms.num_starts = options.restarts_per_node;
-    common::Rng node_rng = rng.split(insert_counter + 1);
+    common::Rng node_rng = rng.split(node.order + 2);
     const OptimizeResult opt = multistart_minimize(f, g, x0, node_rng, ms);
 
     node.params = opt.params;
     node.hs = cost_to_hs_distance(opt.value);
     node.priority = node.hs + options.depth_weight * static_cast<double>(node.blocks.size());
+    record = ApproxCircuit{tpl.instantiate(node.params), node.hs, tpl.cx_count(),
+                           "qsearch"};
+  };
+
+  // Sequential bookkeeping for one optimized node: counters, the
+  // intermediate stream, and the best-so-far update, in the exact order the
+  // serial schedule performs them.
+  auto merge_node = [&](const Node& node, ApproxCircuit& record) {
     ++result.nodes_optimized;
-
-    ApproxCircuit record{tpl.instantiate(node.params), node.hs, tpl.cx_count(),
-                         "qsearch"};
+    stream.push_back(record);
     if (options.intermediate_callback) options.intermediate_callback(record);
-
     const bool better =
         result.best.circuit.is_null() || node.hs < result.best.hs_distance ||
-        (node.hs == result.best.hs_distance && tpl.cx_count() < result.best.cnot_count);
+        (node.hs == result.best.hs_distance && record.cnot_count < result.best.cnot_count);
     if (better) result.best = std::move(record);
   };
 
   std::priority_queue<Node> open;
   Node root;
   root.order = insert_counter++;
-  optimize_node(root);
+  ApproxCircuit root_record;
+  optimize_node(root, root_record);
+  merge_node(root, root_record);
   open.push(std::move(root));
+
+  struct PendingChild {
+    Node node;
+    ApproxCircuit record;
+  };
+  std::vector<PendingChild> children;
+
+  common::ThreadPool* pool = options.pool;
+  static obs::Counter& parallel_children_counter =
+      obs::counter("synth.qsearch.children_parallel");
 
   while (!open.empty()) {
     if (result.best.hs_distance < options.success_threshold) break;
@@ -138,30 +168,103 @@ QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
     ++result.nodes_expanded;
     if (static_cast<int>(current.blocks.size()) >= options.max_cnots) continue;
 
-    for (const auto& edge : edges) {
-      // Each child costs a full continuous optimization, so poll here too —
-      // the response to expiry stays within one node's optimization budget.
+    // Frontier expansion in two phases. Phase 1 optimizes every child —
+    // concurrently when enabled; each child is a pure function of
+    // (parent, edge, order). Phase 2 merges sequentially in edge order,
+    // reproducing the serial schedule bit for bit: deadline expiry and
+    // convergence cut the merge at the same position the serial loop would
+    // have stopped at, and later children are simply discarded.
+    children.clear();
+    children.resize(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      Node& child = children[i].node;
+      child.blocks = current.blocks;
+      child.blocks.push_back(edges[i]);
+      child.params = current.params;  // warm start; extended in optimize_node
+      child.order = insert_counter++;
+    }
+    const bool parallel = options.parallel_children && children.size() > 1;
+    if (parallel) {
+      if (pool == nullptr) pool = &common::ThreadPool::global();
+      pool->parallel_for(0, children.size(), [&](std::size_t i) {
+        optimize_node(children[i].node, children[i].record);
+      });
+      parallel_children_counter.add(children.size());
+    } else {
+      for (auto& child : children) optimize_node(child.node, child.record);
+    }
+
+    for (auto& child : children) {
+      // The serial schedule polls before each child's optimization; merging
+      // at the same granularity keeps the response within one node's budget.
       if (options.deadline.expired()) {
         result.timed_out = true;
         break;
       }
-      Node child;
-      child.blocks = current.blocks;
-      child.blocks.push_back(edge);
-      child.params = current.params;  // warm start; extended in optimize_node
-      child.order = insert_counter++;
-      optimize_node(child);
-      if (child.hs < options.success_threshold) {
+      merge_node(child.node, child.record);
+      if (child.node.hs < options.success_threshold) {
         result.converged = true;
         return result;
       }
-      open.push(std::move(child));
+      open.push(std::move(child.node));
     }
     if (result.timed_out) break;
   }
 
   result.converged = result.best.hs_distance < options.success_threshold;
   return result;
+}
+
+}  // namespace
+
+QSearchResult qsearch_synthesize(const linalg::Matrix& target, int num_qubits,
+                                 const QSearchOptions& options,
+                                 const noise::CouplingMap* coupling) {
+  QC_CHECK(num_qubits >= 2 && num_qubits <= 6);
+  QC_CHECK(target.rows() == (std::size_t{1} << num_qubits));
+  // Fault injection precedes the cache: an armed fault fires whether or not
+  // the result is memoized.
+  if (common::faults::enabled() &&
+      common::faults::fires(common::faults::Site::SynthFail, options.seed)) {
+    throw common::SynthesisError("injected synthesis fault (qsearch, seed " +
+                                 std::to_string(options.seed) + ")");
+  }
+
+  // Expansion edges: coupling-map edges, or all pairs. Both CX directions
+  // are equivalent up to the surrounding U3s, so one orientation suffices.
+  std::vector<std::pair<int, int>> edges;
+  if (coupling) {
+    QC_CHECK(coupling->num_qubits() >= num_qubits);
+    for (const auto& e : coupling->edges())
+      if (e.first < num_qubits && e.second < num_qubits) edges.push_back(e);
+  } else {
+    for (int a = 0; a < num_qubits; ++a)
+      for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
+  }
+  QC_CHECK_MSG(!edges.empty(), "no usable edges for synthesis");
+
+  if (!options.use_cache) {
+    std::vector<ApproxCircuit> stream;
+    return run_qsearch(target, num_qubits, options, edges, stream);
+  }
+
+  const QSearchCacheKey key = make_cache_key(target, num_qubits, options, edges);
+  if (auto hit = synth_cache_lookup(key)) {
+    if (options.intermediate_callback)
+      for (const ApproxCircuit& record : hit->stream)
+        options.intermediate_callback(record);
+    return std::move(hit->result);
+  }
+
+  CachedQSearch entry;
+  entry.result = run_qsearch(target, num_qubits, options, edges, entry.stream);
+  // A timed-out run is a truncated search, not *the* result for this key.
+  if (!entry.result.timed_out) {
+    QSearchResult result = entry.result;
+    synth_cache_store(key, std::move(entry));
+    return result;
+  }
+  return entry.result;
 }
 
 }  // namespace qc::synth

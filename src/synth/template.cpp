@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace qc::synth {
 
@@ -48,47 +49,81 @@ TemplateCircuit TemplateCircuit::u3_layer(int num_qubits) {
   return t;
 }
 
-namespace {
-
-/// Left-multiplies the row-major dim x dim matrix `m` by a U3 on qubit `q`:
-/// rows r (bit q clear) and r|bit mix through the 2x2 gate.
-void apply_u3_rows(cplx* m, std::size_t dim, int q, double theta, double phi,
-                   double lambda) {
+U3Entries u3_entries(double theta, double phi, double lambda) {
   const double c = std::cos(theta / 2.0);
   const double s = std::sin(theta / 2.0);
-  const cplx g00{c, 0.0};
-  const cplx g01 = -std::polar(s, lambda);
-  const cplx g10 = std::polar(s, phi);
-  const cplx g11 = std::polar(c, phi + lambda);
+  return U3Entries{cplx{c, 0.0}, -std::polar(s, lambda), std::polar(s, phi),
+                   std::polar(c, phi + lambda)};
+}
 
+namespace rowops {
+
+void left_u3(Matrix& m, int q, const U3Entries& g) {
+  const std::size_t dim = m.rows();
+  const std::size_t cols = m.cols();
+  cplx* data = m.data();
   const std::size_t bit = std::size_t{1} << q;
   for (std::size_t r = 0; r < dim; ++r) {
     if (r & bit) continue;
-    cplx* row0 = m + r * dim;
-    cplx* row1 = m + (r | bit) * dim;
-    for (std::size_t col = 0; col < dim; ++col) {
+    cplx* row0 = data + r * cols;
+    cplx* row1 = data + (r | bit) * cols;
+    for (std::size_t col = 0; col < cols; ++col) {
       const cplx v0 = row0[col];
       const cplx v1 = row1[col];
-      row0[col] = g00 * v0 + g01 * v1;
-      row1[col] = g10 * v0 + g11 * v1;
+      row0[col] = g.g00 * v0 + g.g01 * v1;
+      row1[col] = g.g10 * v0 + g.g11 * v1;
     }
   }
 }
 
-/// Left-multiplies by CX: for rows with the control bit set, swap the pair
-/// of rows that differ in the target bit.
-void apply_cx_rows(cplx* m, std::size_t dim, int control, int target) {
+void left_cx(Matrix& m, int control, int target) {
+  const std::size_t dim = m.rows();
+  const std::size_t cols = m.cols();
+  cplx* data = m.data();
   const std::size_t cbit = std::size_t{1} << control;
   const std::size_t tbit = std::size_t{1} << target;
   for (std::size_t r = 0; r < dim; ++r) {
     if (!(r & cbit) || (r & tbit)) continue;
-    cplx* row0 = m + r * dim;
-    cplx* row1 = m + (r | tbit) * dim;
-    for (std::size_t col = 0; col < dim; ++col) std::swap(row0[col], row1[col]);
+    cplx* row0 = data + r * cols;
+    cplx* row1 = data + (r | tbit) * cols;
+    for (std::size_t col = 0; col < cols; ++col) std::swap(row0[col], row1[col]);
   }
 }
 
-}  // namespace
+void right_u3(Matrix& m, int q, const U3Entries& g) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  cplx* data = m.data();
+  const std::size_t bit = std::size_t{1} << q;
+  for (std::size_t r = 0; r < rows; ++r) {
+    cplx* row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c & bit) continue;
+      const cplx v0 = row[c];
+      const cplx v1 = row[c | bit];
+      // (M G)(r, c0) = M(r, c0) g00 + M(r, c1) g10; columns mix through G's rows.
+      row[c] = v0 * g.g00 + v1 * g.g10;
+      row[c | bit] = v0 * g.g01 + v1 * g.g11;
+    }
+  }
+}
+
+void right_cx(Matrix& m, int control, int target) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  cplx* data = m.data();
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t r = 0; r < rows; ++r) {
+    cplx* row = data + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!(c & cbit) || (c & tbit)) continue;
+      std::swap(row[c], row[c | tbit]);
+    }
+  }
+}
+
+}  // namespace rowops
 
 void TemplateCircuit::unitary(const std::vector<double>& params, Matrix& out) const {
   QC_CHECK(params.size() == static_cast<std::size_t>(num_params()));
@@ -100,10 +135,11 @@ void TemplateCircuit::unitary(const std::vector<double>& params, Matrix& out) co
 
   for (const Op& op : ops_) {
     if (op.is_cx) {
-      apply_cx_rows(m, dim, op.a, op.b);
+      rowops::left_cx(out, op.a, op.b);
     } else {
-      apply_u3_rows(m, dim, op.a, params[op.param_offset],
-                    params[op.param_offset + 1], params[op.param_offset + 2]);
+      rowops::left_u3(out, op.a,
+                      u3_entries(params[op.param_offset], params[op.param_offset + 1],
+                                 params[op.param_offset + 2]));
     }
   }
 }
@@ -124,6 +160,18 @@ ir::QuantumCircuit TemplateCircuit::instantiate(const std::vector<double>& param
 
 std::vector<double> TemplateCircuit::identity_params() const {
   return std::vector<double>(static_cast<std::size_t>(num_params()), 0.0);
+}
+
+std::uint64_t TemplateCircuit::fingerprint() const {
+  using common::hash_combine;
+  std::uint64_t h = hash_combine(0x7e3f1a95c2d480b7ULL,
+                                 static_cast<std::uint64_t>(num_qubits_));
+  for (const Op& op : ops_) {
+    h = hash_combine(h, op.is_cx ? 0x2ULL : 0x1ULL);
+    h = hash_combine(h, static_cast<std::uint64_t>(op.a));
+    h = hash_combine(h, static_cast<std::uint64_t>(op.b + 1));
+  }
+  return h;
 }
 
 }  // namespace qc::synth

@@ -5,6 +5,8 @@
 // search space QSearch/QFast explore. The unitary builder here is the hot
 // loop of synthesis (called hundreds of thousands of times per search), so
 // it uses dedicated row-operation kernels with no per-gate heap allocation.
+// The same row/column kernels are exported (rowops) for the analytic
+// gradient sweep in cost.cpp, which walks the op list directly via ops().
 #pragma once
 
 #include <vector>
@@ -14,9 +16,40 @@
 
 namespace qc::synth {
 
+/// The four entries of U3(theta, phi, lambda) as a dense 2x2:
+///   [[g00, g01], [g10, g11]].
+struct U3Entries {
+  linalg::cplx g00, g01, g10, g11;
+};
+
+/// Entries of U3(theta, phi, lambda) — the single source of the gate's
+/// phase convention, shared by the unitary builder and the gradient sweep.
+U3Entries u3_entries(double theta, double phi, double lambda);
+
+namespace rowops {
+
+/// m := embed(U3 on q) * m  (row mixing).
+void left_u3(linalg::Matrix& m, int q, const U3Entries& g);
+/// m := embed(CX) * m  (row swaps in the control=1 half-space).
+void left_cx(linalg::Matrix& m, int control, int target);
+/// m := m * embed(U3 on q)  (column mixing).
+void right_u3(linalg::Matrix& m, int q, const U3Entries& g);
+/// m := m * embed(CX)  (column swaps; CX is its own transpose/inverse).
+void right_cx(linalg::Matrix& m, int control, int target);
+
+}  // namespace rowops
+
 class TemplateCircuit {
  public:
   explicit TemplateCircuit(int num_qubits);
+
+  /// One structural slot: a fixed CX or a parameterized U3.
+  struct Op {
+    bool is_cx;
+    int a;             // U3 qubit, or CX control
+    int b;             // CX target (unused for U3)
+    int param_offset;  // first of 3 params (U3 only)
+  };
 
   int num_qubits() const { return num_qubits_; }
   /// Total free parameters (3 per U3 slot).
@@ -24,6 +57,8 @@ class TemplateCircuit {
   /// Number of CX gates in the structure.
   std::size_t cx_count() const { return num_cx_; }
   std::size_t num_ops() const { return ops_.size(); }
+  /// The structural slots, in application order (op 0 acts first).
+  const std::vector<Op>& ops() const { return ops_; }
 
   /// Appends a parameterized U3 on qubit q.
   void add_u3(int q);
@@ -49,14 +84,11 @@ class TemplateCircuit {
   /// Reasonable starting parameters: zero angles (U3 = identity).
   std::vector<double> identity_params() const;
 
- private:
-  struct Op {
-    bool is_cx;
-    int a;             // U3 qubit, or CX control
-    int b;             // CX target (unused for U3)
-    int param_offset;  // first of 3 params (U3 only)
-  };
+  /// Order-dependent structural hash (op kinds and operands; parameters are
+  /// free, so they do not contribute). Keys the synthesis cache.
+  std::uint64_t fingerprint() const;
 
+ private:
   int num_qubits_;
   int num_u3_ = 0;
   std::size_t num_cx_ = 0;

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "metrics/process.hpp"
 #include "sim/statevector.hpp"
+#include "synth/cache.hpp"
 
 namespace qc::approx {
 namespace {
@@ -199,6 +200,47 @@ TEST(TfimStudy, SmallStudyProducesCoherentSeries) {
   // Best-output pick can't be further from ideal than the noisy reference
   // unless every circuit is worse; sanity: gain is finite.
   EXPECT_GE(result.max_precision_gain, -1.0);
+}
+
+TEST(Workflow, RepeatedGenerationReportsCacheHits) {
+  ir::QuantumCircuit ref(2);
+  ref.h(0).cx(0, 1).rz(0.3, 1);
+  GeneratorConfig cfg;
+  cfg.qsearch.max_nodes = 5;
+  cfg.qsearch.max_cnots = 2;
+  cfg.hs_threshold = 1.0;
+  synth::clear_synth_cache();
+  GenerationReport first, second;
+  const auto a = generate_from_reference(ref, cfg, nullptr, &first);
+  const auto b = generate_from_reference(ref, cfg, nullptr, &second);
+  EXPECT_GE(first.synth_cache_misses, 1u);
+  EXPECT_GE(second.synth_cache_hits, 1u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].hs_distance, b[i].hs_distance);
+    EXPECT_EQ(a[i].cnot_count, b[i].cnot_count);
+  }
+}
+
+TEST(TfimStudy, RerunHitsSynthesisCache) {
+  TfimStudyConfig cfg;
+  cfg.model.num_qubits = 3;
+  cfg.model.num_steps = 21;
+  cfg.steps = {1};
+  cfg.generator = tfim_generator_preset(3);
+  cfg.generator.qsearch.max_nodes = 4;  // keep the unit test fast
+  cfg.generator.qsearch.optimizer.max_iterations = 30;
+  cfg.execution = ExecutionConfig::simulator(noise::device_by_name("ourense"));
+  synth::clear_synth_cache();
+  run_tfim_study(cfg);
+  const synth::SynthCacheStats between = synth::synth_cache_stats();
+  const TfimStudyResult rerun = run_tfim_study(cfg);
+  const synth::SynthCacheStats after = synth::synth_cache_stats();
+  // The second study re-synthesizes an identical timestep block: every
+  // generator call should come straight from the cache.
+  EXPECT_GT(after.hits, between.hits);
+  ASSERT_EQ(rerun.timesteps.size(), 1u);
+  EXPECT_FALSE(rerun.timesteps[0].circuits.empty());
 }
 
 TEST(MappingStudy, EnumerationRanksByCost) {

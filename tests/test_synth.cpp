@@ -4,11 +4,16 @@
 
 #include <cmath>
 
+#include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/faults.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/factories.hpp"
 #include "metrics/process.hpp"
+#include "synth/cache.hpp"
 #include "synth/cost.hpp"
+#include "synth/qfactor.hpp"
 #include "synth/invariants.hpp"
 #include "synth/optimize.hpp"
 #include "synth/qfast.hpp"
@@ -347,6 +352,311 @@ TEST(Reducer, BoundaryModeKeepsParameterCountSmall) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].cnot_count, 15u);
   EXPECT_EQ(out[0].circuit.count(ir::GateKind::CX), 15u);
+}
+
+// ---- analytic gradients ----------------------------------------------------
+
+TEST(Cost, AnalyticMatchesFiniteDifferenceOnRandomTemplates) {
+  common::Rng rng(41);
+  for (int n = 2; n <= 4; ++n) {
+    TemplateCircuit tpl = TemplateCircuit::u3_layer(n);
+    for (int b = 0; b < n + 2; ++b) {
+      const int a = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(n - 1)));
+      tpl.add_qsearch_block(a, a + 1);
+    }
+    const Matrix target =
+        linalg::random_unitary(std::size_t{1} << n, rng);
+    const HsCost cost(tpl, target);
+    std::vector<double> x(static_cast<std::size_t>(tpl.num_params()));
+    for (auto& p : x) p = rng.uniform(-3.0, 3.0);
+
+    std::vector<double> analytic, fd;
+    cost.gradient_analytic(x, analytic);
+    cost.gradient_finite_difference(x, fd);
+    ASSERT_EQ(analytic.size(), fd.size());
+    for (std::size_t i = 0; i < analytic.size(); ++i)
+      EXPECT_NEAR(analytic[i], fd[i], 1e-5) << "n=" << n << " param " << i;
+  }
+}
+
+TEST(Cost, GradientDispatchFollowsMode) {
+  common::Rng rng(42);
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(2);
+  tpl.add_qsearch_block(0, 1);
+  const Matrix target = linalg::random_unitary(4, rng);
+  HsCost cost(tpl, target);
+  std::vector<double> x(static_cast<std::size_t>(tpl.num_params()));
+  for (auto& p : x) p = rng.uniform(-1.5, 1.5);
+
+  std::vector<double> dispatched, direct;
+  cost.set_gradient_mode(GradientMode::kFiniteDifference);
+  EXPECT_EQ(cost.gradient_mode(), GradientMode::kFiniteDifference);
+  cost.gradient(x, dispatched);
+  cost.gradient_finite_difference(x, direct);
+  ASSERT_EQ(dispatched.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_EQ(dispatched[i], direct[i]);  // same code path, bitwise equal
+
+  cost.set_gradient_mode(GradientMode::kAnalytic);
+  cost.gradient(x, dispatched);
+  cost.gradient_analytic(x, direct);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_EQ(dispatched[i], direct[i]);
+}
+
+TEST(Cost, BorrowingConstructorKeepsCallersMatrix) {
+  common::Rng rng(43);
+  TemplateCircuit tpl = TemplateCircuit::u3_layer(2);
+  const Matrix target = linalg::random_unitary(4, rng);
+  const HsCost borrowed(tpl, target);
+  EXPECT_EQ(&borrowed.target(), &target);  // no dim² copy per search node
+
+  const HsCost owned(tpl, linalg::random_unitary(4, rng));
+  EXPECT_EQ(owned.target().rows(), 4u);
+  EXPECT_NE(&owned.target(), &target);
+}
+
+// ---- parallel frontier -----------------------------------------------------
+
+void expect_bit_identical(const ApproxCircuit& a, const ApproxCircuit& b) {
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.cnot_count, b.cnot_count);
+  EXPECT_EQ(a.hs_distance, b.hs_distance);
+  const auto& ga = a.circuit.gates();
+  const auto& gb = b.circuit.gates();
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(ga[i].kind, gb[i].kind);
+    EXPECT_EQ(ga[i].qubits, gb[i].qubits);
+    ASSERT_EQ(ga[i].params.size(), gb[i].params.size());
+    for (std::size_t p = 0; p < ga[i].params.size(); ++p)
+      EXPECT_EQ(ga[i].params[p], gb[i].params[p]);
+  }
+}
+
+void expect_bit_identical_runs(const QSearchResult& a,
+                               const std::vector<ApproxCircuit>& sa,
+                               const QSearchResult& b,
+                               const std::vector<ApproxCircuit>& sb) {
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+  EXPECT_EQ(a.nodes_optimized, b.nodes_optimized);
+  expect_bit_identical(a.best, b.best);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) expect_bit_identical(sa[i], sb[i]);
+}
+
+TEST(QSearch, ParallelChildrenBitIdenticalToSerial) {
+  common::Rng rng(44);
+  const Matrix target = linalg::random_unitary(8, rng);
+  common::ThreadPool pool1(1);
+  common::ThreadPool pool4(4);
+
+  auto run = [&](bool parallel, common::ThreadPool& pool,
+                 std::vector<ApproxCircuit>& stream) {
+    QSearchOptions opts;
+    opts.max_cnots = 3;
+    opts.max_nodes = 10;
+    opts.optimizer.max_iterations = 40;
+    opts.use_cache = false;
+    opts.parallel_children = parallel;
+    opts.pool = &pool;
+    opts.intermediate_callback = [&stream](const ApproxCircuit& c) {
+      stream.push_back(c);
+    };
+    return qsearch_synthesize(target, 3, opts);
+  };
+
+  std::vector<ApproxCircuit> serial_stream, par1_stream, par4_stream;
+  const QSearchResult serial = run(false, pool1, serial_stream);
+  const QSearchResult par1 = run(true, pool1, par1_stream);
+  const QSearchResult par4 = run(true, pool4, par4_stream);
+  EXPECT_GT(serial.nodes_optimized, 1);
+  expect_bit_identical_runs(serial, serial_stream, par1, par1_stream);
+  expect_bit_identical_runs(serial, serial_stream, par4, par4_stream);
+}
+
+TEST(QSearch, ParallelMatchesSerialUnderMidSearchExpiry) {
+  common::Rng rng(45);
+  const Matrix target = linalg::random_unitary(8, rng);
+  common::ThreadPool pool4(4);
+
+  auto run = [&](bool parallel, std::vector<ApproxCircuit>& stream) {
+    const common::CancelToken token = common::CancelToken::make();
+    QSearchOptions opts;
+    opts.max_cnots = 4;
+    opts.max_nodes = 20;
+    opts.optimizer.max_iterations = 40;
+    opts.use_cache = false;
+    opts.parallel_children = parallel;
+    opts.pool = &pool4;
+    opts.deadline = common::Deadline::never().with_token(token);
+    int calls = 0;
+    opts.intermediate_callback = [&](const ApproxCircuit& c) {
+      stream.push_back(c);
+      // Deterministic mid-search expiry: cancellation is requested from the
+      // merge-time callback, so it lands at the same search position in both
+      // schedules.
+      if (++calls == 4) token.request_cancel();
+    };
+    return qsearch_synthesize(target, 3, opts);
+  };
+
+  std::vector<ApproxCircuit> serial_stream, parallel_stream;
+  const QSearchResult serial = run(false, serial_stream);
+  const QSearchResult parallel = run(true, parallel_stream);
+  EXPECT_TRUE(serial.timed_out);
+  EXPECT_EQ(serial_stream.size(), 4u);
+  expect_bit_identical_runs(serial, serial_stream, parallel, parallel_stream);
+}
+
+TEST(QSearch, ParallelMatchesSerialWithFaultsArmed) {
+  struct FaultSpecGuard {
+    ~FaultSpecGuard() { common::faults::install_spec(""); }
+  } guard;
+  common::faults::install_spec("synth:0.5,seed=7");
+
+  // Firing is a pure function of (spec seed, site, synthesis seed); scan for
+  // one seed of each kind.
+  std::uint64_t firing = 0, clean = 0;
+  bool have_firing = false, have_clean = false;
+  for (std::uint64_t s = 0; s < 256 && !(have_firing && have_clean); ++s) {
+    if (common::faults::fires(common::faults::Site::SynthFail, s)) {
+      if (!have_firing) firing = s, have_firing = true;
+    } else if (!have_clean) {
+      clean = s, have_clean = true;
+    }
+  }
+  ASSERT_TRUE(have_firing && have_clean);
+
+  common::Rng rng(46);
+  const Matrix target = linalg::random_unitary(8, rng);
+  common::ThreadPool pool4(4);
+  auto run = [&](bool parallel, std::uint64_t seed,
+                 std::vector<ApproxCircuit>& stream) {
+    QSearchOptions opts;
+    opts.max_cnots = 3;
+    opts.max_nodes = 6;
+    opts.optimizer.max_iterations = 30;
+    opts.use_cache = false;
+    opts.parallel_children = parallel;
+    opts.pool = &pool4;
+    opts.seed = seed;
+    opts.intermediate_callback = [&stream](const ApproxCircuit& c) {
+      stream.push_back(c);
+    };
+    return qsearch_synthesize(target, 3, opts);
+  };
+
+  // An armed, firing fault throws in both modes (before any cache/search).
+  std::vector<ApproxCircuit> ignore;
+  EXPECT_THROW(run(false, firing, ignore), common::SynthesisError);
+  EXPECT_THROW(run(true, firing, ignore), common::SynthesisError);
+
+  // A non-firing seed stays bit-identical with the harness armed.
+  std::vector<ApproxCircuit> serial_stream, parallel_stream;
+  const QSearchResult serial = run(false, clean, serial_stream);
+  const QSearchResult parallel = run(true, clean, parallel_stream);
+  expect_bit_identical_runs(serial, serial_stream, parallel, parallel_stream);
+}
+
+// ---- incremental qfactor ---------------------------------------------------
+
+TEST(QFactor, IncrementalMatchesDenseSweep) {
+  common::Rng rng(47);
+  const Matrix target = linalg::random_unitary(8, rng);
+  ir::QuantumCircuit structure(3);
+  for (int b = 0; b < 6; ++b) {
+    structure.cx(b % 2, (b % 2) + 1);
+    structure.u3(0.2, 0.1, -0.1, b % 2);
+    structure.u3(0.3, -0.2, 0.2, (b % 2) + 1);
+  }
+  QFactorOptions opts;
+  opts.max_sweeps = 4;
+  opts.tolerance = 0.0;  // run all sweeps in both modes
+  opts.use_cache = false;
+
+  opts.incremental = false;
+  const QFactorResult dense = qfactor_optimize(structure, target, opts);
+  opts.incremental = true;
+  const QFactorResult inc = qfactor_optimize(structure, target, opts);
+
+  EXPECT_EQ(dense.sweeps, inc.sweeps);
+  EXPECT_NEAR(inc.hs_distance, dense.hs_distance, 1e-9);
+  const auto& gd = dense.circuit.gates();
+  const auto& gi = inc.circuit.gates();
+  ASSERT_EQ(gd.size(), gi.size());
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    EXPECT_EQ(gd[i].kind, gi[i].kind);
+    ASSERT_EQ(gd[i].params.size(), gi[i].params.size());
+    for (std::size_t p = 0; p < gd[i].params.size(); ++p)
+      EXPECT_NEAR(gd[i].params[p], gi[i].params[p], 1e-9)
+          << "gate " << i << " param " << p;
+  }
+}
+
+// ---- synthesis cache -------------------------------------------------------
+
+TEST(Cache, RepeatedSearchHitsAndReplaysStream) {
+  common::Rng rng(48);
+  const Matrix target = linalg::random_unitary(8, rng);
+  clear_synth_cache();
+  QSearchOptions opts;
+  opts.max_cnots = 3;
+  opts.max_nodes = 6;
+  opts.optimizer.max_iterations = 30;
+  opts.use_cache = true;
+
+  const SynthCacheStats before = synth_cache_stats();
+  std::vector<ApproxCircuit> first_stream, second_stream;
+  opts.intermediate_callback = [&](const ApproxCircuit& c) {
+    first_stream.push_back(c);
+  };
+  const QSearchResult first = qsearch_synthesize(target, 3, opts);
+  opts.intermediate_callback = [&](const ApproxCircuit& c) {
+    second_stream.push_back(c);
+  };
+  const QSearchResult second = qsearch_synthesize(target, 3, opts);
+  const SynthCacheStats after = synth_cache_stats();
+
+  EXPECT_GE(after.misses - before.misses, 1u);
+  EXPECT_GE(after.hits - before.hits, 1u);
+  ASSERT_FALSE(first_stream.empty());
+  expect_bit_identical_runs(first, first_stream, second, second_stream);
+}
+
+TEST(Cache, QFactorRunsHit) {
+  common::Rng rng(49);
+  const Matrix target = linalg::random_unitary(4, rng);
+  ir::QuantumCircuit structure(2);
+  structure.cx(0, 1).u3(0.4, 0.1, -0.3, 0).u3(0.2, -0.2, 0.5, 1);
+  clear_synth_cache();
+  QFactorOptions opts;
+  opts.max_sweeps = 8;
+  opts.use_cache = true;
+  const SynthCacheStats before = synth_cache_stats();
+  const QFactorResult first = qfactor_optimize(structure, target, opts);
+  const QFactorResult second = qfactor_optimize(structure, target, opts);
+  const SynthCacheStats after = synth_cache_stats();
+  EXPECT_GE(after.hits - before.hits, 1u);
+  EXPECT_EQ(first.hs_distance, second.hs_distance);
+  EXPECT_EQ(first.sweeps, second.sweeps);
+}
+
+TEST(Cache, DisabledBypassesLookup) {
+  common::Rng rng(50);
+  const Matrix target = linalg::random_unitary(4, rng);
+  QSearchOptions opts;
+  opts.max_cnots = 2;
+  opts.max_nodes = 4;
+  opts.use_cache = false;
+  const SynthCacheStats before = synth_cache_stats();
+  qsearch_synthesize(target, 2, opts);
+  qsearch_synthesize(target, 2, opts);
+  const SynthCacheStats after = synth_cache_stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
 }
 
 }  // namespace
