@@ -21,7 +21,7 @@ static int run(int argc, char** argv) {
   bench::print_banner("Ablation", "Density-matrix vs trajectory engines");
 
   algos::TfimModel model;
-  const auto device = noise::device_by_name("ourense");
+  const auto device = common::driver::device("ourense");
   const auto tr = transpile::transpile(model.circuit_up_to(6), device, {});
   const auto sub = tr.restricted_device(device);
   const auto nm = noise::NoiseModel::from_device(sub, {});

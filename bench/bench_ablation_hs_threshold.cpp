@@ -33,7 +33,7 @@ static int run(int argc, char** argv) {
   std::printf("unfiltered harvest: %zu circuits\n", harvest.size());
 
   approx::ExecutionConfig exec =
-      approx::ExecutionConfig::simulator(noise::device_by_name("toronto"));
+      approx::ExecutionConfig::simulator(common::driver::device("toronto"));
   approx::ExecutionConfig ideal = exec;
   ideal.ideal = true;
   const double ideal_mag =

@@ -29,7 +29,7 @@ static int run(int argc, char** argv) {
   const noise::CouplingMap line = noise::CouplingMap::line(3);
   const auto circuits = approx::generate_from_reference(reference, gen, &line);
 
-  const auto device = noise::device_by_name("toronto");
+  const auto device = common::driver::device("toronto");
   approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
   approx::ExecutionConfig ideal_cfg = exec;
   ideal_cfg.ideal = true;

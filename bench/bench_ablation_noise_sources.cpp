@@ -16,7 +16,7 @@ static int run(int argc, char** argv) {
   bench::BenchContext ctx(argc, argv, "ablation_noise_sources");
   bench::print_banner("Ablation", "Noise-source contributions to Toffoli JS");
 
-  const auto device = noise::device_by_name("manhattan");
+  const auto device = common::driver::device("manhattan");
   const ir::QuantumCircuit battery = algos::mct_battery_circuit(4);
   approx::MetricSpec metric;
   metric.kind = approx::MetricSpec::Kind::JsDistance;

@@ -38,7 +38,7 @@ static int run(int argc, char** argv) {
   double tvd_greedy_total = 0, tvd_sabre_total = 0;
 
   for (const auto& w : workloads) {
-    const auto device = noise::device_by_name(w.device);
+    const auto device = common::driver::device(w.device);
     sim::IdealBackend ideal(1);
     const auto reference =
         ideal.run_probabilities(transpile::decompose_to_cx_u3(w.circuit));

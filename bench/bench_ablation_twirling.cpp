@@ -30,7 +30,7 @@ static int run(int argc, char** argv) {
   const auto circuits = approx::generate_from_reference(reference, gen, &line);
   const auto& pick = circuits[approx::minimal_hs_index(circuits)];
 
-  const auto device = noise::device_by_name("manhattan");
+  const auto device = common::driver::device("manhattan");
   approx::ExecutionConfig hw = approx::ExecutionConfig::hardware(device);
   hw.shots = ctx.shots;
   approx::ExecutionConfig ideal_cfg = hw;

@@ -57,7 +57,7 @@ static int run(int argc, char** argv) {
   std::printf("harvest: %zu circuits across the full HS range\n", circuits.size());
 
   approx::ExecutionConfig ideal_cfg =
-      approx::ExecutionConfig::noise_free(noise::device_by_name("ourense"));
+      approx::ExecutionConfig::noise_free(common::driver::device("ourense"));
   const double ideal_mag = sim::average_z_magnetization(
       approx::execute_distribution(reference, ideal_cfg));
 
@@ -66,7 +66,7 @@ static int run(int argc, char** argv) {
   double r_hs_low = 0, r_combo_high = 0, r_hs_high = 0;
   for (double level : {0.0, 0.12}) {
     approx::ExecutionConfig exec =
-        approx::ExecutionConfig::simulator(noise::device_by_name("ourense"));
+        approx::ExecutionConfig::simulator(common::driver::device("ourense"));
     exec.noise_options.uniform_cx_error = level;
 
     std::vector<double> hs, infid, cnots, combo, err;

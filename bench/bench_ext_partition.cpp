@@ -27,7 +27,7 @@ static int run(int argc, char** argv) {
                        "sum_block_hs", "noisy_err_before", "noisy_err_after",
                        "time_s"});
 
-  const auto device = noise::device_by_name("manhattan");
+  const auto device = common::driver::device("manhattan");
   bool all_shrunk = true;
   double err_before_sum = 0.0, err_after_sum = 0.0;
 

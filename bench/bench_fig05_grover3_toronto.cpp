@@ -25,7 +25,7 @@ static int run(int argc, char** argv) {
   std::printf("harvested %zu approximate circuits\n", circuits.size());
 
   approx::ExecutionConfig exec =
-      approx::ExecutionConfig::simulator(noise::device_by_name("toronto"));
+      approx::ExecutionConfig::simulator(common::driver::device("toronto"));
   approx::MetricSpec metric;
   metric.kind = approx::MetricSpec::Kind::SuccessProbability;
   metric.target_outcome = 0b111;

@@ -22,7 +22,7 @@ static int run(int argc, char** argv) {
   std::printf("harvested %zu approximate circuits\n", setup.battery.size());
 
   approx::ExecutionConfig exec =
-      approx::ExecutionConfig::simulator(noise::device_by_name("manhattan"));
+      approx::ExecutionConfig::simulator(common::driver::device("manhattan"));
   const approx::ScatterStudy study = approx::run_scatter_study(
       setup.reference_battery, setup.battery, exec, setup.metric);
   bench::emit_table(ctx, "fig06", bench::scatter_table(study, "js_distance"), 40);

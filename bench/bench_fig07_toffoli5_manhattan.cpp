@@ -17,7 +17,7 @@ static int run(int argc, char** argv) {
   bench::print_banner("Figure 7",
                       "5q Toffoli, Manhattan noise model: JS vs CNOT count");
 
-  const auto device = noise::device_by_name("manhattan");
+  const auto device = common::driver::device("manhattan");
   approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
 
   const bench::ToffoliSetup setup5 = bench::make_toffoli_setup(ctx, 5);

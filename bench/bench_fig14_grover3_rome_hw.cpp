@@ -25,7 +25,7 @@ static int run(int argc, char** argv) {
   std::printf("harvested %zu approximate circuits\n", circuits.size());
 
   approx::ExecutionConfig exec =
-      approx::ExecutionConfig::hardware(noise::device_by_name("rome"));
+      approx::ExecutionConfig::hardware(common::driver::device("rome"));
   exec.shots = ctx.shots;
   approx::MetricSpec metric;
   metric.kind = approx::MetricSpec::Kind::SuccessProbability;

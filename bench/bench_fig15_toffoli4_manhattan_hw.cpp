@@ -17,7 +17,7 @@ static int run(int argc, char** argv) {
   std::printf("harvested %zu approximate circuits\n", setup.battery.size());
 
   approx::ExecutionConfig exec =
-      approx::ExecutionConfig::hardware(noise::device_by_name("manhattan"));
+      approx::ExecutionConfig::hardware(common::driver::device("manhattan"));
   exec.shots = ctx.shots;
   const approx::ScatterStudy study = approx::run_scatter_study(
       setup.reference_battery, setup.battery, exec, setup.metric);

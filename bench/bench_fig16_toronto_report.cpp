@@ -13,7 +13,7 @@ static int run(int argc, char** argv) {
   bench::BenchContext ctx(argc, argv, "fig16");
   bench::print_banner("Figure 16", "Toronto noise report and candidate mappings");
 
-  const auto device = noise::device_by_name("toronto");
+  const auto device = common::driver::device("toronto");
   std::printf("-- per-qubit calibration --\n%s",
               approx::device_readout_report(device).to_string().c_str());
   const common::Table cx = approx::device_cx_report(device);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/driver.hpp"
 #include "gbench_main.hpp"
 
 #include "common/rng.hpp"
@@ -142,7 +143,7 @@ void BM_QFactorSweep(benchmark::State& state) {
 BENCHMARK(BM_QFactorSweep);
 
 void BM_TrajectoryShots(benchmark::State& state) {
-  const auto device = noise::device_by_name("ourense");
+  const auto device = common::driver::device("ourense");
   const auto model = noise::simulator_noise_model(device);
   ir::QuantumCircuit qc(3);
   qc.u3(0.7, 0.1, 0.2, 0).cx(0, 1).cx(1, 2).u3(0.4, -0.3, 0.2, 2);

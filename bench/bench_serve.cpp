@@ -1,0 +1,260 @@
+// Load generator / soak driver for the qapprox server.
+//
+// Fires a mixed stream of jobs (simulate across workloads and devices, a
+// sprinkle of synthesize, periodic stats) at a server from several client
+// connections with many requests in flight each, then verifies the server's
+// core contract: exactly one reply per request, every reply correlated to a
+// known id, zero transport drops — and reports the latency distribution
+// (p50/p95/p99) plus a queue-depth high-water mark.
+//
+//   bench_serve [--socket=PATH]      target an already-running server;
+//                                    default: in-process server on a
+//                                    build-dir socket (CI mode)
+//               [--jobs=N]           total requests        (default 2000)
+//               [--connections=N]    client connections    (default 8)
+//               [--tenants=N]        tenant names round-robin (default 4)
+//               [--inflight=N]       max outstanding per connection (32)
+//               [--deadline-ms=N]    per-job soft deadline (default 150)
+//               [--csv=PATH]         latency histogram artifact
+//
+// Exit is nonzero when any reply is missing, duplicated, or uncorrelated —
+// the soak gate in CI runs this under QAPPROX_FAULTS and a sanitizer build.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/driver.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using qc::common::json::Value;
+using Clock = std::chrono::steady_clock;
+
+struct ReplyLog {
+  std::mutex mu;
+  // reply counts per request id (exactly-one assertion) and latencies.
+  std::vector<int> replies;       // indexed by numeric request id
+  std::vector<double> latency_ms;
+  std::vector<std::string> statuses;
+  std::uint64_t unknown_ids = 0;
+};
+
+Value make_request(std::uint64_t id, const std::string& tenant,
+                   double deadline_ms) {
+  // Deterministic mixed workload: mostly simulate (cheap, exercises the
+  // engine caches), some synthesize (expensive, exercises the synth cache),
+  // periodic stats (inline path).
+  Value req = Value::object();
+  req.set("id", id);
+  req.set("tenant", tenant);
+  req.set("deadline_ms", deadline_ms);
+  const std::uint64_t r = id % 20;
+  if (r == 19) {
+    req.set("type", "stats");
+    return req;
+  }
+  Value params = Value::object();
+  if (r >= 16) {
+    req.set("type", "synthesize");
+    params.set("preset", (r % 2 == 0) ? "grover" : "tfim");
+    params.set("qubits", 3);
+    params.set("steps", 1 + static_cast<int>(id % 3));
+    params.set("fast", true);
+    params.set("max_circuits", 8);
+  } else {
+    req.set("type", "simulate");
+    const char* workloads[3] = {"tfim", "grover", "mct"};
+    params.set("workload", workloads[id % 3]);
+    params.set("qubits", 3);
+    params.set("steps", 1 + static_cast<int>(id % 5));
+    params.set("shots", 256);
+    params.set("seed", 11 + id % 7);
+    params.set("device", (id % 2 == 0) ? "santiago" : "toronto");
+    params.set("mode", (id % 5 == 0) ? "ideal" : "simulator");
+  }
+  req.set("params", std::move(params));
+  return req;
+}
+
+/// One connection's worth of traffic: ids [first, first+count), windowed.
+void drive_connection(const std::string& socket_path, std::uint64_t first,
+                      std::uint64_t count, std::size_t inflight,
+                      const std::vector<std::string>& tenants,
+                      double deadline_ms, ReplyLog& log,
+                      std::atomic<bool>& failed) {
+  try {
+    qc::serve::Client client = qc::serve::Client::connect(socket_path);
+    std::vector<Clock::time_point> sent_at(count);
+    std::uint64_t next = 0;      // next request index to send
+    std::uint64_t received = 0;  // replies seen
+    while (received < count) {
+      while (next < count && next - received < inflight) {
+        const std::uint64_t id = first + next;
+        sent_at[next] = Clock::now();
+        client.send(make_request(id, tenants[id % tenants.size()], deadline_ms));
+        ++next;
+      }
+      auto reply = client.recv();
+      if (!reply.has_value())
+        throw qc::common::Error("connection closed with replies outstanding");
+      ++received;
+      const Value* id = reply->find("id");
+      const std::string status = reply->get_string("status", "?");
+      std::lock_guard<std::mutex> lock(log.mu);
+      if (id == nullptr || !id->is_number() ||
+          id->as_uint64() < first || id->as_uint64() >= first + count) {
+        ++log.unknown_ids;
+        continue;
+      }
+      const std::uint64_t idx = id->as_uint64() - first;
+      log.replies[id->as_uint64()] += 1;
+      log.latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - sent_at[idx])
+              .count());
+      log.statuses.push_back(status);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "connection [%llu..%llu): %s\n",
+                 static_cast<unsigned long long>(first),
+                 static_cast<unsigned long long>(first + count), e.what());
+    failed.store(true);
+  }
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+static int run(int argc, char** argv) {
+  using namespace qc;
+  common::driver::DriverContext ctx(argc, argv, "bench_serve");
+
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(std::max(1, ctx.args.get_int("jobs", 2000)));
+  const std::size_t connections =
+      static_cast<std::size_t>(std::max(1, ctx.args.get_int("connections", 8)));
+  const std::size_t num_tenants =
+      static_cast<std::size_t>(std::max(1, ctx.args.get_int("tenants", 4)));
+  const std::size_t inflight =
+      static_cast<std::size_t>(std::max(1, ctx.args.get_int("inflight", 32)));
+  const double deadline_ms = ctx.args.get_double("deadline-ms", 150.0);
+  std::string socket_path = ctx.args.get("socket", "");
+
+  // CI mode: no --socket means host the server in-process on a local socket.
+  std::unique_ptr<serve::QapproxServer> server;
+  if (socket_path.empty()) {
+    serve::ServerOptions opts = serve::ServerOptions::from_env();
+    if (std::getenv("QAPPROX_SERVE_SOCKET") == nullptr)
+      opts.socket_path = "/tmp/qapprox_bench.sock";
+    socket_path = opts.socket_path;
+    server = std::make_unique<serve::QapproxServer>(opts);
+    server->start();
+    std::printf("in-process server on %s (%zu workers, queue cap %zu)\n",
+                socket_path.c_str(), opts.scheduler.workers,
+                opts.scheduler.queue_cap);
+  }
+
+  std::vector<std::string> tenants;
+  for (std::size_t t = 0; t < num_tenants; ++t)
+    tenants.push_back("tenant-" + std::to_string(t));
+
+  ReplyLog log;
+  log.replies.assign(jobs, 0);
+  log.latency_ms.reserve(jobs);
+  std::atomic<bool> failed{false};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> drivers;
+  const std::uint64_t per_conn = (jobs + connections - 1) / connections;
+  for (std::size_t c = 0; c < connections; ++c) {
+    const std::uint64_t first = static_cast<std::uint64_t>(c) * per_conn;
+    if (first >= jobs) break;
+    const std::uint64_t count = std::min(per_conn, jobs - first);
+    drivers.emplace_back([&, first, count] {
+      drive_connection(socket_path, first, count, inflight, tenants,
+                       deadline_ms, log, failed);
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // ---- the contract: exactly one reply per request --------------------------
+  std::uint64_t missing = 0, duplicated = 0;
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    if (log.replies[i] == 0) ++missing;
+    if (log.replies[i] > 1) ++duplicated;
+  }
+  std::map<std::string, std::uint64_t> by_status;
+  for (const std::string& s : log.statuses) ++by_status[s];
+
+  std::vector<double> sorted = log.latency_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = percentile(sorted, 0.50);
+  const double p95 = percentile(sorted, 0.95);
+  const double p99 = percentile(sorted, 0.99);
+
+  std::printf("%llu jobs over %zu connections in %.0f ms (%.0f jobs/s)\n",
+              static_cast<unsigned long long>(jobs), drivers.size(), wall_ms,
+              1000.0 * static_cast<double>(jobs) / std::max(wall_ms, 1.0));
+  for (const auto& [status, n] : by_status)
+    std::printf("  status %-9s %llu\n", status.c_str(),
+                static_cast<unsigned long long>(n));
+  std::printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n", p50, p95,
+              p99, sorted.empty() ? 0.0 : sorted.back());
+
+  // Latency histogram artifact (CI uploads this CSV).
+  common::Table table({"percentile", "latency_ms"});
+  const double percentiles[] = {0.5, 0.75, 0.9, 0.95, 0.99, 1.0};
+  for (const double p : percentiles)
+    table.add_row({common::format_double(p, 2),
+                   common::format_double(percentile(sorted, p), 3)});
+  const std::string csv_path = ctx.args.get("csv", "bench_serve_latency.csv");
+  table.write_csv(csv_path);
+  std::printf("latency table -> %s\n", csv_path.c_str());
+
+  std::uint64_t peak_queued = 0;
+  if (server) {
+    const Value stats = server->build_stats();
+    if (const Value* sched = stats.find("scheduler"))
+      peak_queued =
+          static_cast<std::uint64_t>(sched->get_number("peak_queued", 0.0));
+    server->stop();
+    std::printf("server stats: %s\n", stats.dump().c_str());
+  }
+
+  const bool ok = !failed.load() && missing == 0 && duplicated == 0 &&
+                  log.unknown_ids == 0;
+  std::printf("replies: missing %llu, duplicated %llu, uncorrelated %llu, "
+              "peak queue depth %llu -> %s\n",
+              static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(duplicated),
+              static_cast<unsigned long long>(log.unknown_ids),
+              static_cast<unsigned long long>(peak_queued),
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) { return qc::common::run_main(argc, argv, run); }

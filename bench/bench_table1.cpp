@@ -28,7 +28,7 @@ static int run(int argc, char** argv) {
   common::Table table({"IBM Machine", "Num. qubits", "Av. CNOT err.", "paper value"});
   bool all_match = true;
   for (const auto& row : paper) {
-    const auto device = noise::device_by_name(common::to_lower(row.name));
+    const auto device = common::driver::device(common::to_lower(row.name));
     const double measured = device.average_cx_error();
     table.add_row({row.name, std::to_string(device.num_qubits()),
                    common::format_double(measured, 5),

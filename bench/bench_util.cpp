@@ -16,16 +16,7 @@
 namespace qc::bench {
 
 BenchContext::BenchContext(int argc, char** argv, const std::string& figure_id)
-    : args(argc, argv),
-      fast(args.get_bool("fast", false)),
-      shots(static_cast<std::size_t>(args.get_int("shots", 2048))),
-      csv_path(args.get("csv", figure_id + ".csv")) {
-  obs::init_from_env();
-  if (args.has("version")) {
-    std::printf("%s\n", obs::build_info_summary().c_str());
-    std::exit(0);
-  }
-}
+    : common::driver::DriverContext(argc, argv, figure_id) {}
 
 void print_banner(const std::string& id, const std::string& title) {
   std::printf("==============================================================\n");
@@ -48,20 +39,30 @@ void emit_table(const BenchContext& ctx, const std::string& id,
   table.write_csv(ctx.csv_path);
   std::printf("[%s] wrote %zu rows to %s\n", id.c_str(), table.num_rows(),
               ctx.csv_path.c_str());
+  // The figure's output now exists on disk: a deadline expiring after this
+  // point is a soft expiry (run_main exits 0 with an annotation).
+  common::note_partial_results("table " + id + " -> " + ctx.csv_path);
   print_engine_cache_stats(id);
 }
 
 void print_engine_cache_stats(const std::string& id) {
-  const exec::CacheStats s = exec::ExecutionEngine::global().cache_stats();
+  // The snapshot also publishes exec.engine.cache.* gauges, so binaries run
+  // with QAPPROX_METRICS export per-engine cache state without extra wiring.
+  const exec::CacheSnapshot snap =
+      common::driver::engine().cache_stats_snapshot();
+  const exec::CacheStats& s = snap.stats;
   if (s.transpile_hits + s.transpile_misses == 0) return;  // engine unused
   std::printf("[%s] engine caches: transpile %zu/%zu hits (%.0f%%), "
-              "noise model %zu/%zu (%.0f%%), compiled %zu/%zu (%.0f%%)\n",
+              "noise model %zu/%zu (%.0f%%), compiled %zu/%zu (%.0f%%), "
+              "%zu entries resident\n",
               id.c_str(), s.transpile_hits, s.transpile_hits + s.transpile_misses,
               100.0 * exec::CacheStats::rate(s.transpile_hits, s.transpile_misses),
               s.model_hits, s.model_hits + s.model_misses,
               100.0 * exec::CacheStats::rate(s.model_hits, s.model_misses),
               s.compiled_hits, s.compiled_hits + s.compiled_misses,
-              100.0 * exec::CacheStats::rate(s.compiled_hits, s.compiled_misses));
+              100.0 * exec::CacheStats::rate(s.compiled_hits, s.compiled_misses),
+              snap.transpile_entries + snap.model_entries +
+                  snap.compiled_entries + snap.matrix_entries);
 }
 
 void shape_check(const std::string& what, bool ok, double lhs, double rhs) {
@@ -88,7 +89,7 @@ approx::TfimStudyConfig tfim_config(const BenchContext& ctx,
     cfg.generator.max_circuits = 24;
   }
 
-  const auto device = noise::device_by_name(device_name);
+  const auto device = common::driver::device(device_name);
   cfg.execution = hardware_mode ? approx::ExecutionConfig::hardware(device)
                                 : approx::ExecutionConfig::simulator(device);
   cfg.execution.shots = ctx.shots;
@@ -96,41 +97,11 @@ approx::TfimStudyConfig tfim_config(const BenchContext& ctx,
 }
 
 approx::GeneratorConfig grover_generator(const BenchContext& ctx) {
-  approx::GeneratorConfig gen;
-  gen.use_qsearch = true;
-  gen.qsearch.max_cnots = 7;
-  gen.qsearch.max_nodes = ctx.fast ? 10 : 40;
-  gen.qsearch.optimizer.max_iterations = 80;
-  gen.use_reducer = true;  // deep tail toward the 24-CX reference
-  gen.reducer.keep_fractions = {0.25, 0.4, 0.55, 0.7, 0.85, 1.0};
-  gen.reducer.variants_per_size = ctx.fast ? 1 : 3;
-  gen.reducer.optimizer.max_iterations = 60;
-  gen.hs_threshold = 0.7;
-  gen.max_circuits = ctx.fast ? 30 : 120;
-  return gen;
+  return approx::grover_generator_preset(ctx.fast);
 }
 
 approx::GeneratorConfig toffoli_generator(const BenchContext& ctx, int num_qubits) {
-  approx::GeneratorConfig gen;
-  // QSearch contributes the high-quality shallow end at 4 qubits; it does
-  // not scale to 5 (the paper hit the same wall).
-  gen.use_qsearch = num_qubits <= 4 && !ctx.fast;
-  gen.qsearch.max_cnots = 8;
-  gen.qsearch.max_nodes = 30;
-  gen.qsearch.optimizer.max_iterations = 80;
-  gen.use_qfast = true;
-  gen.qfast.max_blocks = ctx.fast ? 3 : (num_qubits >= 5 ? 6 : 10);
-  gen.qfast.optimizer.max_iterations = ctx.fast ? 15 : (num_qubits >= 5 ? 40 : 70);
-  gen.qfast.restarts_per_depth = ctx.fast ? 1 : 2;
-  gen.use_reducer = true;
-  gen.reducer.keep_fractions = {0.05, 0.12, 0.2, 0.3, 0.4, 0.5,
-                                0.6,  0.7,  0.8, 0.9, 0.95, 1.0};
-  gen.reducer.variants_per_size = ctx.fast ? 1 : 3;
-  gen.reducer.optimizer.max_iterations = ctx.fast ? 25 : 50;
-  gen.reducer.full_reopt_max_qubits = 0;  // boundary mode throughout (depth)
-  gen.hs_threshold = 1.0;  // JS figures show the full quality range
-  gen.max_circuits = ctx.fast ? 25 : 90;
-  return gen;
+  return approx::toffoli_generator_preset(num_qubits, ctx.fast);
 }
 
 ToffoliSetup make_toffoli_setup(const BenchContext& ctx, int num_qubits) {
@@ -165,7 +136,7 @@ ToffoliSetup make_toffoli_setup(const BenchContext& ctx, int num_qubits) {
 
 MappingFigure run_toronto_mapping_figure(const BenchContext& ctx,
                                          const std::string& label) {
-  const auto device = noise::device_by_name("toronto");
+  const auto device = common::driver::device("toronto");
   const ToffoliSetup setup = make_toffoli_setup(ctx, 4);
 
   const auto mappings =

@@ -17,16 +17,14 @@
 #include "approx/tfim_study.hpp"
 #include "approx/workflow.hpp"
 #include "common/cli.hpp"
+#include "common/driver.hpp"
 #include "common/table.hpp"
 
 namespace qc::bench {
 
-struct BenchContext {
-  common::CliArgs args;
-  bool fast;
-  std::size_t shots;
-  std::string csv_path;  // may be empty: derive from figure id
-
+/// The shared driver surface (--fast/--shots/--seed/--csv/--version, runtime
+/// init) plus bench conventions: the default csv path is "<figure_id>.csv".
+struct BenchContext : common::driver::DriverContext {
   BenchContext(int argc, char** argv, const std::string& figure_id);
 };
 

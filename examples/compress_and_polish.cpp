@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/driver.hpp"
 #include "algos/tfim.hpp"
 #include "approx/experiment.hpp"
 #include "common/cli.hpp"
@@ -46,7 +47,7 @@ static int run(int argc, char** argv) {
               result.cnots_before, result.cnots_after, result.blocks_resynthesized,
               result.blocks_total, result.accumulated_hs);
 
-  const auto device = noise::device_by_name("toronto");
+  const auto device = common::driver::device("toronto");
   const approx::ExecutionConfig exec = approx::ExecutionConfig::simulator(device);
   sim::IdealBackend ideal_backend(1);
   const double ideal =

@@ -4,6 +4,7 @@
 //   ./grover_under_noise [--device=rome] [--hardware]
 #include <cstdio>
 
+#include "common/driver.hpp"
 #include "algos/grover.hpp"
 #include "approx/experiment.hpp"
 #include "approx/selection.hpp"
@@ -14,7 +15,7 @@
 static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
-  const auto device = noise::device_by_name(args.get("device", "rome"));
+  const auto device = common::driver::device(args.get("device", "rome"));
   const bool hardware = args.get_bool("hardware", false);
 
   approx::ExecutionConfig exec = hardware ? approx::ExecutionConfig::hardware(device)

@@ -8,6 +8,7 @@
 //   ./quickstart
 #include <cstdio>
 
+#include "common/driver.hpp"
 #include "approx/experiment.hpp"
 #include "approx/selection.hpp"
 #include "approx/workflow.hpp"
@@ -51,7 +52,7 @@ static int run(int, char**) {
   // 4. Execute the reference and the minimal-HS approximation on the
   //    Ourense noise model, through the cached ExecutionEngine. Each
   //    RunResult carries a RunRecord describing what actually ran.
-  const auto device = noise::device_by_name("ourense");
+  const auto device = common::driver::device("ourense");
   const approx::ExecutionConfig cfg = approx::ExecutionConfig::simulator(device);
   auto& engine = exec::ExecutionEngine::global();
 

@@ -8,6 +8,7 @@
 //   ./tfim_dynamics [--qubits=3] [--steps=10] [--device=toronto]
 #include <cstdio>
 
+#include "common/driver.hpp"
 #include "approx/tfim_study.hpp"
 #include "common/cli.hpp"
 #include "noise/catalog.hpp"
@@ -25,7 +26,7 @@ static int run(int argc, char** argv) {
   for (int s = 1; s <= steps && s <= 21; ++s) cfg.steps.push_back(s);
   cfg.generator = approx::tfim_generator_preset(qubits);
   cfg.execution =
-      approx::ExecutionConfig::simulator(noise::device_by_name(device_name));
+      approx::ExecutionConfig::simulator(common::driver::device(device_name));
 
   std::printf("TFIM chain: %d qubits, J=%.2f, h ramp to %.2f, dt=%.2f, device %s\n\n",
               qubits, cfg.model.coupling_j, cfg.model.h_max, cfg.model.dt,

@@ -10,6 +10,7 @@
 //   ./toffoli_study [--device=manhattan] [--hardware]
 #include <cstdio>
 
+#include "common/driver.hpp"
 #include "algos/mct.hpp"
 #include "approx/experiment.hpp"
 #include "approx/selection.hpp"
@@ -20,7 +21,7 @@
 static int run(int argc, char** argv) {
   using namespace qc;
   common::CliArgs args(argc, argv);
-  const auto device = noise::device_by_name(args.get("device", "manhattan"));
+  const auto device = common::driver::device(args.get("device", "manhattan"));
   const bool hardware = args.get_bool("hardware", false);
   approx::ExecutionConfig exec = hardware ? approx::ExecutionConfig::hardware(device)
                                           : approx::ExecutionConfig::simulator(device);

@@ -238,4 +238,42 @@ std::vector<ApproxCircuit> generate_from_reference(const ir::QuantumCircuit& ref
   return selected;
 }
 
+GeneratorConfig grover_generator_preset(bool fast) {
+  GeneratorConfig gen;
+  gen.use_qsearch = true;
+  gen.qsearch.max_cnots = 7;
+  gen.qsearch.max_nodes = fast ? 10 : 40;
+  gen.qsearch.optimizer.max_iterations = 80;
+  gen.use_reducer = true;  // deep tail toward the 24-CX reference
+  gen.reducer.keep_fractions = {0.25, 0.4, 0.55, 0.7, 0.85, 1.0};
+  gen.reducer.variants_per_size = fast ? 1 : 3;
+  gen.reducer.optimizer.max_iterations = 60;
+  gen.hs_threshold = 0.7;
+  gen.max_circuits = fast ? 30 : 120;
+  return gen;
+}
+
+GeneratorConfig toffoli_generator_preset(int num_qubits, bool fast) {
+  GeneratorConfig gen;
+  // QSearch contributes the high-quality shallow end at 4 qubits; it does
+  // not scale to 5 (the paper hit the same wall).
+  gen.use_qsearch = num_qubits <= 4 && !fast;
+  gen.qsearch.max_cnots = 8;
+  gen.qsearch.max_nodes = 30;
+  gen.qsearch.optimizer.max_iterations = 80;
+  gen.use_qfast = true;
+  gen.qfast.max_blocks = fast ? 3 : (num_qubits >= 5 ? 6 : 10);
+  gen.qfast.optimizer.max_iterations = fast ? 15 : (num_qubits >= 5 ? 40 : 70);
+  gen.qfast.restarts_per_depth = fast ? 1 : 2;
+  gen.use_reducer = true;
+  gen.reducer.keep_fractions = {0.05, 0.12, 0.2, 0.3, 0.4, 0.5,
+                                0.6,  0.7,  0.8, 0.9, 0.95, 1.0};
+  gen.reducer.variants_per_size = fast ? 1 : 3;
+  gen.reducer.optimizer.max_iterations = fast ? 25 : 50;
+  gen.reducer.full_reopt_max_qubits = 0;  // boundary mode throughout (depth)
+  gen.hs_threshold = 1.0;  // JS figures show the full quality range
+  gen.max_circuits = fast ? 25 : 90;
+  return gen;
+}
+
 }  // namespace qc::approx

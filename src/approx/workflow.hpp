@@ -92,4 +92,18 @@ std::vector<synth::ApproxCircuit> select_candidates(
     std::vector<synth::ApproxCircuit> harvest, double hs_threshold,
     std::size_t max_circuits);
 
+// ---- workload generator presets -------------------------------------------
+// The budgets the paper figures run with, shared by the bench binaries and
+// the serve job builders so a wire request and a figure driver harvest the
+// same cloud. `fast` trims search budgets for smoke runs (the bench --fast
+// flag). The TFIM preset lives in tfim_study.hpp (tfim_generator_preset).
+
+/// Grover figures: QSearch intermediates + reducer tail toward the deep
+/// reference.
+GeneratorConfig grover_generator_preset(bool fast);
+
+/// n-qubit Toffoli figures: QFast partial solutions + reducer tail over the
+/// no-ancilla reference; QSearch joins below 5 qubits.
+GeneratorConfig toffoli_generator_preset(int num_qubits, bool fast);
+
 }  // namespace qc::approx

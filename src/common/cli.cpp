@@ -1,8 +1,10 @@
 #include "common/cli.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -54,9 +56,48 @@ std::uint64_t CliArgs::get_seed(const std::string& name, std::uint64_t fallback)
   return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 0);
 }
 
+namespace {
+std::atomic<bool> g_partial_results{false};
+std::mutex g_partial_mutex;
+std::string g_partial_what;  // guarded by g_partial_mutex
+}  // namespace
+
+void note_partial_results(const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(g_partial_mutex);
+    if (g_partial_what.empty()) g_partial_what = what;
+  }
+  g_partial_results.store(true, std::memory_order_release);
+}
+
+bool partial_results_noted() {
+  return g_partial_results.load(std::memory_order_acquire);
+}
+
+void reset_partial_results_note() {
+  std::lock_guard<std::mutex> lock(g_partial_mutex);
+  g_partial_what.clear();
+  g_partial_results.store(false, std::memory_order_release);
+}
+
 int run_main(int argc, char** argv, int (*body)(int, char**)) noexcept {
   try {
     return body(argc, argv);
+  } catch (const TimeoutError& e) {
+    if (partial_results_noted()) {
+      std::string what;
+      {
+        std::lock_guard<std::mutex> lock(g_partial_mutex);
+        what = g_partial_what;
+      }
+      std::fprintf(stderr,
+                   "qapprox timeout: %s — partial results were already emitted "
+                   "(%s); exiting 0\n",
+                   e.what(), what.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "qapprox timeout error: %s\n", e.what());
+    return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "qapprox %s error: %s\n", e.kind(), e.what());
   } catch (const std::exception& e) {

@@ -24,9 +24,25 @@ class CliArgs {
   std::map<std::string, std::string> values_;
 };
 
+/// Records that the current process has already emitted usable (if partial)
+/// results — a table was written, an archive was flushed. Drivers and
+/// emit_table call this; run_main consults it when a TimeoutError unwinds,
+/// so a soft deadline expiry *after* results were produced exits 0 with an
+/// annotation instead of masquerading as a hard failure. Thread-safe.
+void note_partial_results(const std::string& what);
+
+/// True once note_partial_results was called in this process (tests).
+bool partial_results_noted();
+
+/// Resets the partial-results flag (tests only).
+void reset_partial_results_note();
+
 /// Runs `body(argc, argv)` with a top-level exception guard: qc::common::Error
 /// prints one structured line ("qapprox <kind> error: <what>") to stderr and
-/// exits 1; other std::exceptions print their what() and exit 1. Use as
+/// exits 1; other std::exceptions print their what() and exit 1. Exception:
+/// a TimeoutError that unwinds *after* note_partial_results() was called is
+/// a soft expiry — the run is annotated on stderr and exits 0, because the
+/// partial results already emitted are valid. Use as
 ///
 ///   int main(int argc, char** argv) {
 ///     return qc::common::run_main(argc, argv, run);

@@ -15,7 +15,7 @@
 //   synth   — throw SynthesisError at synthesizer entry (stream: the
 //             synthesis seed), forcing the driver retry/fallback path
 //   worker  — throw SimulationError inside a run_batch worker task
-//             (stream: the batch index)
+//             (stream: the batch index, or RunRequest::fault_stream)
 //   nan     — corrupt the trajectory state vector with NaN amplitudes just
 //             before measurement (stream: the per-shot RNG seed), tripping
 //             the norm-drift guard

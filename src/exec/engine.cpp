@@ -188,6 +188,39 @@ CacheStats ExecutionEngine::cache_stats() const {
   return stats_;
 }
 
+CacheSnapshot ExecutionEngine::cache_stats_snapshot() const {
+  CacheSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.stats = stats_;
+    snap.transpile_entries = transpile_cache_.entries.size();
+    snap.model_entries = model_cache_.entries.size();
+    snap.compiled_entries = compiled_cache_.entries.size();
+    snap.matrix_entries = matrix_cache_.entries.size();
+  }
+  struct Row {
+    const char* name;
+    std::size_t hits, misses, entries;
+  };
+  const Row rows[] = {
+      {"transpile", snap.stats.transpile_hits, snap.stats.transpile_misses,
+       snap.transpile_entries},
+      {"model", snap.stats.model_hits, snap.stats.model_misses,
+       snap.model_entries},
+      {"compiled", snap.stats.compiled_hits, snap.stats.compiled_misses,
+       snap.compiled_entries},
+      {"matrix", snap.stats.matrix_hits, snap.stats.matrix_misses,
+       snap.matrix_entries},
+  };
+  for (const Row& row : rows) {
+    const std::string prefix = std::string("exec.engine.cache.") + row.name;
+    obs::gauge(prefix + ".hits").set(static_cast<std::int64_t>(row.hits));
+    obs::gauge(prefix + ".misses").set(static_cast<std::int64_t>(row.misses));
+    obs::gauge(prefix + ".entries").set(static_cast<std::int64_t>(row.entries));
+  }
+  return snap;
+}
+
 void ExecutionEngine::clear_caches() {
   std::lock_guard<std::mutex> lock(mutex_);
   transpile_cache_ = {};
@@ -456,10 +489,14 @@ std::vector<RunResult> ExecutionEngine::run_batch(
   pool().parallel_for(0, requests.size(), [&](std::size_t i) {
     try {
       if (common::faults::enabled()) {
-        common::faults::maybe_delay(/*stream=*/i);
-        if (common::faults::fires(common::faults::Site::WorkerThrow, i))
-          throw common::SimulationError(
-              "injected worker fault (batch index " + std::to_string(i) + ")");
+        const std::uint64_t stream =
+            requests[i].fault_stream == RunRequest::kFaultStreamFromBatchIndex
+                ? i
+                : requests[i].fault_stream;
+        common::faults::maybe_delay(stream);
+        if (common::faults::fires(common::faults::Site::WorkerThrow, stream))
+          throw common::SimulationError("injected worker fault (stream " +
+                                        std::to_string(stream) + ")");
       }
       results[i] = run(requests[i]);
     } catch (const common::Error& e) {
@@ -472,6 +509,10 @@ std::vector<RunResult> ExecutionEngine::run_batch(
       QC_LOG_ERROR("exec", "run_batch request %zu failed: %s", i, e.what());
     }
   });
+  // Refresh the exec.engine.cache.* gauges once per batch, so metrics
+  // exports from any batch-driving binary carry per-engine cache state
+  // without an explicit snapshot call.
+  (void)cache_stats_snapshot();
   return results;
 }
 

@@ -90,6 +90,14 @@ class ExecutionEngine {
   /// engines) live in the obs metrics registry under exec.cache.*.
   CacheStats cache_stats() const;
 
+  /// Thread-safe point-in-time view of this engine's caches: the hit/miss
+  /// counters plus the current entry count of each cache. Also publishes the
+  /// numbers as process-wide gauges (exec.engine.cache.<cache>.{hits,misses,
+  /// entries}) so they reach the QAPPROX_METRICS export and the serve
+  /// `stats` reply; with several engines alive the gauges reflect the last
+  /// snapshotted one (per-engine exactness stays in the returned struct).
+  CacheSnapshot cache_stats_snapshot() const;
+
   /// Drops every cached entry and zeroes this engine's counters (the global
   /// exec.cache.* metrics are monotonic and unaffected).
   void clear_caches();

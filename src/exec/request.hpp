@@ -60,6 +60,13 @@ struct RunRequest {
   /// Per-request execution bound (time limit and/or cancel token). Unbounded
   /// requests fall back to the process default from QAPPROX_DEADLINE_MS.
   common::Deadline deadline;
+  /// Fault-injection stream id (QAPPROX_FAULTS); the sentinel means "use the
+  /// batch index". Batch drivers get per-slot variety for free, but a
+  /// multiplexer submitting single-element batches (the serve layer) must
+  /// set a per-job stream — otherwise every job shares stream 0 and a
+  /// probabilistic fault spec degenerates to all-or-nothing.
+  static constexpr std::uint64_t kFaultStreamFromBatchIndex = ~0ull;
+  std::uint64_t fault_stream = kFaultStreamFromBatchIndex;
 };
 
 /// How a request finished. TimedOut results still carry a best-effort
@@ -113,6 +120,11 @@ struct RunResult {
   bool ok() const { return status == RunStatus::Ok; }
 };
 
+/// Aggregate hit/miss counters across an engine's session caches plus the
+/// current entry counts (CacheStats alone says nothing about cache *size*,
+/// which the serve stats endpoint and capacity planning need).
+struct CacheSnapshot;
+
 /// Aggregate hit/miss counters across an engine's session caches.
 struct CacheStats {
   std::size_t transpile_hits = 0, transpile_misses = 0;
@@ -124,6 +136,14 @@ struct CacheStats {
     const std::size_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+};
+
+struct CacheSnapshot {
+  CacheStats stats;
+  std::size_t transpile_entries = 0;
+  std::size_t model_entries = 0;
+  std::size_t compiled_entries = 0;
+  std::size_t matrix_entries = 0;
 };
 
 }  // namespace qc::exec

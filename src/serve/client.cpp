@@ -1,0 +1,101 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qc::serve {
+
+namespace json = common::json;
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Client Client::connect(const std::string& socket_path,
+                       std::size_t max_frame_bytes) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  QC_CHECK_MSG(socket_path.size() < sizeof(addr.sun_path),
+               "socket path too long: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw common::Error(std::string("client: socket() failed: ") +
+                        std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw common::Error("client: connect(" + socket_path +
+                        ") failed: " + std::strerror(err));
+  }
+  Client client;
+  client.fd_ = fd;
+  client.decoder_ = FrameDecoder(max_frame_bytes);
+  return client;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const json::Value& request) {
+  QC_CHECK_MSG(connected(), "client not connected");
+  write_frame_fd(fd_, request.dump());
+}
+
+void Client::send_raw(const std::string& bytes) {
+  QC_CHECK_MSG(connected(), "client not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw common::Error(std::string("client: send failed: ") +
+                          std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<json::Value> Client::recv() {
+  QC_CHECK_MSG(connected(), "client not connected");
+  while (true) {
+    if (auto frame = decoder_.next()) {
+      if (frame->oversized)
+        throw common::Error("client: reply frame exceeds the frame limit");
+      return json::parse(frame->payload);
+    }
+    if (decoder_.poisoned()) return std::nullopt;
+    if (!read_into_decoder(fd_, decoder_)) return std::nullopt;
+  }
+}
+
+json::Value Client::call(const json::Value& request) {
+  send(request);
+  std::optional<json::Value> reply = recv();
+  QC_CHECK_MSG(reply.has_value(), "client: connection closed before reply");
+  return std::move(*reply);
+}
+
+}  // namespace qc::serve

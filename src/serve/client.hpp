@@ -1,0 +1,56 @@
+// Blocking client for the qapprox wire protocol.
+//
+// Small by design: connect to the server's AF_UNIX socket, send request
+// objects, receive reply objects. call() is the one-shot convenience
+// (send + wait for the reply matching this client's last id); the load
+// generator drives send()/recv() directly to keep many requests in flight
+// on one connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/wire.hpp"
+
+namespace qc::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to a server socket. Throws common::Error on failure.
+  static Client connect(const std::string& socket_path,
+                        std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request object (any JSON value; the server validates).
+  void send(const common::json::Value& request);
+
+  /// Sends a raw pre-framed payload (tests: garbage bytes, split frames).
+  void send_raw(const std::string& bytes);
+
+  /// Blocks for the next reply frame. Empty optional on EOF/poisoned stream.
+  std::optional<common::json::Value> recv();
+
+  /// send() + recv(): returns the next reply (in-order protocols only — do
+  /// not mix with pipelined send()s).
+  common::json::Value call(const common::json::Value& request);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_{kDefaultMaxFrameBytes};
+};
+
+}  // namespace qc::serve

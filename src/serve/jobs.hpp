@@ -1,0 +1,79 @@
+// Job builders: the reusable, request-describable core of the bench/example
+// drivers.
+//
+// The one-shot drivers (bench_fig05_*, examples/*) and the server both need
+// to answer "given a workload description, produce a circuit, run it, and
+// summarize" — the drivers from CLI flags, the server from wire params.
+// This module is that shared core: pure functions from a JSON params object
+// to a JSON result object, built on common::driver for engine/device access.
+// The server schedules these on its worker pool; a driver could call them
+// inline.
+//
+// simulate params:
+//   {"workload": "tfim" | "grover" | "mct" | "qasm",
+//    "qubits": 3, "steps": 5,            // tfim
+//    "marked": 7, "iterations": 0,       // grover (marked default: all ones)
+//    "qasm": "OPENQASM 2.0; ...",        // workload "qasm" only
+//    "device": "santiago", "mode": "simulator" | "hardware" | "ideal",
+//    "shots": 2048, "seed": 11, "top_k": 8}
+//
+// synthesize params:
+//   {"preset": "tfim" | "grover" | "toffoli",
+//    "qubits": 3, "steps": 3,            // workload shape (as above)
+//    "fast": true,                       // trimmed search budget
+//    "hs_threshold": 0.5, "max_circuits": 16,
+//    "device": "santiago",                 // coupling map for synthesis
+//    "include_qasm": false}              // inline best circuit as QASM
+//
+// Each runner returns a JobOutcome the server maps onto the reply status:
+// Ok -> "ok", Degraded -> "degraded" (result still usable; `why` explains),
+// and failures are reported by throwing the library taxonomy
+// (ContractError for bad params, etc.), which the server maps to structured
+// error replies.
+#pragma once
+
+#include <string>
+
+#include "common/deadline.hpp"
+#include "common/json.hpp"
+#include "ir/circuit.hpp"
+
+namespace qc::serve {
+
+/// A named workload instance: the circuit plus how to condense its output.
+struct Workload {
+  std::string name;                // "tfim" | "grover" | "mct" | "qasm"
+  ir::QuantumCircuit circuit;
+  /// Metric to attach to simulate results: "" (none), "magnetization",
+  /// "success_probability", "js_to_ideal".
+  std::string metric;
+  std::uint64_t marked = 0;        // grover: the searched-for outcome
+};
+
+/// Builds a workload from simulate/synthesize params. Throws ContractError
+/// on unknown workloads or invalid shapes (the server turns that into a
+/// "contract" error reply).
+Workload build_workload(const common::json::Value& params);
+
+/// How a job finished: Ok maps to an "ok" reply, Degraded to "degraded"
+/// with `why` carried in the reply envelope.
+struct JobOutcome {
+  common::json::Value result;
+  bool degraded = false;
+  std::string why;
+};
+
+/// Executes a simulate job under `deadline`. The run itself never throws on
+/// timeout — TimedOut results come back Degraded with a partial
+/// distribution, Failed results throw SimulationError.
+JobOutcome run_simulate_job(const common::json::Value& params,
+                            const common::Deadline& deadline);
+
+/// Executes a synthesize job (harvest + selection via
+/// approx::generate_from_reference) under `deadline`. Tool failures and
+/// fallbacks degrade the result instead of failing it (the GenerationReport
+/// is embedded in the result).
+JobOutcome run_synthesize_job(const common::json::Value& params,
+                              const common::Deadline& deadline);
+
+}  // namespace qc::serve

@@ -1,0 +1,127 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+
+namespace qc::serve {
+
+JobScheduler::JobScheduler(const SchedulerOptions& options) : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_cap == 0) options_.queue_cap = 1;
+  if (options_.per_tenant_cap == 0) options_.per_tenant_cap = 1;
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+JobScheduler::~JobScheduler() { stop(); }
+
+bool JobScheduler::submit(const std::string& tenant, Job job,
+                          std::string* reject_reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (reject_reason) *reject_reason = "server is shutting down";
+      ++lifetime_.rejected;
+      return false;
+    }
+    if (queued_ >= options_.queue_cap) {
+      if (reject_reason)
+        *reject_reason = "queue full (" + std::to_string(options_.queue_cap) +
+                         " jobs); retry later";
+      ++lifetime_.rejected;
+      obs::counter("serve.scheduler.rejected").add(1);
+      return false;
+    }
+    std::deque<Job>& q = queues_[tenant];
+    if (q.size() >= options_.per_tenant_cap) {
+      if (reject_reason)
+        *reject_reason = "tenant queue full (" +
+                         std::to_string(options_.per_tenant_cap) +
+                         " jobs); retry later";
+      ++lifetime_.rejected;
+      obs::counter("serve.scheduler.rejected").add(1);
+      return false;
+    }
+    if (q.empty()) rr_tenants_.push_back(tenant);  // tenant becomes active
+    q.push_back(std::move(job));
+    ++queued_;
+    ++lifetime_.submitted;
+    lifetime_.peak_queued = std::max(lifetime_.peak_queued, queued_);
+    obs::gauge("serve.queue.depth").set(static_cast<double>(queued_));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool JobScheduler::pop_next(Job* out) {
+  // Caller holds mu_. Round-robin across active tenants: take the head of
+  // the cursor's queue, then advance; a tenant whose queue empties leaves
+  // the rotation until its next submit.
+  if (rr_tenants_.empty()) return false;
+  if (rr_cursor_ >= rr_tenants_.size()) rr_cursor_ = 0;
+  const std::string tenant = rr_tenants_[rr_cursor_];
+  auto it = queues_.find(tenant);
+  *out = std::move(it->second.front());
+  it->second.pop_front();
+  --queued_;
+  if (it->second.empty()) {
+    queues_.erase(it);
+    rr_tenants_.erase(rr_tenants_.begin() +
+                      static_cast<std::ptrdiff_t>(rr_cursor_));
+    // cursor now points at the next tenant already; wrap handled on entry
+  } else {
+    ++rr_cursor_;
+  }
+  obs::gauge("serve.queue.depth").set(static_cast<double>(queued_));
+  return true;
+}
+
+void JobScheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+    Job job;
+    if (!pop_next(&job)) {
+      if (stopping_) return;  // drained and stopping: exit
+      continue;
+    }
+    ++running_;
+    lock.unlock();
+    job(cancel_);  // bodies are noexcept by contract (server wraps them)
+    lock.lock();
+    --running_;
+    ++lifetime_.completed;
+    if (queued_ == 0 && running_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void JobScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cancel_.request_cancel();
+  cv_.notify_all();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+void JobScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+SchedulerStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s = lifetime_;
+  s.queued = queued_;
+  s.running = running_;
+  s.tenants = queues_.size();
+  return s;
+}
+
+}  // namespace qc::serve

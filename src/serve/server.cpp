@@ -1,0 +1,406 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/driver.hpp"
+#include "common/error.hpp"
+#include "common/faults.hpp"
+#include "obs/obs.hpp"
+#include "serve/jobs.hpp"
+#include "synth/cache.hpp"
+#include "synth/persist.hpp"
+
+namespace qc::serve {
+
+namespace json = common::json;
+namespace driver = common::driver;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0' || v == 0) {
+    QC_LOG_WARN("serve", "ignoring malformed %s='%s'", name, raw);
+    return fallback;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions opts;
+  if (const char* sock = std::getenv("QAPPROX_SERVE_SOCKET"))
+    if (*sock != '\0') opts.socket_path = sock;
+  opts.scheduler.workers = env_size("QAPPROX_SERVE_WORKERS", opts.scheduler.workers);
+  opts.scheduler.queue_cap =
+      env_size("QAPPROX_SERVE_QUEUE_CAP", opts.scheduler.queue_cap);
+  opts.scheduler.per_tenant_cap =
+      std::min(opts.scheduler.per_tenant_cap, opts.scheduler.queue_cap);
+  opts.synth_cache_dir = synth::synth_cache_dir_env();
+  return opts;
+}
+
+/// Per-connection shared state. Reader thread and every queued job hold a
+/// shared_ptr; the last owner's destructor closes the fd, so replies for a
+/// disconnected client degrade to counted write failures, never a write to
+/// a reused descriptor.
+struct QapproxServer::ConnState {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> write_ok{true};
+  ~ConnState() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+QapproxServer::QapproxServer(ServerOptions options)
+    : options_(std::move(options)), scheduler_(options_.scheduler) {}
+
+QapproxServer::~QapproxServer() { stop(); }
+
+void QapproxServer::start() {
+  QC_CHECK_MSG(!running_.load(), "server already started");
+  driver::init_runtime();
+  started_at_ = std::chrono::steady_clock::now();
+
+  if (!options_.synth_cache_dir.empty()) {
+    warm_loaded_ = synth::synth_cache_load(options_.synth_cache_dir);
+    if (warm_loaded_ > 0)
+      QC_LOG_INFO("serve", "warm-started %llu synthesis-cache entries from %s",
+                  static_cast<unsigned long long>(warm_loaded_),
+                  options_.synth_cache_dir.c_str());
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  QC_CHECK_MSG(options_.socket_path.size() < sizeof(addr.sun_path),
+               "socket path too long: " + options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw common::Error(std::string("serve: socket() failed: ") +
+                        std::strerror(errno));
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::Error("serve: bind(" + options_.socket_path +
+                        ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw common::Error(std::string("serve: listen() failed: ") +
+                        std::strerror(err));
+  }
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  QC_LOG_INFO("serve", "listening on %s (%zu workers, queue cap %zu)",
+              options_.socket_path.c_str(), options_.scheduler.workers,
+              options_.scheduler.queue_cap);
+}
+
+void QapproxServer::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop()) or fatal: accept loop ends
+    }
+    counters_.connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<ConnState>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) return;  // raced with stop(): conn closes via dtor
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn = std::move(conn)]() mutable {
+      handle_connection(std::move(conn));
+    });
+  }
+}
+
+void QapproxServer::handle_connection(std::shared_ptr<ConnState> conn) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  while (!decoder.poisoned()) {
+    while (auto frame = decoder.next()) {
+      if (frame->oversized) {
+        counters_.oversized_frames.fetch_add(1, std::memory_order_relaxed);
+        send_reply(conn, make_error_reply(
+                             json::Value(), "bad_request",
+                             "frame of " + std::to_string(frame->declared_size) +
+                                 " bytes exceeds the " +
+                                 std::to_string(options_.max_frame_bytes) +
+                                 "-byte limit"));
+        continue;
+      }
+      handle_frame(conn, frame->payload);
+    }
+    if (decoder.poisoned()) break;
+    if (!read_into_decoder(conn->fd, decoder)) break;  // EOF / error / stop()
+  }
+}
+
+void QapproxServer::handle_frame(const std::shared_ptr<ConnState>& conn,
+                                 const std::string& payload) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  std::string error;
+  json::Value salvage_id;
+  std::optional<RequestEnvelope> env = parse_request(payload, &error, &salvage_id);
+  if (!env) {
+    counters_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    send_reply(conn, make_error_reply(salvage_id, "bad_request", error));
+    return;
+  }
+  switch (env->type) {
+    case RequestType::Ping: {
+      counters_.ping.fetch_add(1, std::memory_order_relaxed);
+      json::Value result = json::Value::object();
+      result.set("pong", true);
+      result.set("build", obs::build_info_summary());
+      send_reply(conn, make_ok_reply(env->id, std::move(result)));
+      return;
+    }
+    case RequestType::Stats: {
+      counters_.stats.fetch_add(1, std::memory_order_relaxed);
+      send_reply(conn, make_ok_reply(env->id, build_stats()));
+      return;
+    }
+    case RequestType::Shutdown: {
+      counters_.shutdown.fetch_add(1, std::memory_order_relaxed);
+      json::Value result = json::Value::object();
+      result.set("stopping", true);
+      send_reply(conn, make_ok_reply(env->id, std::move(result)));
+      request_shutdown();
+      return;
+    }
+    case RequestType::Simulate:
+    case RequestType::Synthesize:
+      dispatch_job(conn, std::move(*env));
+      return;
+  }
+}
+
+void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
+                                 RequestEnvelope env) {
+  (env.type == RequestType::Simulate ? counters_.simulate : counters_.synthesize)
+      .fetch_add(1, std::memory_order_relaxed);
+  const std::string tenant = env.tenant;
+  const json::Value request_id = env.id;  // survives the move for rejections
+  // The job owns the envelope and a reference to the connection; the reply
+  // goes out from the worker thread, streaming results in completion order.
+  auto body = [this, conn, env = std::move(env)](
+                  const common::CancelToken& cancel) {
+    common::Deadline deadline = env.deadline_ms > 0
+                                    ? common::Deadline::after_ms(env.deadline_ms)
+                                    : common::Deadline::from_env();
+    deadline = deadline.with_token(cancel);
+    json::Value reply;
+    try {
+      const JobOutcome outcome =
+          env.type == RequestType::Simulate
+              ? run_simulate_job(env.params, deadline)
+              : run_synthesize_job(env.params, deadline);
+      reply = outcome.degraded
+                  ? make_degraded_reply(env.id, outcome.result, outcome.why)
+                  : make_ok_reply(env.id, outcome.result);
+    } catch (const common::TimeoutError& e) {
+      reply = make_error_reply(env.id, "timeout", e.what());
+    } catch (const common::ContractError& e) {
+      reply = make_error_reply(env.id, "contract", e.what());
+    } catch (const common::SynthesisError& e) {
+      reply = make_error_reply(env.id, "synthesis", e.what());
+    } catch (const common::SimulationError& e) {
+      reply = make_error_reply(env.id, "simulation", e.what());
+    } catch (const std::exception& e) {
+      reply = make_error_reply(env.id, "internal", e.what());
+    }
+    if (reply.find("error") != nullptr)
+      counters_.job_errors.fetch_add(1, std::memory_order_relaxed);
+    send_reply(conn, reply);
+  };
+  std::string reject_reason;
+  if (!scheduler_.submit(tenant, std::move(body), &reject_reason)) {
+    counters_.overloaded.fetch_add(1, std::memory_order_relaxed);
+    send_reply(conn, make_error_reply(request_id, "overloaded", reject_reason));
+  }
+}
+
+void QapproxServer::send_reply(const std::shared_ptr<ConnState>& conn,
+                               const json::Value& reply) {
+  if (!conn->write_ok.load(std::memory_order_relaxed)) return;
+  const std::string payload = reply.dump();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  try {
+    write_frame_fd(conn->fd, payload);
+    counters_.replies.fetch_add(1, std::memory_order_relaxed);
+  } catch (const common::Error&) {
+    // Client went away; remaining replies for this connection are dropped
+    // (and counted) rather than retried against a dead socket.
+    conn->write_ok.store(false, std::memory_order_relaxed);
+    counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QapproxServer::wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void QapproxServer::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void QapproxServer::stop() {
+  if (!running_.exchange(false)) {
+    request_shutdown();
+    return;
+  }
+  stopping_.store(true);
+  request_shutdown();
+
+  // 1. Stop accepting: closing the listener unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain the scheduler: every accepted job runs under a cancelled token
+  // and sends its reply while the connections are still alive.
+  scheduler_.stop();
+
+  // 3. Unblock readers (shutdown, not close — ConnState owns the fd) and
+  // join them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& weak : conns_)
+      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (std::thread& t : readers_)
+    if (t.joinable()) t.join();
+  readers_.clear();
+  conns_.clear();
+
+  // 4. Snapshot the synthesis cache for the next warm start.
+  if (!options_.synth_cache_dir.empty()) {
+    try {
+      const std::size_t n = synth::synth_cache_save(options_.synth_cache_dir);
+      QC_LOG_INFO("serve", "saved %zu synthesis-cache entries to %s", n,
+                  options_.synth_cache_dir.c_str());
+    } catch (const common::Error& e) {
+      QC_LOG_WARN("serve", "synthesis-cache snapshot failed: %s", e.what());
+    }
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+json::Value QapproxServer::build_stats() const {
+  json::Value stats = json::Value::object();
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count();
+  stats.set("uptime_ms", uptime_ms);
+  stats.set("build", obs::build_info_summary());
+  stats.set("socket", options_.socket_path);
+
+  json::Value requests = json::Value::object();
+  requests.set("connections", counters_.connections.load());
+  requests.set("total", counters_.requests.load());
+  requests.set("ping", counters_.ping.load());
+  requests.set("simulate", counters_.simulate.load());
+  requests.set("synthesize", counters_.synthesize.load());
+  requests.set("stats", counters_.stats.load());
+  requests.set("shutdown", counters_.shutdown.load());
+  requests.set("bad_requests", counters_.bad_requests.load());
+  requests.set("oversized_frames", counters_.oversized_frames.load());
+  requests.set("overloaded", counters_.overloaded.load());
+  requests.set("replies", counters_.replies.load());
+  requests.set("write_failures", counters_.write_failures.load());
+  requests.set("job_errors", counters_.job_errors.load());
+  stats.set("requests", std::move(requests));
+
+  const SchedulerStats sched = scheduler_.stats();
+  json::Value scheduler = json::Value::object();
+  scheduler.set("workers", options_.scheduler.workers);
+  scheduler.set("queue_cap", options_.scheduler.queue_cap);
+  scheduler.set("per_tenant_cap", options_.scheduler.per_tenant_cap);
+  scheduler.set("queued", sched.queued);
+  scheduler.set("running", sched.running);
+  scheduler.set("tenants", sched.tenants);
+  scheduler.set("submitted", sched.submitted);
+  scheduler.set("rejected", sched.rejected);
+  scheduler.set("completed", sched.completed);
+  scheduler.set("peak_queued", sched.peak_queued);
+  stats.set("scheduler", std::move(scheduler));
+
+  const exec::CacheSnapshot engine = driver::engine().cache_stats_snapshot();
+  json::Value engine_cache = json::Value::object();
+  auto cache_entry = [](std::size_t hits, std::size_t misses,
+                        std::size_t entries) {
+    json::Value v = json::Value::object();
+    v.set("hits", hits);
+    v.set("misses", misses);
+    v.set("entries", entries);
+    return v;
+  };
+  engine_cache.set("transpile",
+                   cache_entry(engine.stats.transpile_hits,
+                               engine.stats.transpile_misses,
+                               engine.transpile_entries));
+  engine_cache.set("model", cache_entry(engine.stats.model_hits,
+                                        engine.stats.model_misses,
+                                        engine.model_entries));
+  engine_cache.set("compiled", cache_entry(engine.stats.compiled_hits,
+                                           engine.stats.compiled_misses,
+                                           engine.compiled_entries));
+  engine_cache.set("matrix", cache_entry(engine.stats.matrix_hits,
+                                         engine.stats.matrix_misses,
+                                         engine.matrix_entries));
+  stats.set("engine_cache", std::move(engine_cache));
+
+  const synth::SynthCacheStats synth_stats = synth::synth_cache_stats();
+  json::Value synth_cache = json::Value::object();
+  synth_cache.set("hits", synth_stats.hits);
+  synth_cache.set("misses", synth_stats.misses);
+  synth_cache.set("entries", synth_stats.entries);
+  synth_cache.set("dir", options_.synth_cache_dir);
+  synth_cache.set("warm_loaded", warm_loaded_);
+  stats.set("synth_cache", std::move(synth_cache));
+
+  stats.set("faults", common::faults::enabled() ? common::faults::active_spec()
+                                                : std::string());
+
+  // The whole PR3 metrics registry rides along, parsed back into the tree
+  // (obs emits valid JSON; if that ever regresses, ship it as a string).
+  json::Value metrics;
+  std::string parse_error;
+  if (json::try_parse(obs::metrics_json(), &metrics, &parse_error)) {
+    stats.set("metrics", std::move(metrics));
+  } else {
+    stats.set("metrics", obs::metrics_json());
+  }
+  return stats;
+}
+
+}  // namespace qc::serve

@@ -1,0 +1,138 @@
+// The qapprox server: approximation-as-a-service over a local socket.
+//
+// A long-lived daemon that accepts simulate/synthesize jobs over the
+// length-prefixed JSON wire protocol (wire.hpp + protocol.hpp) on an AF_UNIX
+// stream socket and multiplexes them onto one shared worker pool
+// (scheduler.hpp), so every client amortizes one warm ExecutionEngine and
+// one warm synthesis cache instead of cold-starting a process per figure.
+//
+// Structure: an accept thread spawns one reader thread per connection;
+// readers decode frames and either answer inline (ping/stats/shutdown —
+// cheap, never queued behind synthesis) or submit a job. Replies stream
+// back in completion order under a per-connection write lock; a connection
+// object stays alive (via shared_ptr) until its last queued job has
+// replied, so a client that disconnects early never turns into a
+// use-after-close.
+//
+// Lifecycle: start() warm-starts the synthesis cache from
+// QAPPROX_SYNTH_CACHE_DIR (when set), binds, and returns; wait() blocks
+// until a shutdown request (wire or signal handler calling
+// request_shutdown()); stop() closes the listener, drains the scheduler
+// (every accepted job runs, under a cancelled token — exactly one reply
+// per request, never a leak), unblocks and joins the readers, and
+// snapshots the synthesis cache back to disk.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/wire.hpp"
+
+namespace qc::serve {
+
+struct ServerOptions {
+  /// AF_UNIX socket path (kept short: sun_path is ~108 bytes).
+  std::string socket_path = "/tmp/qapprox.sock";
+  SchedulerOptions scheduler;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Synthesis-cache snapshot directory ("" = no persistence). Defaults to
+  /// QAPPROX_SYNTH_CACHE_DIR via from_env().
+  std::string synth_cache_dir;
+
+  /// Reads QAPPROX_SERVE_SOCKET / _WORKERS / _QUEUE_CAP /
+  /// QAPPROX_SYNTH_CACHE_DIR (malformed numbers warn and keep defaults).
+  static ServerOptions from_env();
+};
+
+class QapproxServer {
+ public:
+  explicit QapproxServer(ServerOptions options = ServerOptions::from_env());
+  ~QapproxServer();
+
+  QapproxServer(const QapproxServer&) = delete;
+  QapproxServer& operator=(const QapproxServer&) = delete;
+
+  /// Warm-starts the synthesis cache, binds, listens, starts accepting.
+  /// Throws common::Error when the socket cannot be bound.
+  void start();
+
+  /// Blocks until request_shutdown() (wire "shutdown" request, signal
+  /// handler, or another thread).
+  void wait();
+
+  /// Wakes wait(). Does not tear anything down by itself. Async-signal
+  /// unsafe parts avoided: just a flag + condition variable.
+  void request_shutdown();
+
+  /// Full teardown; see file header for ordering. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  const ServerOptions& options() const { return options_; }
+
+  /// The stats-request payload (exposed for tests and the daemon's exit
+  /// summary): request counters, scheduler depths, engine cache snapshot,
+  /// synthesis cache totals, metrics registry, build info, fault spec.
+  common::json::Value build_stats() const;
+
+ private:
+  struct ConnState;
+
+  void accept_loop();
+  void handle_connection(std::shared_ptr<ConnState> conn);
+  void handle_frame(const std::shared_ptr<ConnState>& conn,
+                    const std::string& payload);
+  void dispatch_job(const std::shared_ptr<ConnState>& conn,
+                    RequestEnvelope env);
+  void send_reply(const std::shared_ptr<ConnState>& conn,
+                  const common::json::Value& reply);
+
+  ServerOptions options_;
+  JobScheduler scheduler_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::thread> readers_;
+  std::list<std::weak_ptr<ConnState>> conns_;
+
+  std::chrono::steady_clock::time_point started_at_;
+
+  // Lifetime request counters (stats payload).
+  struct Counters {
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> ping{0};
+    std::atomic<std::uint64_t> simulate{0};
+    std::atomic<std::uint64_t> synthesize{0};
+    std::atomic<std::uint64_t> stats{0};
+    std::atomic<std::uint64_t> shutdown{0};
+    std::atomic<std::uint64_t> bad_requests{0};
+    std::atomic<std::uint64_t> oversized_frames{0};
+    std::atomic<std::uint64_t> overloaded{0};
+    std::atomic<std::uint64_t> replies{0};
+    std::atomic<std::uint64_t> write_failures{0};
+    std::atomic<std::uint64_t> job_errors{0};
+  };
+  mutable Counters counters_;
+  std::uint64_t warm_loaded_ = 0;  // cache entries loaded at start()
+};
+
+}  // namespace qc::serve

@@ -1,0 +1,100 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace qc::serve {
+
+void FrameDecoder::feed(const char* data, std::size_t len) {
+  if (poisoned_ || len == 0) return;
+  buffer_.append(data, len);
+  pump();
+}
+
+void FrameDecoder::pump() {
+  while (!poisoned_) {
+    if (skip_remaining_ > 0) {
+      const std::size_t drop = std::min(skip_remaining_, buffer_.size());
+      buffer_.erase(0, drop);
+      skip_remaining_ -= drop;
+      if (skip_remaining_ > 0) return;  // need more bytes to finish skipping
+      Frame f;
+      f.oversized = true;
+      f.declared_size = skip_declared_;
+      completed_.push_back(std::move(f));
+      continue;
+    }
+    if (buffer_.size() < 4) return;
+    std::uint32_t len = 0;
+    std::memcpy(&len, buffer_.data(), 4);  // little-endian hosts only (x86/arm)
+    const std::size_t payload_len = len;
+    if (payload_len > kSaneFrameCap) {
+      poisoned_ = true;
+      return;
+    }
+    if (payload_len > max_frame_bytes_) {
+      buffer_.erase(0, 4);
+      skip_declared_ = payload_len;
+      skip_remaining_ = payload_len;
+      continue;
+    }
+    if (buffer_.size() < 4 + payload_len) return;
+    Frame f;
+    f.payload = buffer_.substr(4, payload_len);
+    buffer_.erase(0, 4 + payload_len);
+    completed_.push_back(std::move(f));
+  }
+}
+
+std::optional<FrameDecoder::Frame> FrameDecoder::next() {
+  if (completed_.empty()) return std::nullopt;
+  Frame f = std::move(completed_.front());
+  completed_.pop_front();
+  return f;
+}
+
+std::string encode_frame(const std::string& payload) {
+  QC_CHECK_MSG(payload.size() <= kSaneFrameCap, "frame payload too large");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.append(reinterpret_cast<const char*>(&len), 4);
+  out.append(payload);
+  return out;
+}
+
+void write_frame_fd(int fd, const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw common::Error(std::string("wire: send failed: ") +
+                          std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_into_decoder(int fd, FrameDecoder& decoder) {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+}  // namespace qc::serve

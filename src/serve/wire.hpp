@@ -1,0 +1,80 @@
+// Length-prefixed JSON framing for the qapprox wire protocol.
+//
+// A frame is a 4-byte little-endian payload length followed by that many
+// bytes of UTF-8 JSON. The decoder is a push-style state machine: feed() it
+// whatever the socket produced — a single byte, half a length prefix, three
+// frames at once — and poll next() for completed payloads. That makes the
+// edge cases (partial reads, split prefixes, pipelined frames) unit-testable
+// without a socket.
+//
+// Oversized frames are handled without poisoning the stream: the decoder
+// knows the declared length, so it swallows exactly that many bytes, emits
+// an `Oversized` event (the server replies with a structured error), and
+// resynchronizes on the next frame. A declared length beyond kSaneFrameCap
+// (a length field that cannot be a real frame — usually a desynced or
+// non-protocol peer) is unrecoverable and poisons the decoder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace qc::serve {
+
+/// Default per-frame payload cap (server option; clients use it too).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;  // 8 MiB
+
+/// Absolute ceiling on a *declared* length before the stream is considered
+/// desynchronized (not just impolite). 256 MiB.
+inline constexpr std::size_t kSaneFrameCap = 256u << 20;
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  struct Frame {
+    std::string payload;   // empty when oversized
+    bool oversized = false;
+    std::size_t declared_size = 0;  // for oversized frames
+  };
+
+  /// Consumes `len` bytes from the peer. Cheap to call with tiny chunks.
+  void feed(const char* data, std::size_t len);
+
+  /// Next completed frame, if any.
+  std::optional<Frame> next();
+
+  /// True when the stream is unrecoverably desynchronized (declared length
+  /// above kSaneFrameCap). The connection should be closed.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes currently buffered (tests / backpressure accounting).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  void pump();
+
+  std::size_t max_frame_bytes_;
+  std::string buffer_;           // raw unconsumed bytes
+  std::deque<Frame> completed_;
+  bool poisoned_ = false;
+  // Oversized-frame skip state: bytes of the declared payload still to drop.
+  std::size_t skip_remaining_ = 0;
+  std::size_t skip_declared_ = 0;
+};
+
+/// Encodes one frame (4-byte LE length + payload).
+std::string encode_frame(const std::string& payload);
+
+/// Blocking frame write to a connected socket/pipe fd; loops over partial
+/// writes and EINTR, suppresses SIGPIPE. Throws common::Error on failure.
+void write_frame_fd(int fd, const std::string& payload);
+
+/// Reads whatever is available on `fd` into the decoder (one read() call).
+/// Returns false on EOF or a fatal read error; EINTR retries internally.
+bool read_into_decoder(int fd, FrameDecoder& decoder);
+
+}  // namespace qc::serve

@@ -48,6 +48,17 @@ class FifoMap {
     order_.clear();
   }
 
+  /// Entries in insertion (FIFO) order; used by the disk snapshot.
+  std::vector<std::pair<Key, Value>> dump() const {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(map_.size());
+    for (const Key& key : order_) {
+      const auto it = map_.find(key);
+      if (it != map_.end()) out.emplace_back(it->first, it->second);
+    }
+    return out;
+  }
+
  private:
   std::map<Key, Value> map_;
   std::deque<Key> order_;
@@ -133,6 +144,24 @@ void synth_cache_store(const QFactorCacheKey& key, QFactorResult entry) {
   CacheState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   s.qfactor.store(key, std::move(entry));
+}
+
+std::vector<std::pair<QSearchCacheKey, CachedQSearch>> synth_cache_dump_qsearch() {
+  CacheState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.qsearch.dump();
+}
+
+std::vector<std::pair<QFastCacheKey, CachedQFast>> synth_cache_dump_qfast() {
+  CacheState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.qfast.dump();
+}
+
+std::vector<std::pair<QFactorCacheKey, QFactorResult>> synth_cache_dump_qfactor() {
+  CacheState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.qfactor.dump();
 }
 
 }  // namespace qc::synth

@@ -117,4 +117,11 @@ void synth_cache_store(const QSearchCacheKey& key, CachedQSearch entry);
 void synth_cache_store(const QFastCacheKey& key, CachedQFast entry);
 void synth_cache_store(const QFactorCacheKey& key, QFactorResult entry);
 
+// Full-cache enumeration in FIFO (insertion) order, for the disk snapshots
+// in synth/persist.hpp: re-storing a dump in order reproduces the same
+// eviction state. Each call copies the entries out under the cache lock.
+std::vector<std::pair<QSearchCacheKey, CachedQSearch>> synth_cache_dump_qsearch();
+std::vector<std::pair<QFastCacheKey, CachedQFast>> synth_cache_dump_qfast();
+std::vector<std::pair<QFactorCacheKey, QFactorResult>> synth_cache_dump_qfactor();
+
 }  // namespace qc::synth

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -203,6 +205,83 @@ TEST(Error, CheckMacroThrowsWithLocation) {
     EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
   }
+}
+
+// ---- JSON document model ----------------------------------------------------
+
+TEST(Json, ParseRoundTripsScalarsAndContainers) {
+  const std::string text =
+      R"({"a":1,"b":true,"c":null,"d":"x\ny","e":[1,2.5,-3],"f":{"g":"h"}})";
+  const json::Value v = json::parse(text);
+  EXPECT_EQ(v.get_int("a", 0), 1);
+  EXPECT_TRUE(v.get_bool("b", false));
+  EXPECT_TRUE(v.find("c")->is_null());
+  EXPECT_EQ(v.find("d")->as_string(), "x\ny");
+  EXPECT_EQ(v.find("e")->as_array().size(), 3u);
+  EXPECT_EQ(v.find("f")->get_string("g", ""), "h");
+  // Canonical dump re-parses to an equal document.
+  EXPECT_EQ(json::parse(v.dump()), v);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  for (const double x : {0.1, 1e-300, 3.141592653589793, -2.718281828459045,
+                         12345678901234.5}) {
+    json::Value v = json::Value::object();
+    v.set("x", x);
+    EXPECT_EQ(json::parse(v.dump()).get_number("x", 0.0), x);
+  }
+}
+
+TEST(Json, ParseErrorsCarryByteOffsets) {
+  EXPECT_THROW(json::parse("{\"a\":}"), Error);
+  EXPECT_THROW(json::parse("[1,2"), Error);
+  EXPECT_THROW(json::parse("{} trailing"), Error);
+  std::string error;
+  json::Value out;
+  EXPECT_FALSE(json::try_parse("nope", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, DepthCapStopsHostilePayloads) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_THROW(json::parse(deep, 64), Error);
+  EXPECT_NO_THROW(json::parse(deep, 256));
+}
+
+TEST(Json, DoubleBitsHexRoundTrip) {
+  for (const double x : {0.0, -0.0, 1.5, -1e308, 5e-324}) {
+    const std::string hex = json::double_to_bits_hex(x);
+    const double back = json::double_from_bits_hex(hex);
+    EXPECT_EQ(std::memcmp(&x, &back, sizeof(double)), 0) << hex;
+  }
+}
+
+// ---- run_main soft-timeout exit policy -------------------------------------
+
+int body_timeout_after_results(int, char**) {
+  note_partial_results("fig99 table");
+  throw TimeoutError("study: deadline expired");
+}
+
+int body_timeout_cold(int, char**) {
+  throw TimeoutError("study: deadline expired");
+}
+
+TEST(RunMain, TimeoutAfterPartialResultsExitsZero) {
+  reset_partial_results_note();
+  char arg0[] = "test";
+  char* argv[] = {arg0, nullptr};
+  EXPECT_EQ(run_main(1, argv, body_timeout_after_results), 0);
+  reset_partial_results_note();
+}
+
+TEST(RunMain, TimeoutWithNoResultsExitsNonzero) {
+  reset_partial_results_note();
+  char arg0[] = "test";
+  char* argv[] = {arg0, nullptr};
+  EXPECT_EQ(run_main(1, argv, body_timeout_cold), 1);
 }
 
 }  // namespace

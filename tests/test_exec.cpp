@@ -172,6 +172,21 @@ TEST(ExecutionEngineTest, IdealRunSkipsNoiseAndIsNormalized) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+TEST(ExecutionEngineTest, CacheSnapshotReportsEntriesAndStats) {
+  exec::ExecutionEngine engine;
+  engine.run({small_circuit(), simulator_config()});
+  engine.run({small_circuit(), simulator_config()});  // second run hits
+  const exec::CacheSnapshot snap = engine.cache_stats_snapshot();
+  EXPECT_EQ(snap.stats.transpile_hits, 1u);
+  EXPECT_EQ(snap.stats.transpile_misses, 1u);
+  EXPECT_GE(snap.transpile_entries, 1u);
+  EXPECT_GE(snap.model_entries, 1u);
+  engine.clear_caches();
+  const exec::CacheSnapshot cleared = engine.cache_stats_snapshot();
+  EXPECT_EQ(cleared.transpile_entries, 0u);
+  EXPECT_EQ(cleared.compiled_entries, 0u);
+}
+
 TEST(ExecutionEngineTest, ClearCachesResetsCounters) {
   exec::ExecutionEngine engine;
   engine.run({small_circuit(), simulator_config()});

@@ -1,0 +1,740 @@
+// qapprox server tests: wire framing edge cases, request parsing, fair
+// scheduling and admission control, synthesis-cache persistence, and
+// socket-level integration (garbage input, oversized frames, overload
+// backpressure, clean shutdown with in-flight jobs, warm restarts).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+#include "serve/jobs.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "synth/cache.hpp"
+#include "synth/persist.hpp"
+
+namespace qc::serve {
+namespace {
+
+namespace json = common::json;
+using json::Value;
+
+// gtest_discover_tests runs each case as its own process, so pid-unique
+// socket paths keep parallel ctest invocations from colliding (sun_path is
+// ~108 bytes; stay in /tmp, not the build tree).
+std::string test_socket(const char* tag) {
+  return "/tmp/qx_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+std::string make_temp_dir() {
+  std::string tmpl = "/tmp/qapprox_test_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+// ---- wire framing -----------------------------------------------------------
+
+TEST(FrameDecoder, EncodeDecodeRoundTrip) {
+  FrameDecoder dec;
+  const std::string frame = encode_frame("{\"a\":1}");
+  EXPECT_EQ(frame.size(), 4u + 7u);
+  dec.feed(frame.data(), frame.size());
+  auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->oversized);
+  EXPECT_EQ(got->payload, "{\"a\":1}");
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoder, ByteByByteFeedIncludingSplitPrefix) {
+  FrameDecoder dec;
+  const std::string frame = encode_frame("hello wire");
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    dec.feed(frame.data() + i, 1);
+    EXPECT_FALSE(dec.next().has_value()) << "frame completed early at byte " << i;
+  }
+  dec.feed(frame.data() + frame.size() - 1, 1);
+  auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, "hello wire");
+}
+
+TEST(FrameDecoder, MultipleFramesInOneFeed) {
+  FrameDecoder dec;
+  const std::string bytes =
+      encode_frame("one") + encode_frame("") + encode_frame("three");
+  dec.feed(bytes.data(), bytes.size());
+  ASSERT_TRUE(dec.next().has_value());
+  auto second = dec.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, "");
+  auto third = dec.next();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->payload, "three");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameDecoder, OversizedFrameIsSkippedExactlyAndStreamResyncs) {
+  FrameDecoder dec(/*max_frame_bytes=*/8);
+  const std::string big(100, 'x');
+  const std::string bytes = encode_frame(big) + encode_frame("ok");
+  // Feed in awkward chunks so the skip path crosses feed() boundaries.
+  for (std::size_t off = 0; off < bytes.size(); off += 7)
+    dec.feed(bytes.data() + off, std::min<std::size_t>(7, bytes.size() - off));
+  auto first = dec.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->oversized);
+  EXPECT_EQ(first->declared_size, 100u);
+  EXPECT_TRUE(first->payload.empty());
+  auto second = dec.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->oversized);
+  EXPECT_EQ(second->payload, "ok");
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(FrameDecoder, InsaneDeclaredLengthPoisonsTheStream) {
+  FrameDecoder dec;
+  const char bogus[4] = {'\xff', '\xff', '\xff', '\xff'};  // ~4 GiB "frame"
+  dec.feed(bogus, 4);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+}
+
+// ---- request parsing --------------------------------------------------------
+
+TEST(Protocol, ParsesFullRequestEnvelope) {
+  std::string error;
+  Value id;
+  auto env = parse_request(
+      R"({"id":"r-1","type":"simulate","tenant":"team-a","deadline_ms":250,)"
+      R"("params":{"workload":"tfim"}})",
+      &error, &id);
+  ASSERT_TRUE(env.has_value()) << error;
+  EXPECT_EQ(env->id.as_string(), "r-1");
+  EXPECT_EQ(env->type, RequestType::Simulate);
+  EXPECT_EQ(env->tenant, "team-a");
+  EXPECT_DOUBLE_EQ(env->deadline_ms, 250.0);
+  EXPECT_EQ(env->params.get_string("workload", ""), "tfim");
+}
+
+TEST(Protocol, DefaultsTenantAndDeadline) {
+  std::string error;
+  auto env = parse_request(R"({"id":7,"type":"ping"})", &error, nullptr);
+  ASSERT_TRUE(env.has_value()) << error;
+  EXPECT_EQ(env->tenant, "anon");
+  EXPECT_DOUBLE_EQ(env->deadline_ms, 0.0);
+  EXPECT_TRUE(env->params.is_null());
+}
+
+TEST(Protocol, RejectsMalformedRequestsButSalvagesTheId) {
+  std::string error;
+  Value id;
+  EXPECT_FALSE(parse_request("not json at all", &error, &id).has_value());
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(parse_request(R"([1,2,3])", &error, &id).has_value());
+  EXPECT_FALSE(parse_request(R"({"type":"no-such-type"})", &error, &id)
+                   .has_value());
+  EXPECT_NE(error.find("no-such-type"), std::string::npos);
+
+  // An invalid request that still carried an id: the id must survive so the
+  // error reply can correlate.
+  EXPECT_FALSE(
+      parse_request(R"({"id":42,"type":"simulate","tenant":7})", &error, &id)
+          .has_value());
+  EXPECT_TRUE(id.is_number());
+  EXPECT_EQ(id.as_int(), 42);
+}
+
+TEST(Protocol, ReplyBuildersShapeTheEnvelope) {
+  Value id;
+  id = Value(std::uint64_t{9});
+  const Value ok = make_ok_reply(id, Value::object());
+  EXPECT_EQ(ok.get_string("status", ""), "ok");
+  const Value degraded = make_degraded_reply(id, Value::object(), "partial");
+  EXPECT_EQ(degraded.get_string("status", ""), "degraded");
+  EXPECT_EQ(degraded.get_string("degraded", ""), "partial");
+  const Value err = make_error_reply(id, "overloaded", "queue full");
+  EXPECT_EQ(err.get_string("status", ""), "error");
+  const Value* detail = err.find("error");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->get_string("kind", ""), "overloaded");
+  EXPECT_EQ(detail->get_string("message", ""), "queue full");
+}
+
+// ---- scheduler --------------------------------------------------------------
+
+TEST(Scheduler, RoundRobinInterleavesTenants) {
+  SchedulerOptions opts;
+  opts.workers = 1;  // serialize so completion order == scheduling order
+  JobScheduler sched(opts);
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  ASSERT_TRUE(sched.submit("warmup", [open](const common::CancelToken&) {
+    open.wait();  // hold the only worker so submissions below queue up
+  }));
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&](const std::string& tenant) {
+    return [&mu, &order, tenant](const common::CancelToken&) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tenant);
+    };
+  };
+  // Tenant "a" floods four jobs before "b" submits one.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(sched.submit("a", record("a")));
+  ASSERT_TRUE(sched.submit("b", record("b")));
+
+  gate.set_value();
+  sched.wait_idle();
+  // Fair draining alternates while both tenants have work: a b a a a, never
+  // the submission order a a a a b.
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "a");
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.peak_queued, 5u);
+}
+
+TEST(Scheduler, CapsRejectWithReasons) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.queue_cap = 2;
+  opts.per_tenant_cap = 1;
+  JobScheduler sched(opts);
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  ASSERT_TRUE(sched.submit("warmup", [open](const common::CancelToken&) {
+    open.wait();
+  }));
+  // Give the worker a moment to take the warmup job off the queue.
+  while (sched.stats().running == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  auto noop = [](const common::CancelToken&) {};
+  std::string reason;
+  ASSERT_TRUE(sched.submit("a", noop));
+  EXPECT_FALSE(sched.submit("a", noop, &reason));  // per-tenant cap
+  EXPECT_NE(reason.find("tenant"), std::string::npos) << reason;
+
+  ASSERT_TRUE(sched.submit("b", noop));  // fills the total cap (2 queued)
+  reason.clear();
+  EXPECT_FALSE(sched.submit("c", noop, &reason));  // total queue cap
+  EXPECT_FALSE(reason.empty());
+
+  EXPECT_EQ(sched.stats().rejected, 2u);
+  gate.set_value();
+  sched.wait_idle();
+  sched.stop();
+}
+
+TEST(Scheduler, StopDrainsEveryAcceptedJobExactlyOnce) {
+  SchedulerOptions opts;
+  opts.workers = 3;
+  JobScheduler sched(opts);
+
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sched.submit("t" + std::to_string(i % 4),
+                             [&runs](const common::CancelToken&) {
+                               runs.fetch_add(1);
+                               std::this_thread::sleep_for(
+                                   std::chrono::microseconds(200));
+                             }));
+  }
+  sched.stop();  // drain semantics: queued jobs still run, exactly once
+  EXPECT_EQ(runs.load(), 50);
+
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.completed, 50u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+
+  std::string reason;
+  EXPECT_FALSE(sched.submit("late", [](const common::CancelToken&) {}, &reason));
+  EXPECT_NE(reason.find("shut"), std::string::npos) << reason;
+}
+
+TEST(Scheduler, StopCancelsTheSharedToken) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  JobScheduler sched(opts);
+
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  ASSERT_TRUE(sched.submit("blocker", [open](const common::CancelToken&) {
+    open.wait();
+  }));
+  std::atomic<bool> saw_cancel{false};
+  ASSERT_TRUE(sched.submit("probe",
+                           [&saw_cancel](const common::CancelToken& token) {
+                             saw_cancel.store(token.cancelled());
+                           }));
+
+  std::thread stopper([&sched] { sched.stop(); });
+  // stop() cancels the token first, then waits for the drain; release the
+  // blocker so the queued probe can observe the cancelled token.
+  while (!sched.cancel_token().cancelled())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  gate.set_value();
+  stopper.join();
+  EXPECT_TRUE(saw_cancel.load());
+}
+
+// ---- synthesis-cache persistence -------------------------------------------
+
+synth::QSearchCacheKey sample_qsearch_key() {
+  synth::QSearchCacheKey key;
+  key.target_fp = 0xDEADBEEFCAFEF00Dull;
+  key.dim = 4;
+  key.num_qubits = 2;
+  key.edges = {{0, 1}};
+  key.success_threshold_bits = 0x3FB999999999999Aull;  // bits of 0.1
+  key.depth_weight_bits = 1;
+  key.opt_tolerance_bits = 2;
+  key.max_cnots = 5;
+  key.max_nodes = 40;
+  key.opt_max_iterations = 100;
+  key.opt_lbfgs_memory = 6;
+  key.restarts_per_node = 2;
+  key.seed = 0xFFFFFFFFFFFFFFF7ull;  // beyond 2^53: must survive as hex
+  key.gradient_mode = 1;
+  return key;
+}
+
+synth::CachedQSearch sample_qsearch_entry() {
+  ir::QuantumCircuit circuit(2, "approx");
+  circuit.u3(0.1234567890123456789, -2.718281828459045, 3.141592653589793, 0);
+  circuit.cx(0, 1);
+  circuit.rz(1e-300, 1);
+
+  synth::CachedQSearch entry;
+  entry.result.best.circuit = circuit;
+  entry.result.best.hs_distance = 0.123456789012345678;
+  entry.result.best.cnot_count = 1;
+  entry.result.best.source = "qsearch";
+  entry.result.converged = true;
+  entry.result.nodes_expanded = 17;
+  entry.result.nodes_optimized = 9;
+  entry.stream.push_back(entry.result.best);
+  return entry;
+}
+
+TEST(SynthPersist, SerializeDeserializeRoundTripsBitExactly) {
+  synth::clear_synth_cache();
+  const synth::QSearchCacheKey key = sample_qsearch_key();
+  const synth::CachedQSearch entry = sample_qsearch_entry();
+  synth::synth_cache_store(key, entry);
+
+  synth::QFactorCacheKey fkey;
+  fkey.target_fp = 1;
+  fkey.structure_fp = 2;
+  fkey.dim = 4;
+  fkey.num_qubits = 2;
+  fkey.max_sweeps = 12;
+  fkey.incremental = true;
+  synth::QFactorResult fres;
+  fres.circuit = entry.result.best.circuit;
+  fres.hs_distance = 0.25;
+  fres.sweeps = 7;
+  fres.converged = false;
+  synth::synth_cache_store(fkey, fres);
+
+  const std::string snapshot = synth::synth_cache_serialize();
+  synth::clear_synth_cache();
+  EXPECT_FALSE(synth::synth_cache_lookup(key).has_value());
+
+  EXPECT_EQ(synth::synth_cache_deserialize(snapshot), 2u);
+  const auto loaded = synth::synth_cache_lookup(key);
+  ASSERT_TRUE(loaded.has_value());
+  // %.17g parameters + hex bit patterns: the reload is bit-identical, so the
+  // content fingerprint (which hashes parameter bits) must match.
+  EXPECT_EQ(loaded->result.best.circuit.fingerprint(),
+            entry.result.best.circuit.fingerprint());
+  EXPECT_EQ(loaded->result.best.hs_distance, entry.result.best.hs_distance);
+  EXPECT_EQ(loaded->result.best.cnot_count, 1u);
+  EXPECT_EQ(loaded->result.best.source, "qsearch");
+  EXPECT_TRUE(loaded->result.converged);
+  EXPECT_EQ(loaded->result.nodes_expanded, 17);
+  ASSERT_EQ(loaded->stream.size(), 1u);
+
+  const auto floaded = synth::synth_cache_lookup(fkey);
+  ASSERT_TRUE(floaded.has_value());
+  EXPECT_EQ(floaded->sweeps, 7);
+  EXPECT_FALSE(floaded->converged);
+  synth::clear_synth_cache();
+}
+
+TEST(SynthPersist, DiskRoundTripAndHostileFilesAreSafe) {
+  const std::string dir = make_temp_dir();
+  synth::clear_synth_cache();
+  synth::synth_cache_store(sample_qsearch_key(), sample_qsearch_entry());
+  EXPECT_EQ(synth::synth_cache_save(dir), 1u);
+
+  synth::clear_synth_cache();
+  EXPECT_EQ(synth::synth_cache_load(dir), 1u);
+  EXPECT_TRUE(synth::synth_cache_lookup(sample_qsearch_key()).has_value());
+
+  // A corrupt snapshot must warn-and-skip, never throw or half-load.
+  {
+    std::ofstream out(dir + "/" + synth::kSynthCacheSnapshotFile,
+                      std::ios::trunc);
+    out << "{this is not a snapshot";
+  }
+  synth::clear_synth_cache();
+  EXPECT_EQ(synth::synth_cache_load(dir), 0u);
+
+  // Missing snapshot: clean cold start.
+  const std::string empty_dir = make_temp_dir();
+  EXPECT_EQ(synth::synth_cache_load(empty_dir), 0u);
+  synth::clear_synth_cache();
+}
+
+// ---- server over a real socket ---------------------------------------------
+
+ServerOptions test_options(const char* tag) {
+  ServerOptions opts;
+  opts.socket_path = test_socket(tag);
+  opts.scheduler.workers = 2;
+  opts.synth_cache_dir = "";  // persistence covered by its own test
+  return opts;
+}
+
+Value ping_request(std::uint64_t id) {
+  Value req = Value::object();
+  req.set("id", id);
+  req.set("type", "ping");
+  return req;
+}
+
+TEST(Server, PingStatsAndIdEcho) {
+  QapproxServer server(test_options("ping"));
+  server.start();
+  Client client = Client::connect(server.options().socket_path);
+
+  Value req = Value::object();
+  req.set("id", "req-abc");
+  req.set("type", "ping");
+  const Value reply = client.call(req);
+  EXPECT_EQ(reply.get_string("status", ""), "ok");
+  const Value* id = reply.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->as_string(), "req-abc");  // echoed verbatim, string id intact
+  ASSERT_NE(reply.find("result"), nullptr);
+  EXPECT_TRUE(reply.find("result")->get_bool("pong", false));
+
+  Value stats_req = Value::object();
+  stats_req.set("id", 2);
+  stats_req.set("type", "stats");
+  const Value stats = client.call(stats_req);
+  EXPECT_EQ(stats.get_string("status", ""), "ok");
+  const Value* result = stats.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_NE(result->find("requests"), nullptr);
+  EXPECT_GE(result->find("requests")->get_int("ping", 0), 1);
+  ASSERT_NE(result->find("scheduler"), nullptr);
+  ASSERT_NE(result->find("engine_cache"), nullptr);
+  ASSERT_NE(result->find("synth_cache"), nullptr);
+  server.stop();
+}
+
+TEST(Server, GarbageAndOversizedFramesGetStructuredErrorsNotDisconnects) {
+  ServerOptions opts = test_options("garbage");
+  opts.max_frame_bytes = 512;
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // Garbage JSON: a structured bad_request reply, and the connection lives.
+  client.send_raw(encode_frame("{\"id\": 1, \"type\": "));
+  auto reply = client.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->get_string("status", ""), "error");
+  ASSERT_NE(reply->find("error"), nullptr);
+  EXPECT_EQ(reply->find("error")->get_string("kind", ""), "bad_request");
+
+  // Oversized frame: skipped exactly, answered, stream resyncs.
+  client.send_raw(encode_frame(std::string(4096, 'z')));
+  reply = client.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->get_string("status", ""), "error");
+  EXPECT_EQ(reply->find("error")->get_string("kind", ""), "bad_request");
+
+  // Split delivery of a valid frame across many writes still parses.
+  const std::string frame = encode_frame(ping_request(77).dump());
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    client.send_raw(frame.substr(i, 1));
+  reply = client.recv();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->get_string("status", ""), "ok");
+  EXPECT_EQ(reply->find("id")->as_uint64(), 77u);
+  server.stop();
+}
+
+TEST(Server, SimulateJobRunsEndToEndAndBadParamsAreContractErrors) {
+  QapproxServer server(test_options("sim"));
+  server.start();
+  Client client = Client::connect(server.options().socket_path);
+
+  Value req = Value::object();
+  req.set("id", 1);
+  req.set("type", "simulate");
+  Value params = Value::object();
+  params.set("workload", "grover");
+  params.set("qubits", 3);
+  params.set("iterations", 2);
+  params.set("shots", 512);
+  params.set("mode", "ideal");
+  req.set("params", std::move(params));
+  const Value reply = client.call(req);
+  ASSERT_EQ(reply.get_string("status", ""), "ok") << reply.dump();
+  const Value* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get_string("workload", ""), "grover");
+  EXPECT_EQ(result->get_int("qubits", 0), 3);
+  // Two Grover iterations on 3 qubits amplify the marked state well above
+  // uniform — the job really simulated, not just echoed.
+  EXPECT_GT(result->get_number("success_probability", 0.0), 0.5);
+  const Value* outcomes = result->find("top_outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_GT(outcomes->as_array().size(), 0u);
+
+  Value bad = Value::object();
+  bad.set("id", 2);
+  bad.set("type", "simulate");
+  Value bad_params = Value::object();
+  bad_params.set("workload", "no-such-workload");
+  bad.set("params", std::move(bad_params));
+  const Value error_reply = client.call(bad);
+  EXPECT_EQ(error_reply.get_string("status", ""), "error");
+  EXPECT_EQ(error_reply.find("error")->get_string("kind", ""), "contract");
+  server.stop();
+}
+
+TEST(Server, OverloadRejectsWithBackpressureAndStillRepliesToEveryRequest) {
+  ServerOptions opts = test_options("overload");
+  opts.scheduler.workers = 1;
+  opts.scheduler.queue_cap = 2;
+  opts.scheduler.per_tenant_cap = 2;
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // One slow job to pin the worker, then a burst that must overflow the
+  // 2-deep queue. Every request still gets exactly one correlated reply.
+  const int burst = 12;
+  for (int i = 0; i < burst; ++i) {
+    Value req = Value::object();
+    req.set("id", i);
+    req.set("type", "simulate");
+    Value params = Value::object();
+    params.set("workload", "tfim");
+    params.set("qubits", 3);
+    params.set("steps", 6);
+    params.set("shots", i == 0 ? (1 << 17) : 256);
+    req.set("params", std::move(params));
+    client.send(req);
+  }
+
+  std::map<std::uint64_t, int> seen;
+  std::map<std::string, int> by_status;
+  int overloaded = 0;
+  for (int i = 0; i < burst; ++i) {
+    auto reply = client.recv();
+    ASSERT_TRUE(reply.has_value()) << "connection died after " << i << " replies";
+    ++seen[reply->find("id")->as_uint64()];
+    ++by_status[reply->get_string("status", "?")];
+    const Value* error = reply->find("error");
+    if (error != nullptr && error->get_string("kind", "") == "overloaded")
+      ++overloaded;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(burst));
+  for (const auto& [id, count] : seen) EXPECT_EQ(count, 1) << "id " << id;
+  EXPECT_GT(overloaded, 0) << "queue_cap=2 never tripped under a 12-job burst";
+
+  const Value stats = server.build_stats();
+  EXPECT_GT(stats.find("requests")->get_int("overloaded", 0), 0);
+  EXPECT_LE(stats.find("scheduler")->get_int("peak_queued", 99), 2);
+  server.stop();
+}
+
+TEST(Server, CleanShutdownDrainsInflightJobsBeforeClosingConnections) {
+  QapproxServer server(test_options("shutdown"));
+  server.start();
+  Client jobs_conn = Client::connect(server.options().socket_path);
+  Client control = Client::connect(server.options().socket_path);
+
+  const int inflight = 8;
+  for (int i = 0; i < inflight; ++i) {
+    Value req = Value::object();
+    req.set("id", i);
+    req.set("type", "simulate");
+    Value params = Value::object();
+    params.set("workload", "tfim");
+    params.set("qubits", 3);
+    params.set("steps", 4);
+    params.set("shots", 4096);
+    req.set("params", std::move(params));
+    jobs_conn.send(req);
+  }
+
+  Value shutdown_req = Value::object();
+  shutdown_req.set("id", "ctl");
+  shutdown_req.set("type", "shutdown");
+  const Value ack = control.call(shutdown_req);
+  EXPECT_EQ(ack.get_string("status", ""), "ok");
+
+  server.wait();  // returns once the wire shutdown request lands
+  server.stop();  // drains the scheduler before closing connections
+
+  // Every in-flight job replied (ok or degraded-under-cancellation — never
+  // dropped), and only then did the connection reach EOF.
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < inflight; ++i) {
+    auto reply = jobs_conn.recv();
+    ASSERT_TRUE(reply.has_value()) << "reply " << i << " lost in shutdown";
+    ++seen[reply->find("id")->as_uint64()];
+    const std::string status = reply->get_string("status", "");
+    EXPECT_TRUE(status == "ok" || status == "degraded" || status == "error")
+        << reply->dump();
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(inflight));
+  EXPECT_FALSE(jobs_conn.recv().has_value());  // clean EOF, no stray frames
+}
+
+TEST(Server, WarmStartReloadsTheSynthesisCacheAcrossRestart) {
+  const std::string dir = make_temp_dir();
+  synth::clear_synth_cache();
+
+  Value req = Value::object();
+  req.set("id", 1);
+  req.set("type", "synthesize");
+  req.set("deadline_ms", 60000);
+  Value params = Value::object();
+  params.set("preset", "grover");
+  params.set("qubits", 3);
+  params.set("fast", true);
+  params.set("max_circuits", 8);
+  req.set("params", std::move(params));
+
+  ServerOptions opts = test_options("warm1");
+  opts.synth_cache_dir = dir;
+  {
+    QapproxServer server(opts);
+    server.start();
+    Client client = Client::connect(opts.socket_path);
+    const Value reply = client.call(req);
+    const std::string status = reply.get_string("status", "?");
+    ASSERT_TRUE(status == "ok" || status == "degraded") << reply.dump();
+    server.stop();  // snapshots the cache to `dir`
+  }
+  {
+    std::ifstream snapshot(dir + "/" + synth::kSynthCacheSnapshotFile);
+    ASSERT_TRUE(snapshot.is_open()) << "stop() did not write a snapshot";
+  }
+
+  // "Restart": drop the in-memory cache, boot a second server on the same
+  // directory, and re-run the identical job.
+  synth::clear_synth_cache();
+  const synth::SynthCacheStats before = synth::synth_cache_stats();
+  ServerOptions opts2 = test_options("warm2");
+  opts2.synth_cache_dir = dir;
+  QapproxServer server(opts2);
+  server.start();
+  Client client = Client::connect(opts2.socket_path);
+
+  const Value stats_reply = [&client] {
+    Value stats_req = Value::object();
+    stats_req.set("id", 2);
+    stats_req.set("type", "stats");
+    return client.call(stats_req);
+  }();
+  const Value* synth_cache = stats_reply.find("result")->find("synth_cache");
+  ASSERT_NE(synth_cache, nullptr);
+  EXPECT_GT(synth_cache->get_int("warm_loaded", 0), 0);
+
+  const Value reply = client.call(req);
+  const std::string status = reply.get_string("status", "?");
+  ASSERT_TRUE(status == "ok" || status == "degraded") << reply.dump();
+  const synth::SynthCacheStats after = synth::synth_cache_stats();
+  const double hits = static_cast<double>(after.hits - before.hits);
+  const double misses = static_cast<double>(after.misses - before.misses);
+  ASSERT_GT(hits + misses, 0.0);
+  // The acceptance bar: a warm restart re-running the same job mix serves
+  // >= 80% of synthesis lookups from the reloaded cache.
+  EXPECT_GE(hits / (hits + misses), 0.8)
+      << "hits " << hits << ", misses " << misses;
+  server.stop();
+  synth::clear_synth_cache();
+}
+
+// ---- job builders (no socket) ----------------------------------------------
+
+TEST(Jobs, BuildWorkloadValidatesShapes) {
+  Value params = Value::object();
+  params.set("workload", "tfim");
+  params.set("qubits", 3);
+  params.set("steps", 2);
+  const Workload w = build_workload(params);
+  EXPECT_EQ(w.name, "tfim");
+  EXPECT_EQ(w.circuit.num_qubits(), 3);
+  EXPECT_EQ(w.metric, "magnetization");
+
+  params.set("steps", 0);
+  EXPECT_THROW(build_workload(params), common::Error);
+  params.set("steps", 2);
+  params.set("qubits", 99);
+  EXPECT_THROW(build_workload(params), common::Error);
+  params.set("qubits", 3);
+  params.set("workload", "qasm");
+  EXPECT_THROW(build_workload(params), common::Error);  // missing qasm text
+}
+
+TEST(Jobs, SimulateJobHonorsItsDeadlineWithAPartialResult) {
+  Value params = Value::object();
+  params.set("workload", "tfim");
+  params.set("qubits", 3);
+  params.set("steps", 8);
+  params.set("shots", 1 << 18);
+  params.set("mode", "simulator");
+  // An already-expired deadline: the run must come back degraded with a
+  // flagged partial distribution, not throw.
+  const JobOutcome out =
+      run_simulate_job(params, common::Deadline::after_ms(0.0));
+  EXPECT_TRUE(out.degraded);
+  EXPECT_FALSE(out.why.empty());
+  EXPECT_TRUE(out.result.get_bool("timed_out", false));
+}
+
+}  // namespace
+}  // namespace qc::serve

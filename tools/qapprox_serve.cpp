@@ -1,0 +1,63 @@
+// The qapprox server daemon.
+//
+// Binds the approximation service to a local socket and runs until a wire
+// "shutdown" request or SIGINT/SIGTERM. Configuration is flags-over-env:
+//
+//   qapprox_serve [--socket=PATH] [--workers=N] [--queue-cap=N]
+//                 [--cache-dir=DIR] [--version]
+//
+//   QAPPROX_SERVE_SOCKET     socket path        (default /tmp/qapprox.sock)
+//   QAPPROX_SERVE_WORKERS    worker threads     (default 4)
+//   QAPPROX_SERVE_QUEUE_CAP  total queued jobs  (default 256)
+//   QAPPROX_SYNTH_CACHE_DIR  synthesis-cache snapshot dir (default: off)
+//
+// On exit the daemon prints its stats payload (the same JSON a "stats"
+// request returns) so soak scripts can assert on counters without keeping a
+// client open through shutdown.
+#include <csignal>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/driver.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+qc::serve::QapproxServer* g_server = nullptr;
+
+void handle_signal(int) {
+  // request_shutdown is flag + condvar; teardown happens on the main thread.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+static int run(int argc, char** argv) {
+  using namespace qc;
+  common::driver::DriverContext ctx(argc, argv, "qapprox_serve");
+
+  serve::ServerOptions opts = serve::ServerOptions::from_env();
+  opts.socket_path = ctx.args.get("socket", opts.socket_path);
+  opts.scheduler.workers = static_cast<std::size_t>(ctx.args.get_int(
+      "workers", static_cast<int>(opts.scheduler.workers)));
+  opts.scheduler.queue_cap = static_cast<std::size_t>(ctx.args.get_int(
+      "queue-cap", static_cast<int>(opts.scheduler.queue_cap)));
+  opts.synth_cache_dir = ctx.args.get("cache-dir", opts.synth_cache_dir);
+
+  serve::QapproxServer server(opts);
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  server.start();
+  std::printf("qapprox_serve: listening on %s\n", opts.socket_path.c_str());
+  std::fflush(stdout);
+  server.wait();
+  std::printf("qapprox_serve: shutting down\n");
+  server.stop();
+  std::printf("%s\n", server.build_stats().dump().c_str());
+  g_server = nullptr;
+  return 0;
+}
+
+int main(int argc, char** argv) { return qc::common::run_main(argc, argv, run); }
