@@ -284,6 +284,111 @@ void BM_Kernel2q(benchmark::State& state) {
 }
 BENCHMARK(BM_Kernel2q)->Arg(12)->Arg(14);
 
+// k=3/4 dense blocks: the shapes the k<=4 compile-time fusion produces.
+
+void BM_Generic3q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 77);
+  common::Rng rng(78);
+  const linalg::Matrix u = linalg::random_unitary(8, rng);
+  for (auto _ : state) {
+    linalg::apply_gate_inplace(amps, u, {1, n / 2, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Generic3q)->Arg(12)->Arg(14);
+
+void BM_Kernel3q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 77);
+  common::Rng rng(78);
+  const linalg::Matrix u = linalg::random_unitary(8, rng);
+  for (auto _ : state) {
+    linalg::apply_operator(amps, u, {1, n / 2, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Kernel3q)->Arg(12)->Arg(14);
+
+void BM_Generic4q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 79);
+  common::Rng rng(80);
+  const linalg::Matrix u = linalg::random_unitary(16, rng);
+  for (auto _ : state) {
+    linalg::apply_gate_inplace(amps, u, {1, 2, n / 2, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Generic4q)->Arg(12)->Arg(14);
+
+void BM_Kernel4q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto amps = bench_state(n, 79);
+  common::Rng rng(80);
+  const linalg::Matrix u = linalg::random_unitary(16, rng);
+  for (auto _ : state) {
+    linalg::apply_operator(amps, u, {1, 2, n / 2, n - 1});
+    benchmark::DoNotOptimize(amps.data());
+  }
+  set_amp_rate(state, n);
+}
+BENCHMARK(BM_Kernel4q)->Arg(12)->Arg(14);
+
+// Density-matrix conjugation U rho U† on an n-qubit rho (2^n x 2^n): the
+// generic column-strided embed path vs the cache-blocked kernel path.
+// ns_per_amp counts the 4^n matrix entries each conjugation touches.
+
+void set_dm_rate(benchmark::State& state, int n) {
+  const double entries = static_cast<double>(state.iterations()) *
+                         static_cast<double>(std::size_t{1} << (2 * n));
+  state.counters["ns_per_amp"] = benchmark::Counter(
+      entries * 1e-9, benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+linalg::Matrix bench_rho(int n, std::uint64_t seed) {
+  const auto amps = bench_state(n, seed);
+  const std::size_t dim = amps.size();
+  linalg::Matrix rho(dim, dim);
+  for (std::size_t r = 0; r < dim; ++r)
+    for (std::size_t c = 0; c < dim; ++c)
+      rho(r, c) = amps[r] * std::conj(amps[c]);
+  return rho;
+}
+
+void BM_GenericDmConjugation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  linalg::Matrix rho = bench_rho(n, 81);
+  common::Rng rng(82);
+  const linalg::Matrix u = linalg::random_unitary(4, rng);
+  const linalg::Matrix u_adj = u.adjoint();
+  for (auto _ : state) {
+    linalg::left_apply_inplace(rho, u, {0, n - 1});
+    linalg::right_apply_inplace(rho, u_adj, {0, n - 1});
+    benchmark::DoNotOptimize(rho.data());
+  }
+  set_dm_rate(state, n);
+}
+BENCHMARK(BM_GenericDmConjugation)->Arg(6)->Arg(8);
+
+void BM_KernelDmConjugation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  linalg::Matrix rho = bench_rho(n, 81);
+  common::Rng rng(82);
+  const linalg::Matrix u = linalg::random_unitary(4, rng);
+  const linalg::Matrix u_adj = u.adjoint();
+  for (auto _ : state) {
+    linalg::left_apply(rho, u, {0, n - 1});
+    linalg::right_apply(rho, u_adj, {0, n - 1});
+    benchmark::DoNotOptimize(rho.data());
+  }
+  set_dm_rate(state, n);
+}
+BENCHMARK(BM_KernelDmConjugation)->Arg(6)->Arg(8);
+
 }  // namespace
 
 QAPPROX_BENCH_MAIN("BENCH_kernels.json")

@@ -18,6 +18,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/io.hpp"
+#include "linalg/kernels.hpp"
 #include "obs/obs.hpp"
 
 namespace qapprox_bench {
@@ -34,10 +35,11 @@ inline void stamp_bench_json(const std::string& json_path) {
   in.close();
   const std::size_t brace = text.find('{');
   if (brace == std::string::npos) return;
-  const std::string inject = std::string("\n  \"qapprox_build\": ") +
-                             qc::obs::build_info_json() +
-                             ",\n  \"qapprox_metrics\": " +
-                             qc::obs::metrics_json() + ",";
+  const std::string inject =
+      std::string("\n  \"qapprox_build\": ") + qc::obs::build_info_json() +
+      ",\n  \"qapprox_simd_isa\": \"" +
+      qc::linalg::simd_isa_name(qc::linalg::active_simd_isa()) +
+      "\",\n  \"qapprox_metrics\": " + qc::obs::metrics_json() + ",";
   text.insert(brace + 1, inject);
   // tmp + rename so an interrupted stamp never truncates the report.
   try {

@@ -40,6 +40,10 @@ void record_kernel_metrics(const linalg::KernelCounts& kc) {
     obs::Counter& twoq_diag{obs::counter("sim.kernel.2q_diag")};
     obs::Counter& twoq_perm_phase{obs::counter("sim.kernel.2q_perm_phase")};
     obs::Counter& twoq_general{obs::counter("sim.kernel.2q_general")};
+    obs::Counter& threeq_diag{obs::counter("sim.kernel.3q_diag")};
+    obs::Counter& threeq_general{obs::counter("sim.kernel.3q_general")};
+    obs::Counter& fourq_diag{obs::counter("sim.kernel.4q_diag")};
+    obs::Counter& fourq_general{obs::counter("sim.kernel.4q_general")};
     obs::Counter& generic{obs::counter("sim.kernel.generic")};
   };
   static KernelCounters c;
@@ -48,6 +52,10 @@ void record_kernel_metrics(const linalg::KernelCounts& kc) {
   c.twoq_diag.add(kc.twoq_diag);
   c.twoq_perm_phase.add(kc.twoq_perm_phase);
   c.twoq_general.add(kc.twoq_general);
+  c.threeq_diag.add(kc.threeq_diag);
+  c.threeq_general.add(kc.threeq_general);
+  c.fourq_diag.add(kc.fourq_diag);
+  c.fourq_general.add(kc.fourq_general);
   c.generic.add(kc.generic);
 }
 
@@ -303,8 +311,11 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_cached(
     bool* hit) {
   const CompiledKey key{tkey, mkey};
   return get_or_compute(compiled_cache_, CacheId::Compiled, key, hit, [&] {
+    sim::CompileOptions copts;
+    copts.max_fuse_qubits = options_.max_fuse_qubits;
     return sim::compile_noisy_circuit(
-        tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); });
+        tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); },
+        copts);
   });
 }
 
@@ -313,8 +324,11 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_ideal_cach
   const CompiledKey key{tkey, ModelKey{}, /*ideal=*/1};
   return get_or_compute(compiled_cache_, CacheId::Compiled, key, hit, [&] {
     const noise::NoiseModel model = noise::NoiseModel::ideal(tr.circuit.num_qubits());
+    sim::CompileOptions copts;
+    copts.max_fuse_qubits = options_.max_fuse_qubits;
     return sim::compile_noisy_circuit(
-        tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); });
+        tr.circuit, model, [this](const ir::Gate& g) { return gate_matrix(g); },
+        copts);
   });
 }
 
@@ -415,7 +429,9 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
     if (span.active()) span.arg("cache_hit", rec.compiled_cache_hit);
   }
   rec.compiled_steps = compiled->steps.size();
+  rec.source_gates = compiled->source_gates;
   rec.fused_gates = compiled->fused_gates;
+  rec.fused_blocks_by_k = compiled->fused_blocks_by_k;
   rec.kernel_counts = compiled->kernel_counts;
   record_kernel_metrics(rec.kernel_counts);
 

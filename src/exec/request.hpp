@@ -9,6 +9,7 @@
 // benchmark binaries can report provenance without re-deriving it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -89,9 +90,15 @@ struct RunRecord {
   std::size_t shots = 0;                // 0 for exact engines
   /// Steps in the compiled program actually executed. Fusion merges adjacent
   /// noise-free gates, so this is usually below the transpiled gate count:
-  /// compiled_steps == source gates - fused_gates.
+  /// compiled_steps == source_gates - fused_gates.
   std::size_t compiled_steps = 0;
+  /// Unitary gates in the transpiled circuit before fusion.
+  std::size_t source_gates = 0;
+  /// Source gates merged into a neighbouring step by k<=4 fusion.
   std::size_t fused_gates = 0;
+  /// Fused-block tally by final arity: index k in [1, 4] counts compiled
+  /// steps on k qubits built from >= 2 source gates (index 0 unused).
+  std::array<std::size_t, 5> fused_blocks_by_k{};
   /// Which specialized gate kernels the program's steps dispatch to.
   linalg::KernelCounts kernel_counts;
   bool transpile_cache_hit = false;

@@ -1,13 +1,15 @@
-// Specialized state-vector gate kernels and the dispatch layer above them.
+// Specialized state-vector gate kernels, the SIMD dispatch layer above them,
+// and the cache-blocked matrix-apply paths used by the density-matrix engine.
 //
 // The generic apply_gate_inplace in embed.hpp walks all 2^n basis indices
 // with a `base & mask` skip-branch and heap-allocates scatter/scratch
 // buffers on every call. Transpiled circuits in this repository are almost
-// entirely {CX, U3}, plus diagonal phase branches from noise channels, so
-// the shapes that dominate every trajectory shot and density-matrix step are
-// known in advance. The kernels here enumerate only the 2^(n-k) cosets
-// directly (branch-free index reconstruction, no allocation) and exploit
-// matrix structure:
+// entirely {CX, U3}, plus diagonal phase branches from noise channels and —
+// since k<=4 step fusion — dense 8x8/16x16 blocks accumulated at compile
+// time, so the shapes that dominate every trajectory shot and density-matrix
+// step are known in advance. The kernels here enumerate only the 2^(n-k)
+// cosets directly (branch-free index reconstruction, no allocation) and
+// exploit matrix structure:
 //
 //   OneQDiag      diagonal 2x2 (Z / RZ / P / phase-damping Kraus branches)
 //   OneQGeneral   dense 2x2 (U3, amplitude-damping Kraus, ...)
@@ -17,19 +19,34 @@
 //                 zero complex multiplies
 //   TwoQGeneral   dense 4x4, coset loop ordered so the four amplitude
 //                 streams advance sequentially through memory
-//   GenericK      anything wider (k > 2) — delegated to the generic path
+//   ThreeQDiag /  diagonal 8x8 / 16x16 (fused RZ/CZ/phase chains)
+//   FourQDiag
+//   ThreeQGeneral dense 8x8 / 16x16 (k=3/4 fused gate blocks): per-coset
+//   FourQGeneral  gather -> vectorized mat-vec -> scatter
+//   GenericK      anything wider (k > 4) — delegated to the generic path
 //
-// For classified shapes the kernels accumulate in the same order as the
-// generic path (ascending column index) and only drop exact-zero terms, so
-// results are bit-identical to apply_gate_inplace, not merely close.
+// On top of the shape dispatch sits a one-time runtime ISA dispatch: every
+// unit-stride kernel has explicitly vectorized AVX2+FMA and AVX-512 variants
+// (x86, selected by CPUID), a NEON variant (aarch64), and the scalar
+// reference. A single portable binary picks the widest supported ISA at
+// startup; QAPPROX_SIMD=scalar|avx2|avx512|neon overrides the choice (for
+// sanitizer runs, pinned-ISA CI baselines, and A/B benchmarking), and
+// unsupported requests fall back with a warning. Vector variants reassociate
+// the complex arithmetic (fused multiply-add, lane-wise sums), so they agree
+// with the scalar path to ~1e-12 rather than bit-for-bit; the scalar path
+// itself accumulates in the same order as the generic path (ascending column
+// index) and stays bit-identical to apply_gate_inplace. RNG draw order is never affected — the dispatch only
+// changes arithmetic inside a kernel application.
 //
 // Wide states additionally slice the coset loop across the process thread
 // pool (common::parallel_for, OpenMP-free) once the span holds at least
 // `ApplyOptions::parallel_threshold` amplitudes; slices write disjoint
-// amplitudes, so threaded results are bit-identical to serial ones.
+// amplitudes, so threaded results are bit-identical to serial ones at any
+// fixed ISA.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -43,6 +60,10 @@ enum class KernelKind {
   TwoQDiag,
   TwoQPermPhase,
   TwoQGeneral,
+  ThreeQDiag,
+  ThreeQGeneral,
+  FourQDiag,
+  FourQGeneral,
   GenericK,
 };
 
@@ -57,27 +78,76 @@ struct KernelCounts {
   std::size_t twoq_diag = 0;
   std::size_t twoq_perm_phase = 0;
   std::size_t twoq_general = 0;
+  std::size_t threeq_diag = 0;
+  std::size_t threeq_general = 0;
+  std::size_t fourq_diag = 0;
+  std::size_t fourq_general = 0;
   std::size_t generic = 0;
 
   void add(KernelKind kind);
   std::size_t total() const {
     return oneq_diag + oneq_general + twoq_diag + twoq_perm_phase +
-           twoq_general + generic;
+           twoq_general + threeq_diag + threeq_general + fourq_diag +
+           fourq_general + generic;
   }
   bool operator==(const KernelCounts&) const = default;
 };
 
-/// Classifies an operator matrix (dimension 2^k) by the kernel that will
-/// apply it. Structure tests are exact (== 0.0 / == 1.0): gate-construction
-/// literals classify to their specialized kernels; numerically-dense
-/// matrices (fused products, synthesis results) classify general.
+/// Classifies an operator matrix (dimension 2^k, k <= 4) by the kernel that
+/// will apply it. Structure tests are exact (== 0.0 / == 1.0):
+/// gate-construction literals classify to their specialized kernels;
+/// numerically-dense matrices (fused products, synthesis results) classify
+/// general.
 KernelKind classify_kernel(const Matrix& op);
+
+// ---- runtime SIMD dispatch -------------------------------------------------
+
+/// Instruction sets the kernel layer can dispatch to. Scalar is always
+/// available and is the bit-identical reference; the vector ISAs are compiled
+/// in behind target guards and selected at runtime, so one binary runs on any
+/// host.
+enum class SimdIsa { Scalar = 0, Avx2, Avx512, Neon };
+
+/// Stable lowercase label ("scalar", "avx2", "avx512", "neon").
+const char* simd_isa_name(SimdIsa isa);
+
+/// True when both the binary carries code for `isa` and the running CPU
+/// reports support for it. Scalar is always true.
+bool simd_isa_supported(SimdIsa isa);
+
+/// Widest ISA supported by this binary on this CPU.
+SimdIsa best_supported_simd_isa();
+
+/// Parses a QAPPROX_SIMD value ("scalar", "avx2", "avx512", "neon",
+/// case-sensitive). Sets *ok=false (returning Scalar) on anything else.
+SimdIsa parse_simd_isa(const std::string& name, bool* ok);
+
+/// Resolves the ISA the dispatch should use for a given QAPPROX_SIMD value
+/// (nullptr / empty -> auto-detect widest). Unknown names and supported-but-
+/// unavailable requests log a warning and fall back to auto-detection.
+/// Pure function of (env_value, CPU) — exposed so tests can exercise the
+/// override logic without mutating the cached active ISA.
+SimdIsa resolve_simd_isa(const char* env_value);
+
+/// The ISA every kernel application currently dispatches to. Resolved once
+/// from QAPPROX_SIMD + CPUID on first use, then cached (a relaxed atomic
+/// read per kernel application).
+SimdIsa active_simd_isa();
+
+/// Testing/benchmark hook: overrides the active ISA. Unsupported requests
+/// clamp to the widest supported ISA. Returns the ISA actually installed.
+SimdIsa force_simd_isa(SimdIsa isa);
 
 /// True when this library was compiled with FMA available (QAPPROX_NATIVE on
 /// an FMA machine). FMA contraction may round kernel and generic loops
-/// differently, so the bit-identical guarantee relaxes to ~1e-12 agreement;
-/// the equivalence tests consult this at runtime.
+/// differently even at SimdIsa::Scalar.
 bool kernels_compiled_with_fma();
+
+/// True when kernel results are guaranteed bit-identical to the generic
+/// apply_gate_inplace path: requires the scalar ISA (vector variants
+/// reassociate) and no compile-time FMA contraction. The equivalence tests
+/// consult this at runtime to pick exact vs ~1e-12 comparison.
+bool kernels_bit_exact();
 
 /// Amplitude-count threshold at which dispatch slices the coset loop across
 /// the thread pool. 2^14 amplitudes keeps every <=13-qubit trajectory state
@@ -94,7 +164,7 @@ struct ApplyOptions {
 
 /// Dispatch entry point: state := (op on qubits) * state, choosing a
 /// specialized kernel by shape and falling back to the generic path for
-/// k > 2. Drop-in replacement for apply_gate_inplace.
+/// k > 4. Drop-in replacement for apply_gate_inplace.
 void apply_operator(std::vector<cplx>& state, const Matrix& op,
                     const std::vector<int>& qubits,
                     const ApplyOptions& options = {});
@@ -113,8 +183,13 @@ void apply_cz(std::vector<cplx>& state, int a, int b,
 void apply_diag1(std::vector<cplx>& state, cplx d0, cplx d1, int qubit,
                  const ApplyOptions& options = {});
 
-/// u := embed(op) * u through the specialized kernels (column-sliced across
-/// the pool for large u). Drop-in replacement for left_apply_inplace.
+/// u := embed(op) * u through the specialized kernels. Cache-blocked: the
+/// coset (row-group) loop is outermost and each group transforms a tile of
+/// columns at a time, so every memory access is unit-stride along the rows
+/// of u instead of striding a full column — the layout that kept the
+/// density-matrix conjugation memory-bound. Groups are disjoint row sets, so
+/// the group loop threads across the pool for large u. Drop-in replacement
+/// for left_apply_inplace.
 void left_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
                 const ApplyOptions& options = {});
 
@@ -122,5 +197,15 @@ void left_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
 /// Drop-in replacement for right_apply_inplace.
 void right_apply(Matrix& u, const Matrix& op, const std::vector<int>& qubits,
                  const ApplyOptions& options = {});
+
+/// accum += weight * (term * embed(op)), transforming each row of `term` by
+/// op^T in scratch and accumulating it into `accum` while the row is still
+/// cache-hot — the fused final pass of a density-matrix Kraus term
+/// (K rho K^dagger accumulated into the channel sum without a separate
+/// full-matrix sweep). `term` is left unchanged. All three matrices must be
+/// square with identical dimensions.
+void right_apply_accumulate(Matrix& accum, const Matrix& term, const Matrix& op,
+                            const std::vector<int>& qubits, double weight,
+                            const ApplyOptions& options = {});
 
 }  // namespace qc::linalg

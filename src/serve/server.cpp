@@ -10,6 +10,7 @@
 #include "common/driver.hpp"
 #include "common/error.hpp"
 #include "common/faults.hpp"
+#include "linalg/kernels.hpp"
 #include "obs/obs.hpp"
 #include "serve/jobs.hpp"
 #include "synth/cache.hpp"
@@ -387,6 +388,24 @@ json::Value QapproxServer::build_stats() const {
   synth_cache.set("dir", options_.synth_cache_dir);
   synth_cache.set("warm_loaded", warm_loaded_);
   stats.set("synth_cache", std::move(synth_cache));
+
+  // Gate-fusion effectiveness across every compile this process has run
+  // (the same sim.compile.* counters QAPPROX_METRICS exports), so operators
+  // can see how much the k<=4 fusion pass is collapsing job circuits.
+  json::Value compile = json::Value::object();
+  compile.set("circuits", obs::counter("sim.compile.circuits").value());
+  compile.set("source_gates", obs::counter("sim.compile.source_gates").value());
+  compile.set("fused_gates", obs::counter("sim.compile.fused_gates").value());
+  compile.set("steps", obs::counter("sim.compile.steps").value());
+  json::Value fused_blocks = json::Value::object();
+  fused_blocks.set("k1", obs::counter("sim.compile.fused_blocks.k1").value());
+  fused_blocks.set("k2", obs::counter("sim.compile.fused_blocks.k2").value());
+  fused_blocks.set("k3", obs::counter("sim.compile.fused_blocks.k3").value());
+  fused_blocks.set("k4", obs::counter("sim.compile.fused_blocks.k4").value());
+  compile.set("fused_blocks", std::move(fused_blocks));
+  compile.set("simd_isa",
+              linalg::simd_isa_name(linalg::active_simd_isa()));
+  stats.set("compile", std::move(compile));
 
   stats.set("faults", common::faults::enabled() ? common::faults::active_spec()
                                                 : std::string());

@@ -24,11 +24,11 @@ std::vector<noise::ReadoutError> readout_slice(const noise::NoiseModel& model, i
 }
 
 /// Folds `u` on `qubits` into `prev` (prev runs first) when the two share a
-/// qubit and their union stays within 2 qubits, so the fused matrix still
+/// qubit and their union stays within `max_qubits`, so the fused matrix still
 /// dispatches to a specialized kernel. Returns false without touching `prev`
 /// otherwise.
 bool fuse_into(CompiledStep& prev, const linalg::Matrix& u,
-               const std::vector<int>& qubits) {
+               const std::vector<int>& qubits, std::size_t max_qubits) {
   std::vector<int> merged = prev.qubits;
   bool overlap = false;
   for (int q : qubits) {
@@ -37,7 +37,7 @@ bool fuse_into(CompiledStep& prev, const linalg::Matrix& u,
     else
       merged.push_back(q);
   }
-  if (!overlap || merged.size() > 2) return false;
+  if (!overlap || merged.size() > max_qubits) return false;
   std::sort(merged.begin(), merged.end());
   const auto positions = [&merged](const std::vector<int>& qs) {
     std::vector<int> out;
@@ -51,6 +51,7 @@ bool fuse_into(CompiledStep& prev, const linalg::Matrix& u,
   prev.unitary = linalg::embed(u, positions(qubits), k) *
                  linalg::embed(prev.unitary, positions(prev.qubits), k);
   prev.qubits = std::move(merged);
+  ++prev.source_count;
   return true;
 }
 
@@ -67,6 +68,8 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
   CompiledCircuit compiled;
   compiled.num_qubits = circuit.num_qubits();
   compiled.readout = readout_slice(model, circuit.num_qubits());
+  const std::size_t max_fuse = static_cast<std::size_t>(
+      std::clamp(options.max_fuse_qubits, 1, 4));
   for (const ir::Gate& g : circuit.gates()) {
     if (g.kind == ir::GateKind::Measure || g.kind == ir::GateKind::Barrier) continue;
     ++compiled.source_gates;
@@ -89,7 +92,7 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
     // folding it into this step preserves the shot-replay stream exactly.
     if (options.fuse_steps && !compiled.steps.empty() &&
         compiled.steps.back().noise.empty() &&
-        fuse_into(compiled.steps.back(), step.unitary, step.qubits)) {
+        fuse_into(compiled.steps.back(), step.unitary, step.qubits, max_fuse)) {
       compiled.steps.back().noise = std::move(step.noise);
       ++compiled.fused_gates;
       continue;
@@ -102,6 +105,8 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
     step.unitary_adjoint = step.unitary.adjoint();
     step.kernel = linalg::classify_kernel(step.unitary);
     compiled.kernel_counts.add(step.kernel);
+    if (step.source_count > 1 && step.qubits.size() < compiled.fused_blocks_by_k.size())
+      ++compiled.fused_blocks_by_k[step.qubits.size()];
     for (CompiledNoiseOp& op : step.noise) {
       op.adjoints.reserve(op.operators.size());
       for (const linalg::Matrix& k : op.operators)
@@ -115,12 +120,20 @@ CompiledCircuit compile_noisy_circuit(const ir::QuantumCircuit& circuit,
     obs::Counter& source{obs::counter("sim.compile.source_gates")};
     obs::Counter& fused{obs::counter("sim.compile.fused_gates")};
     obs::Counter& steps{obs::counter("sim.compile.steps")};
+    obs::Counter& blocks_k1{obs::counter("sim.compile.fused_blocks.k1")};
+    obs::Counter& blocks_k2{obs::counter("sim.compile.fused_blocks.k2")};
+    obs::Counter& blocks_k3{obs::counter("sim.compile.fused_blocks.k3")};
+    obs::Counter& blocks_k4{obs::counter("sim.compile.fused_blocks.k4")};
   };
   static FusionCounters c;
   c.compiles.add(1);
   c.source.add(compiled.source_gates);
   c.fused.add(compiled.fused_gates);
   c.steps.add(compiled.steps.size());
+  c.blocks_k1.add(compiled.fused_blocks_by_k[1]);
+  c.blocks_k2.add(compiled.fused_blocks_by_k[2]);
+  c.blocks_k3.add(compiled.fused_blocks_by_k[3]);
+  c.blocks_k4.add(compiled.fused_blocks_by_k[4]);
   if (span.active()) {
     span.arg("qubits", compiled.num_qubits);
     span.arg("source_gates", compiled.source_gates);

@@ -16,6 +16,7 @@
 // repetitions the same way, Isakov et al., arXiv:2111.02396).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -50,7 +51,12 @@ struct CompiledStep {
   std::vector<CompiledNoiseOp> noise;
   linalg::Matrix unitary_adjoint;  // precomputed for density-matrix evolution
   linalg::KernelKind kernel = linalg::KernelKind::GenericK;  // dispatch class
+  std::size_t source_count = 1;    // source gates folded into this step
 };
+
+/// Per-arity fused-block tally: index k in [1, 4] counts compiled steps on k
+/// qubits whose unitary is the product of >= 2 source gates (index 0 unused).
+using FusedBlocksByK = std::array<std::size_t, 5>;
 
 /// A full shot-replayable program: self-contained (owns gate qubit lists and
 /// matrices), safe to share across threads once built.
@@ -60,6 +66,7 @@ struct CompiledCircuit {
   std::vector<noise::ReadoutError> readout;  // sliced to the circuit's width
   std::size_t source_gates = 0;  // unitary gates before fusion
   std::size_t fused_gates = 0;   // gates merged into a neighbouring step
+  FusedBlocksByK fused_blocks_by_k{};  // fused steps by final arity
   linalg::KernelCounts kernel_counts;  // dispatch classes of the final steps
 };
 
@@ -69,11 +76,19 @@ using GateMatrixFn = std::function<linalg::Matrix(const ir::Gate&)>;
 
 struct CompileOptions {
   /// Fuse a step into its successor when the step carries no noise, the two
-  /// overlap on at least one qubit, and the union stays within 2 qubits (so
-  /// the fused matrix still hits a specialized kernel). Noise draws keep
-  /// their order — only noise-free unitaries merge — so trajectory RNG
-  /// streams are unchanged; amplitudes agree to rounding (~1e-15).
+  /// overlap on at least one qubit, and the union stays within
+  /// `max_fuse_qubits` (so the fused matrix still hits a specialized
+  /// kernel). Noise draws keep their order — only noise-free unitaries merge
+  /// — so trajectory RNG streams are unchanged; amplitudes agree to rounding
+  /// (~1e-15).
   bool fuse_steps = true;
+  /// Largest qubit union a fused step may grow to, clamped to [1, 4] (the
+  /// widest specialized kernel). Greedy growth keeps folding overlapping
+  /// noise-free gates into the trailing step until the union would exceed
+  /// this, turning noise-free regions into dense 8x8/16x16 blocks
+  /// (qsim/Cirq's gate-fusion recipe, Isakov et al., arXiv:2111.02396).
+  /// 2 reproduces the pre-k<=4 behaviour; 1 allows only same-qubit runs.
+  int max_fuse_qubits = 4;
 };
 
 /// Compiles `circuit` against `model` once (phase 1 above). Noise ops that

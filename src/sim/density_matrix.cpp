@@ -71,18 +71,14 @@ void DensityMatrix::apply_kraus(const std::vector<Matrix>& ops,
     std::fill(scratch_accum_.data(), scratch_accum_.data() + dim * dim,
               cplx{0.0, 0.0});
   }
-  cplx* accum = scratch_accum_.data();
   for (std::size_t i = 0; i < ops.size(); ++i) {
     scratch_term_ = rho_;
     linalg::left_apply(scratch_term_, ops[i], qubits);
-    linalg::right_apply(scratch_term_, adjoints[i], qubits);
-    const cplx* term = scratch_term_.data();
-    if (weights) {
-      const double w = (*weights)[i];
-      for (std::size_t j = 0; j < dim * dim; ++j) accum[j] += w * term[j];
-    } else {
-      for (std::size_t j = 0; j < dim * dim; ++j) accum[j] += term[j];
-    }
+    // The right conjugation and the weighted channel sum fuse into one pass:
+    // each row of K_i rho is transformed by K_i† and accumulated while still
+    // cache-hot, instead of a full right_apply sweep plus a dim^2 axpy.
+    linalg::right_apply_accumulate(scratch_accum_, scratch_term_, adjoints[i],
+                                   qubits, weights ? (*weights)[i] : 1.0);
   }
   std::swap(rho_, scratch_accum_);
 }

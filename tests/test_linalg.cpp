@@ -279,10 +279,11 @@ std::vector<int> distinct_qubits(int n, int k, common::Rng& rng) {
 }
 
 /// Applies `op` via the dispatch layer and via the generic path and requires
-/// the results to agree bit-for-bit (classified kernels accumulate in the
-/// generic path's order and only drop exact-zero terms). FMA builds
-/// (QAPPROX_NATIVE) may contract the two loops differently, so there the
-/// check relaxes to the 1e-12 bound.
+/// the results to agree bit-for-bit when the active configuration guarantees
+/// it (scalar ISA, no compile-time FMA contraction — kernels_bit_exact()).
+/// Vector ISAs and FMA builds (QAPPROX_NATIVE) reassociate, so there the
+/// check relaxes to the 1e-12 bound. Threaded slices write disjoint
+/// amplitudes at aligned boundaries, so threading never loosens the check.
 void expect_matches_generic(const std::vector<cplx>& state, const Matrix& op,
                             const std::vector<int>& qubits,
                             const ApplyOptions& options) {
@@ -290,12 +291,11 @@ void expect_matches_generic(const std::vector<cplx>& state, const Matrix& op,
   apply_gate_inplace(generic, op, qubits);
   std::vector<cplx> fast = state;
   apply_operator(fast, op, qubits, options);
-  const bool bit_identical = !kernels_compiled_with_fma() &&
-                             options.parallel_threshold >= state.size();
+  const bool bit_identical = kernels_bit_exact();
   for (std::size_t i = 0; i < state.size(); ++i) {
     ASSERT_NEAR(std::abs(fast[i] - generic[i]), 0.0, 1e-12);
     if (bit_identical) {
-      ASSERT_EQ(fast[i], generic[i]);  // serial dispatch is bit-identical
+      ASSERT_EQ(fast[i], generic[i]);
     }
   }
 }
@@ -314,15 +314,27 @@ TEST(Kernels, ClassifyRecognizesEveryShape) {
   cx(0, 0) = cx(2, 2) = cx(3, 1) = cx(1, 3) = cplx{1.0, 0.0};
   EXPECT_EQ(classify_kernel(cx), KernelKind::TwoQPermPhase);
   EXPECT_EQ(classify_kernel(random_unitary(4, rng)), KernelKind::TwoQGeneral);
-  EXPECT_EQ(classify_kernel(random_unitary(8, rng)), KernelKind::GenericK);
+  EXPECT_EQ(classify_kernel(kernel_test::random_diagonal(8, rng)),
+            KernelKind::ThreeQDiag);
+  EXPECT_EQ(classify_kernel(random_unitary(8, rng)),
+            KernelKind::ThreeQGeneral);
+  EXPECT_EQ(classify_kernel(kernel_test::random_diagonal(16, rng)),
+            KernelKind::FourQDiag);
+  EXPECT_EQ(classify_kernel(random_unitary(16, rng)),
+            KernelKind::FourQGeneral);
+  EXPECT_EQ(classify_kernel(random_unitary(32, rng)), KernelKind::GenericK);
 
   KernelCounts counts;
   counts.add(KernelKind::OneQDiag);
   counts.add(KernelKind::TwoQPermPhase);
   counts.add(KernelKind::TwoQPermPhase);
+  counts.add(KernelKind::ThreeQGeneral);
+  counts.add(KernelKind::FourQDiag);
   EXPECT_EQ(counts.oneq_diag, 1u);
   EXPECT_EQ(counts.twoq_perm_phase, 2u);
-  EXPECT_EQ(counts.total(), 3u);
+  EXPECT_EQ(counts.threeq_general, 1u);
+  EXPECT_EQ(counts.fourq_diag, 1u);
+  EXPECT_EQ(counts.total(), 5u);
 }
 
 TEST(Kernels, RandomizedEquivalenceAcrossWidthsAndShapes) {
@@ -352,9 +364,26 @@ TEST(Kernels, RandomizedEquivalenceAcrossWidthsAndShapes) {
         kernel_test::expect_matches_generic(state, random_unitary(4, rng), q2,
                                             opts);
         if (n < 3) continue;
-        // k = 3 exercises the GenericK fallback through the same entry point.
+        // k = 3/4 hit the fused-block kernels (gather -> mat-vec -> scatter).
+        kernel_test::expect_matches_generic(state,
+                                            kernel_test::random_diagonal(8, rng),
+                                            kernel_test::distinct_qubits(n, 3, rng),
+                                            opts);
         kernel_test::expect_matches_generic(state, random_unitary(8, rng),
                                             kernel_test::distinct_qubits(n, 3, rng),
+                                            opts);
+        if (n < 4) continue;
+        kernel_test::expect_matches_generic(state,
+                                            kernel_test::random_diagonal(16, rng),
+                                            kernel_test::distinct_qubits(n, 4, rng),
+                                            opts);
+        kernel_test::expect_matches_generic(state, random_unitary(16, rng),
+                                            kernel_test::distinct_qubits(n, 4, rng),
+                                            opts);
+        if (n < 5) continue;
+        // k = 5 exercises the GenericK fallback through the same entry point.
+        kernel_test::expect_matches_generic(state, random_unitary(32, rng),
+                                            kernel_test::distinct_qubits(n, 5, rng),
                                             opts);
       }
     }
@@ -391,10 +420,10 @@ TEST(Kernels, MatrixFreeGatesMatchTheirMatrices) {
       got = state;
       apply_diag1(got, d(0, 0), d(1, 1), qs[0]);
       for (std::size_t i = 0; i < got.size(); ++i) {
-        if (kernels_compiled_with_fma()) {  // contraction may differ
-          ASSERT_NEAR(std::abs(got[i] - expect[i]), 0.0, 1e-12);
-        } else {
+        if (kernels_bit_exact()) {
           ASSERT_EQ(got[i], expect[i]);
+        } else {  // vector ISA / FMA contraction may round differently
+          ASSERT_NEAR(std::abs(got[i] - expect[i]), 0.0, 1e-12);
         }
       }
     }
@@ -407,7 +436,7 @@ TEST(Kernels, LeftRightApplyMatchGenericAndGemm) {
   const ApplyOptions threaded{2};
   for (int n = 2; n <= 5; ++n) {
     const std::size_t dim = std::size_t{1} << n;
-    for (int k = 1; k <= 2; ++k) {
+    for (int k = 1; k <= std::min(n, 4); ++k) {
       const auto qs = kernel_test::distinct_qubits(n, k, rng);
       for (const Matrix& op :
            {kernel_test::random_diagonal(std::size_t{1} << k, rng),
@@ -432,6 +461,143 @@ TEST(Kernels, LeftRightApplyMatchGenericAndGemm) {
       }
     }
   }
+}
+
+TEST(Kernels, PermPhaseLeftApplyMatchesEmbeddedGemm) {
+  // CX/SWAP/CY row shuffles take a dedicated cycle-walking path in the
+  // blocked left_apply; check it against the embedded product directly.
+  common::Rng rng(66);
+  const ApplyOptions serial{};
+  const ApplyOptions threaded{2};
+  for (int n = 2; n <= 5; ++n) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto qs = kernel_test::distinct_qubits(n, 2, rng);
+      // Re-draw past identity permutations, which classify as diagonal.
+      Matrix op = kernel_test::random_perm_phase(rng);
+      while (classify_kernel(op) != KernelKind::TwoQPermPhase)
+        op = kernel_test::random_perm_phase(rng);
+      const Matrix u = random_unitary(std::size_t{1} << n, rng);
+      const Matrix e = embed(op, qs, n);
+      for (const ApplyOptions& opts : {serial, threaded}) {
+        Matrix left = u;
+        left_apply(left, op, qs, opts);
+        EXPECT_NEAR(left.max_abs_diff(e * u), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Kernels, RightApplyAccumulateMatchesSeparatePasses) {
+  common::Rng rng(67);
+  const ApplyOptions serial{};
+  const ApplyOptions threaded{2};
+  for (int n = 2; n <= 5; ++n) {
+    const std::size_t dim = std::size_t{1} << n;
+    for (int k = 1; k <= std::min(n, 4); ++k) {
+      const auto qs = kernel_test::distinct_qubits(n, k, rng);
+      const Matrix op = random_unitary(std::size_t{1} << k, rng);
+      const Matrix term = random_unitary(dim, rng);
+      const Matrix accum0 = random_unitary(dim, rng);
+      const double w = 0.25 + rng.uniform();
+
+      Matrix expect = term;
+      right_apply_inplace(expect, op, qs);
+      expect *= cplx{w, 0.0};
+      expect += accum0;
+
+      for (const ApplyOptions& opts : {serial, threaded}) {
+        Matrix accum = accum0;
+        right_apply_accumulate(accum, term, op, qs, w, opts);
+        EXPECT_NEAR(accum.max_abs_diff(expect), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+// ---- runtime SIMD dispatch -------------------------------------------------
+
+TEST(Kernels, SimdDispatchResolvesOverridesAndClamps) {
+  const SimdIsa prev = active_simd_isa();
+  EXPECT_TRUE(simd_isa_supported(prev));
+  EXPECT_TRUE(simd_isa_supported(SimdIsa::Scalar));
+  EXPECT_TRUE(simd_isa_supported(best_supported_simd_isa()));
+
+  bool ok = false;
+  EXPECT_EQ(parse_simd_isa("scalar", &ok), SimdIsa::Scalar);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_simd_isa("avx2", &ok), SimdIsa::Avx2);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_simd_isa("avx512", &ok), SimdIsa::Avx512);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_simd_isa("neon", &ok), SimdIsa::Neon);
+  EXPECT_TRUE(ok);
+  parse_simd_isa("AVX2", &ok);  // case-sensitive by contract
+  EXPECT_FALSE(ok);
+  parse_simd_isa("sse9", &ok);
+  EXPECT_FALSE(ok);
+
+  // The QAPPROX_SIMD resolution rules: unset/empty auto-detect, a supported
+  // name pins, unknown or unsupported names fall back to auto-detection.
+  EXPECT_EQ(resolve_simd_isa(nullptr), best_supported_simd_isa());
+  EXPECT_EQ(resolve_simd_isa(""), best_supported_simd_isa());
+  EXPECT_EQ(resolve_simd_isa("scalar"), SimdIsa::Scalar);
+  EXPECT_EQ(resolve_simd_isa("sse9"), best_supported_simd_isa());
+  for (SimdIsa isa : {SimdIsa::Avx2, SimdIsa::Avx512, SimdIsa::Neon}) {
+    EXPECT_EQ(resolve_simd_isa(simd_isa_name(isa)),
+              simd_isa_supported(isa) ? isa : best_supported_simd_isa());
+  }
+
+  // force_simd_isa installs supported requests and clamps the rest.
+  for (SimdIsa isa : {SimdIsa::Scalar, SimdIsa::Avx2, SimdIsa::Avx512,
+                      SimdIsa::Neon}) {
+    const SimdIsa got = force_simd_isa(isa);
+    EXPECT_TRUE(simd_isa_supported(got));
+    if (simd_isa_supported(isa)) EXPECT_EQ(got, isa);
+    EXPECT_EQ(active_simd_isa(), got);
+  }
+  force_simd_isa(prev);
+  EXPECT_EQ(active_simd_isa(), prev);
+
+  // Bit-exactness requires the scalar ISA (and no compile-time FMA).
+  force_simd_isa(SimdIsa::Scalar);
+  EXPECT_EQ(kernels_bit_exact(), !kernels_compiled_with_fma());
+  if (best_supported_simd_isa() != SimdIsa::Scalar) {
+    force_simd_isa(best_supported_simd_isa());
+    EXPECT_FALSE(kernels_bit_exact());
+  }
+  force_simd_isa(prev);
+}
+
+TEST(Kernels, EveryHostIsaMatchesScalarWithinTolerance) {
+  common::Rng rng(68);
+  const SimdIsa prev = active_simd_isa();
+  const ApplyOptions serial{};
+  const ApplyOptions threaded{2};
+  for (int n = 1; n <= 7; ++n) {
+    const auto state = kernel_test::random_state(n, rng);
+    for (int k = 1; k <= std::min(n, 4); ++k) {
+      const auto qs = kernel_test::distinct_qubits(n, k, rng);
+      const std::size_t sub = std::size_t{1} << k;
+      for (const Matrix& op : {kernel_test::random_diagonal(sub, rng),
+                               random_unitary(sub, rng)}) {
+        force_simd_isa(SimdIsa::Scalar);
+        std::vector<cplx> ref = state;
+        apply_operator(ref, op, qs, serial);
+        for (SimdIsa isa : {SimdIsa::Avx2, SimdIsa::Avx512, SimdIsa::Neon}) {
+          if (!simd_isa_supported(isa)) continue;
+          ASSERT_EQ(force_simd_isa(isa), isa);
+          for (const ApplyOptions& opts : {serial, threaded}) {
+            std::vector<cplx> got = state;
+            apply_operator(got, op, qs, opts);
+            for (std::size_t i = 0; i < got.size(); ++i)
+              ASSERT_NEAR(std::abs(got[i] - ref[i]), 0.0, 1e-12)
+                  << simd_isa_name(isa) << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+  force_simd_isa(prev);
 }
 
 }  // namespace
