@@ -16,6 +16,17 @@
 //               [--inflight=N]       max outstanding per connection (32)
 //               [--deadline-ms=N]    per-job soft deadline (default 150)
 //               [--csv=PATH]         latency histogram artifact
+//               [--prom-dump=PREFIX] scrape the wire `metrics` endpoint
+//                                    mid-soak and at the end; write
+//                                    PREFIX_mid.prom / PREFIX_final.prom
+//                                    ("" disables the scraper)
+//
+// Beyond latency, every job reply's server-side timeline (queued_ns /
+// exec_ns) is collected, so the artifact CSV and the stdout tables split
+// client-observed latency into queue wait vs execution — per percentile and
+// per tenant. When the scraper is on, the final frame also compares the
+// server's rolling-window latency percentiles against the client-measured
+// distribution over the same wall span (the live-SLO cross-check).
 //
 // Exit is nonzero when any reply is missing, duplicated, or uncorrelated —
 // the soak gate in CI runs this under QAPPROX_FAULTS and a sanitizer build.
@@ -35,6 +46,7 @@
 #include "common/strings.hpp"
 #include "common/driver.hpp"
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "serve/client.hpp"
@@ -45,13 +57,23 @@ namespace {
 using qc::common::json::Value;
 using Clock = std::chrono::steady_clock;
 
+struct Sample {
+  double latency_ms = 0.0;       // client-measured, send -> reply
+  double received_at_ms = 0.0;   // reply arrival, relative to soak start
+  std::uint64_t queue_wait_ns = 0;  // server timeline (jobs only)
+  std::uint64_t exec_ns = 0;
+  std::size_t tenant = 0;        // index into the tenant name table
+  bool has_timeline = false;
+};
+
 struct ReplyLog {
   std::mutex mu;
   // reply counts per request id (exactly-one assertion) and latencies.
   std::vector<int> replies;       // indexed by numeric request id
-  std::vector<double> latency_ms;
+  std::vector<Sample> samples;
   std::vector<std::string> statuses;
   std::uint64_t unknown_ids = 0;
+  Clock::time_point t0;
 };
 
 Value make_request(std::uint64_t id, const std::string& tenant,
@@ -113,6 +135,7 @@ void drive_connection(const std::string& socket_path, std::uint64_t first,
       if (!reply.has_value())
         throw qc::common::Error("connection closed with replies outstanding");
       ++received;
+      const auto now = Clock::now();
       const Value* id = reply->find("id");
       const std::string status = reply->get_string("status", "?");
       std::lock_guard<std::mutex> lock(log.mu);
@@ -123,9 +146,20 @@ void drive_connection(const std::string& socket_path, std::uint64_t first,
       }
       const std::uint64_t idx = id->as_uint64() - first;
       log.replies[id->as_uint64()] += 1;
-      log.latency_ms.push_back(
-          std::chrono::duration<double, std::milli>(Clock::now() - sent_at[idx])
-              .count());
+      Sample sample;
+      sample.latency_ms =
+          std::chrono::duration<double, std::milli>(now - sent_at[idx]).count();
+      sample.received_at_ms =
+          std::chrono::duration<double, std::milli>(now - log.t0).count();
+      sample.tenant = (first + idx) % tenants.size();
+      if (const Value* timeline = reply->find("timeline")) {
+        sample.has_timeline = true;
+        sample.queue_wait_ns =
+            static_cast<std::uint64_t>(timeline->get_number("queued_ns", 0.0));
+        sample.exec_ns =
+            static_cast<std::uint64_t>(timeline->get_number("exec_ns", 0.0));
+      }
+      log.samples.push_back(sample);
       log.statuses.push_back(status);
     }
   } catch (const std::exception& e) {
@@ -145,6 +179,64 @@ double percentile(std::vector<double> sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// One wire `metrics` call on a throwaway connection; empty optional when
+/// the server is unreachable or the reply is malformed.
+std::optional<Value> scrape_metrics(const std::string& socket_path,
+                                    const char* format) {
+  try {
+    qc::serve::Client client = qc::serve::Client::connect(socket_path);
+    Value req = Value::object();
+    req.set("id", "scrape");
+    req.set("type", "metrics");
+    Value params = Value::object();
+    params.set("format", format);
+    req.set("params", std::move(params));
+    Value reply = client.call(req);
+    const Value* result = reply.find("result");
+    if (result == nullptr || reply.get_string("status", "") != "ok")
+      return std::nullopt;
+    return *result;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Polls the live `metrics` endpoint from its own connection while the load
+/// runs. The first exposition captured after jobs started flowing is kept as
+/// the "mid-soak" artifact — later polls still run (they exercise concurrent
+/// scraping) but do not overwrite it, so the final dump taken by finish()
+/// genuinely post-dates it and CI's counter-monotonicity check has teeth.
+struct MetricsScraper {
+  std::string socket_path;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+  std::mutex mu;
+  std::string mid_prom;
+
+  void start() {
+    thread = std::thread([this] {
+      while (!stop.load()) {
+        if (std::optional<Value> result =
+                scrape_metrics(socket_path, "prometheus")) {
+          const std::string body = result->get_string("body", "");
+          // Keep the first scrape that already saw completed jobs.
+          if (!body.empty() &&
+              body.find("qapprox_serve_job_latency_ns") != std::string::npos) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (mid_prom.empty()) mid_prom = body;
+          }
+        }
+        for (int i = 0; i < 5 && !stop.load(); ++i)
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+  void finish() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+};
+
 }  // namespace
 
 static int run(int argc, char** argv) {
@@ -160,6 +252,7 @@ static int run(int argc, char** argv) {
   const std::size_t inflight =
       static_cast<std::size_t>(std::max(1, ctx.args.get_int("inflight", 32)));
   const double deadline_ms = ctx.args.get_double("deadline-ms", 150.0);
+  const std::string prom_dump = ctx.args.get("prom-dump", "");
   std::string socket_path = ctx.args.get("socket", "");
 
   // CI mode: no --socket means host the server in-process on a local socket.
@@ -182,10 +275,15 @@ static int run(int argc, char** argv) {
 
   ReplyLog log;
   log.replies.assign(jobs, 0);
-  log.latency_ms.reserve(jobs);
+  log.samples.reserve(jobs);
   std::atomic<bool> failed{false};
 
+  MetricsScraper scraper;
+  scraper.socket_path = socket_path;
+  if (!prom_dump.empty()) scraper.start();
+
   const auto t0 = Clock::now();
+  log.t0 = t0;
   std::vector<std::thread> drivers;
   const std::uint64_t per_conn = (jobs + connections - 1) / connections;
   for (std::size_t c = 0; c < connections; ++c) {
@@ -201,6 +299,19 @@ static int run(int argc, char** argv) {
   const double wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 
+  // Final scrapes while the server is still up: the JSON tree for the
+  // rolling-vs-client comparison, the exposition for the CI artifact pair.
+  std::optional<Value> final_metrics;
+  std::string final_prom;
+  if (!prom_dump.empty()) {
+    scraper.finish();
+    final_metrics = scrape_metrics(socket_path, "json");
+    if (std::optional<Value> result = scrape_metrics(socket_path, "prometheus"))
+      final_prom = result->get_string("body", "");
+  }
+  const double finished_at_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
   // ---- the contract: exactly one reply per request --------------------------
   std::uint64_t missing = 0, duplicated = 0;
   for (std::uint64_t i = 0; i < jobs; ++i) {
@@ -210,8 +321,18 @@ static int run(int argc, char** argv) {
   std::map<std::string, std::uint64_t> by_status;
   for (const std::string& s : log.statuses) ++by_status[s];
 
-  std::vector<double> sorted = log.latency_ms;
+  std::vector<double> sorted, qwait_ns_sorted, exec_ns_sorted;
+  sorted.reserve(log.samples.size());
+  for (const Sample& s : log.samples) {
+    sorted.push_back(s.latency_ms);
+    if (s.has_timeline) {
+      qwait_ns_sorted.push_back(static_cast<double>(s.queue_wait_ns));
+      exec_ns_sorted.push_back(static_cast<double>(s.exec_ns));
+    }
+  }
   std::sort(sorted.begin(), sorted.end());
+  std::sort(qwait_ns_sorted.begin(), qwait_ns_sorted.end());
+  std::sort(exec_ns_sorted.begin(), exec_ns_sorted.end());
   const double p50 = percentile(sorted, 0.50);
   const double p95 = percentile(sorted, 0.95);
   const double p99 = percentile(sorted, 0.99);
@@ -224,16 +345,94 @@ static int run(int argc, char** argv) {
                 static_cast<unsigned long long>(n));
   std::printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n", p50, p95,
               p99, sorted.empty() ? 0.0 : sorted.back());
+  std::printf("server timeline (%zu jobs): queue-wait p95 %.2f ms, exec p95 "
+              "%.2f ms\n",
+              qwait_ns_sorted.size(),
+              percentile(qwait_ns_sorted, 0.95) / 1e6,
+              percentile(exec_ns_sorted, 0.95) / 1e6);
 
-  // Latency histogram artifact (CI uploads this CSV).
-  common::Table table({"percentile", "latency_ms"});
+  // Per-tenant breakdown: client latency plus the server-side split, so a
+  // fairness regression (one tenant's queue wait ballooning) is visible in
+  // the soak output directly.
+  std::printf("per-tenant (client ms / server ns percentiles):\n");
+  std::printf("  %-10s %6s %9s %9s %9s %12s %12s\n", "tenant", "n", "p50 ms",
+              "p95 ms", "p99 ms", "qwait p95 ms", "exec p95 ms");
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    std::vector<double> lat, qw, ex;
+    for (const Sample& s : log.samples) {
+      if (s.tenant != t) continue;
+      lat.push_back(s.latency_ms);
+      if (s.has_timeline) {
+        qw.push_back(static_cast<double>(s.queue_wait_ns));
+        ex.push_back(static_cast<double>(s.exec_ns));
+      }
+    }
+    std::sort(lat.begin(), lat.end());
+    std::sort(qw.begin(), qw.end());
+    std::sort(ex.begin(), ex.end());
+    std::printf("  %-10s %6zu %9.2f %9.2f %9.2f %12.2f %12.2f\n",
+                tenants[t].c_str(), lat.size(), percentile(lat, 0.50),
+                percentile(lat, 0.95), percentile(lat, 0.99),
+                percentile(qw, 0.95) / 1e6, percentile(ex, 0.95) / 1e6);
+  }
+
+  // Latency histogram artifact (CI uploads this CSV) with the server-side
+  // phase split alongside the client-observed latency.
+  common::Table table({"percentile", "latency_ms", "queue_wait_ns", "exec_ns"});
   const double percentiles[] = {0.5, 0.75, 0.9, 0.95, 0.99, 1.0};
   for (const double p : percentiles)
     table.add_row({common::format_double(p, 2),
-                   common::format_double(percentile(sorted, p), 3)});
+                   common::format_double(percentile(sorted, p), 3),
+                   common::format_double(percentile(qwait_ns_sorted, p), 0),
+                   common::format_double(percentile(exec_ns_sorted, p), 0)});
   const std::string csv_path = ctx.args.get("csv", "bench_serve_latency.csv");
   table.write_csv(csv_path);
   std::printf("latency table -> %s\n", csv_path.c_str());
+
+  if (!prom_dump.empty()) {
+    if (!scraper.mid_prom.empty())
+      common::atomic_write_file(prom_dump + "_mid.prom", scraper.mid_prom);
+    if (!final_prom.empty())
+      common::atomic_write_file(prom_dump + "_final.prom", final_prom);
+    std::printf("prometheus dumps -> %s_mid.prom, %s_final.prom (%s)\n",
+                prom_dump.c_str(), prom_dump.c_str(),
+                scraper.mid_prom.empty() || final_prom.empty()
+                    ? "INCOMPLETE"
+                    : "ok");
+  }
+
+  // Live-SLO cross-check: the server's rolling latency percentiles against
+  // the client-measured distribution over the same wall span. Client numbers
+  // include frame transport and socket queueing ahead of admission, so they
+  // upper-bound the server's; large divergence beyond that flags a rolling
+  // histogram bug.
+  if (final_metrics) {
+    const Value* metrics = final_metrics->find("metrics");
+    const Value* rolling = metrics ? metrics->find("rolling") : nullptr;
+    const Value* lat = rolling ? rolling->find("serve.job.latency_ns") : nullptr;
+    if (lat != nullptr && lat->is_object()) {
+      const double covered_ms = lat->get_number("covered_s", 0.0) * 1000.0;
+      std::vector<double> windowed;
+      for (const Sample& s : log.samples)
+        if (s.received_at_ms >= finished_at_ms - covered_ms)
+          windowed.push_back(s.latency_ms);
+      std::sort(windowed.begin(), windowed.end());
+      std::printf(
+          "rolling vs client over last %.1f s (%zu client samples):\n",
+          covered_ms / 1000.0, windowed.size());
+      const std::pair<const char*, double> quantiles[] = {
+          {"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}};
+      for (const auto& [key, p] : quantiles) {
+        const double server_ms = lat->get_number(key, 0.0) / 1e6;
+        const double client_ms = percentile(windowed, p);
+        std::printf("  %s: server %8.2f ms   client %8.2f ms   (%+.1f%%)\n",
+                    key, server_ms, client_ms,
+                    client_ms > 0.0
+                        ? 100.0 * (server_ms - client_ms) / client_ms
+                        : 0.0);
+      }
+    }
+  }
 
   std::uint64_t peak_queued = 0;
   if (server) {

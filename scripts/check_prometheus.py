@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Validate qapprox Prometheus text-exposition dumps.
+
+Usage: check_prometheus.py DUMP [DUMP...] [--require-prefix qapprox_]
+
+Each DUMP is a text-exposition (0.0.4) file, e.g. the `<path>.prom` snapshot
+written by `QAPPROX_METRICS_PERIOD_MS` or the `--prom-dump` files emitted by
+bench_serve. For every file the checker asserts:
+
+  * every sample line parses as `name{labels} value` with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and legal label names;
+  * every sample's family has a preceding `# TYPE` line, exactly one per
+    family, with a known type (counter|gauge|summary|histogram|untyped);
+  * sample values are finite decimals (or +Inf/-Inf/NaN where the format
+    allows them);
+  * summary families expose `quantile` series plus `_sum`/`_count`
+    companions, and quantiles are within [0,1] and non-decreasing in value
+    as the quantile grows;
+  * no duplicate sample (same name + label set) within one dump.
+
+When two or more dumps are given they are treated as successive scrapes of
+the same process (mid-soak then final): every counter family and every
+summary `_count`/`_sum` present in an earlier dump must be monotonically
+non-decreasing in the later ones — the rolling-window exporter must never
+publish a counter that goes backwards, or Prometheus rate() silently
+miscounts.
+
+Exit code 0 when every check passes, 1 otherwise (each violation is printed).
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def base_family(name, types):
+    """Maps `_sum`/`_count`/`_bucket` companions back to their family."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def check_dump(path, errors):
+    """Returns {(name, labels_tuple): value} and {family: type} for `path`."""
+    samples = {}
+    types = {}
+    with open(path) as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"{where}: malformed TYPE line: {line!r}")
+                continue
+            _, _, family, kind = parts
+            if not METRIC_NAME.match(family):
+                errors.append(f"{where}: illegal family name {family!r}")
+            if kind not in KNOWN_TYPES:
+                errors.append(f"{where}: unknown type {kind!r} for {family}")
+            if family in types:
+                errors.append(f"{where}: duplicate TYPE line for {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        label_text = m.group("labels") or ""
+        labels = tuple(sorted(LABEL_PAIR.findall(label_text)))
+        # Every byte of the label block must belong to a parsed pair.
+        reconstructed = ",".join(f'{k}="{v}"' for k, v in LABEL_PAIR.findall(label_text))
+        if label_text and len(label_text.replace(", ", ",")) != len(reconstructed):
+            errors.append(f"{where}: malformed label block: {{{label_text}}}")
+        for key, _ in labels:
+            if not LABEL_NAME.match(key):
+                errors.append(f"{where}: illegal label name {key!r}")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"{where}: non-numeric value {m.group('value')!r}")
+            continue
+        family = base_family(name, types)
+        if family not in types:
+            errors.append(f"{where}: sample {name!r} has no preceding TYPE line")
+        if (name, labels) in samples:
+            errors.append(f"{where}: duplicate sample {name}{dict(labels)}")
+        samples[(name, labels)] = value
+
+    # Summary shape: quantile series in [0,1], plus _sum and _count.
+    for family, kind in types.items():
+        if kind != "summary":
+            continue
+        quantiles = []
+        for (name, labels), value in samples.items():
+            if name != family:
+                continue
+            qs = [v for k, v in labels if k == "quantile"]
+            if not qs:
+                errors.append(f"{path}: summary {family} sample lacks quantile label")
+                continue
+            q = float(qs[0])
+            if not 0.0 <= q <= 1.0:
+                errors.append(f"{path}: {family} quantile {q} outside [0,1]")
+            rest = tuple((k, v) for k, v in labels if k != "quantile")
+            quantiles.append((rest, q, value))
+        if not any(name == family + "_count" for name, _ in samples):
+            errors.append(f"{path}: summary {family} missing _count")
+        if not any(name == family + "_sum" for name, _ in samples):
+            errors.append(f"{path}: summary {family} missing _sum")
+        # Within one label set, a higher quantile cannot report a smaller value.
+        by_rest = {}
+        for rest, q, value in quantiles:
+            by_rest.setdefault(rest, []).append((q, value))
+        for rest, series in by_rest.items():
+            series.sort()
+            for (q1, v1), (q2, v2) in zip(series, series[1:]):
+                if not math.isnan(v1) and not math.isnan(v2) and v2 < v1:
+                    errors.append(
+                        f"{path}: {family}{dict(rest)} quantile {q2} value {v2} "
+                        f"< quantile {q1} value {v1}"
+                    )
+    return samples, types
+
+
+def check_monotonic(prev, prev_path, cur, cur_path, cur_types, errors):
+    for (name, labels), value in cur.items():
+        family = base_family(name, cur_types)
+        kind = cur_types.get(family)
+        monotonic = kind == "counter" or (
+            kind in ("summary", "histogram") and name != family
+        )
+        if not monotonic or (name, labels) not in prev:
+            continue
+        before = prev[(name, labels)]
+        if not math.isnan(before) and not math.isnan(value) and value < before:
+            errors.append(
+                f"{name}{dict(labels)}: went backwards "
+                f"({prev_path}={before} -> {cur_path}={value})"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dumps", nargs="+", help="exposition files, oldest first")
+    parser.add_argument(
+        "--require-prefix",
+        default="",
+        help="fail unless at least one family starts with this prefix",
+    )
+    args = parser.parse_args()
+
+    errors = []
+    scrapes = []
+    for path in args.dumps:
+        samples, types = check_dump(path, errors)
+        if args.require_prefix and not any(
+            f.startswith(args.require_prefix) for f in types
+        ):
+            errors.append(f"{path}: no family with prefix {args.require_prefix!r}")
+        scrapes.append((path, samples, types))
+        print(
+            f"{path}: {len(samples)} samples across {len(types)} families "
+            f"({sum(1 for t in types.values() if t == 'counter')} counters, "
+            f"{sum(1 for t in types.values() if t == 'summary')} summaries)"
+        )
+
+    for (prev_path, prev, _), (cur_path, cur, cur_types) in zip(
+        scrapes, scrapes[1:]
+    ):
+        check_monotonic(prev, prev_path, cur, cur_path, cur_types, errors)
+
+    if errors:
+        for e in errors:
+            print(f"ERROR: {e}", file=sys.stderr)
+        print(f"{len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("all exposition checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

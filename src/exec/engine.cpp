@@ -336,11 +336,12 @@ std::shared_ptr<const sim::CompiledCircuit> ExecutionEngine::compiled_ideal_cach
 
 std::vector<double> ExecutionEngine::trajectory_probabilities(
     const sim::CompiledCircuit& compiled, std::size_t shots, std::uint64_t seed,
-    const common::Deadline& deadline, RunRecord& rec) {
+    const common::Deadline& deadline, const obs::TraceContext& parent,
+    RunRecord& rec) {
   QC_CHECK(shots > 0);
   const std::size_t block = options_.trajectory_block;
   const std::size_t num_blocks = (shots + block - 1) / block;
-  obs::Span span("exec.trajectories");
+  obs::Span span("exec.trajectories", parent);
   if (span.active()) {
     span.arg("shots", shots);
     span.arg("blocks", num_blocks);
@@ -354,8 +355,9 @@ std::vector<double> ExecutionEngine::trajectory_probabilities(
   // are bit-identical for every pool size and merge order. (A timed-out run
   // is the exception: which shots finish before expiry depends on thread
   // scheduling, so partial results are flagged, not reproducible.)
+  const obs::TraceContext traj_ctx = span.context();  // pool threads parent here
   pool().parallel_for(0, num_blocks, [&](std::size_t b) {
-    obs::Span block_span("exec.traj_block");
+    obs::Span block_span("exec.traj_block", traj_ctx);
     const std::size_t begin = b * block;
     const std::size_t end = std::min(shots, begin + block);
     if (block_span.active()) block_span.arg("shots", end - begin);
@@ -377,7 +379,11 @@ std::vector<double> ExecutionEngine::trajectory_probabilities(
 }
 
 RunResult ExecutionEngine::run(const RunRequest& request) {
-  obs::Span run_span("exec.run", &timers().run);
+  obs::Span run_span("exec.run", request.trace_parent, &timers().run);
+  // Phase spans chain under exec.run; a request with a trace context (served
+  // jobs) therefore exports transpile/model/compile/evolve as children of
+  // the caller's trace rather than as disconnected top-level slices.
+  const obs::TraceContext run_ctx = run_span.context();
   static obs::Counter& runs_counter = obs::counter("exec.runs");
   runs_counter.add(1);
   common::Stopwatch watch;
@@ -388,10 +394,11 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
   RunResult result;
   RunRecord& rec = result.record;
   rec.build_stamp = obs::build_info_summary();
+  rec.trace_id = run_ctx.trace_id;
 
   std::shared_ptr<const transpile::TranspileResult> tr;
   {
-    obs::Span span("exec.transpile", &timers().transpile);
+    obs::Span span("exec.transpile", run_ctx, &timers().transpile);
     tr = transpile_cached(request, &rec.transpile_cache_hit);
     rec.transpiled_cx = tr->circuit.count(ir::GateKind::CX);
     rec.transpiled_depth = tr->circuit.depth();
@@ -412,17 +419,17 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
   std::shared_ptr<const noise::NoiseModel> model;
   if (request.config.ideal) {
     rec.engine = "ideal";
-    obs::Span span("exec.compile", &timers().compile);
+    obs::Span span("exec.compile", run_ctx, &timers().compile);
     compiled = compiled_ideal_cached(make_transpile_key(request), *tr,
                                      &rec.compiled_cache_hit);
     if (span.active()) span.arg("cache_hit", rec.compiled_cache_hit);
   } else {
     {
-      obs::Span span("exec.model", &timers().model);
+      obs::Span span("exec.model", run_ctx, &timers().model);
       model = model_cached(request, *tr, &rec.noise_model_cache_hit);
       if (span.active()) span.arg("cache_hit", rec.noise_model_cache_hit);
     }
-    obs::Span span("exec.compile", &timers().compile);
+    obs::Span span("exec.compile", run_ctx, &timers().compile);
     compiled = compiled_cached(make_transpile_key(request),
                                make_model_key(request, *tr), *tr, *model,
                                &rec.compiled_cache_hit);
@@ -437,14 +444,15 @@ RunResult ExecutionEngine::run(const RunRequest& request) {
 
   std::vector<double> probs;
   {
-    obs::Span span("exec.evolve", &timers().evolve);
+    obs::Span span("exec.evolve", run_ctx, &timers().evolve);
     if (request.config.ideal) {
       probs = sim::statevector_probabilities(*compiled, deadline, &rec.timed_out);
     } else if (request.config.use_trajectories) {
       rec.engine = "traj:" + model->device_name();
       rec.shots = request.config.shots;
       probs = trajectory_probabilities(*compiled, request.config.shots,
-                                       request.config.seed, deadline, rec);
+                                       request.config.seed, deadline,
+                                       span.context(), rec);
     } else {
       rec.engine = "dm:" + model->device_name();
       probs = sim::density_matrix_probabilities(*compiled, deadline, &rec.timed_out);

@@ -197,6 +197,7 @@ class ExecutionEngine {
                                                std::size_t shots,
                                                std::uint64_t seed,
                                                const common::Deadline& deadline,
+                                               const obs::TraceContext& parent,
                                                RunRecord& rec);
 
   EngineOptions options_;

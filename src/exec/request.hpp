@@ -20,6 +20,7 @@
 #include "linalg/kernels.hpp"
 #include "noise/device.hpp"
 #include "noise/noise_model.hpp"
+#include "obs/trace.hpp"
 #include "transpile/pipeline.hpp"
 
 namespace qc::exec {
@@ -68,6 +69,12 @@ struct RunRequest {
   /// probabilistic fault spec degenerates to all-or-nothing.
   static constexpr std::uint64_t kFaultStreamFromBatchIndex = ~0ull;
   std::uint64_t fault_stream = kFaultStreamFromBatchIndex;
+  /// Trace parentage: when valid, the engine's exec.run span (and every
+  /// phase span under it, down to trajectory blocks on pool threads) joins
+  /// the caller's trace instead of starting an orphan — this is how a served
+  /// job's admission, queue-wait, and engine phases export as one connected
+  /// trace. Invalid (the default) keeps the pre-existing unparented spans.
+  obs::TraceContext trace_parent;
 };
 
 /// How a request finished. TimedOut results still carry a best-effort
@@ -117,6 +124,9 @@ struct RunRecord {
   /// Trajectory engine only: shots actually completed before the deadline
   /// (== `shots` on an untimed run).
   std::size_t completed_shots = 0;
+  /// Trace this run's spans were recorded under (0 when the request carried
+  /// no trace context) — the key for per-trace extraction and tail sampling.
+  std::uint64_t trace_id = 0;
 };
 
 /// Outcome distribution (virtual bit order, normalized) plus its provenance.

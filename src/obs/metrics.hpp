@@ -98,15 +98,40 @@ struct MetricsSnapshot {
     /// (bit width, count) for non-empty buckets only.
     std::vector<std::pair<int, std::uint64_t>> buckets;
   };
+  /// Rolling-window summary (see obs/rolling.hpp): live percentiles over the
+  /// retention span plus the monotonic totals.
+  struct Rolling {
+    std::string name;
+    std::uint64_t count = 0;      // samples inside the window
+    std::uint64_t sum = 0;
+    std::uint64_t total_count = 0;  // monotonic since registration
+    std::uint64_t total_sum = 0;
+    std::uint64_t window_ns = 0;
+    std::size_t num_windows = 0;
+    double covered_seconds = 0.0;
+    double rate_per_second = 0.0;
+    double p50 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<Hist> histograms;
+  std::vector<Rolling> rollings;
 };
 
 MetricsSnapshot metrics_snapshot();
 
-/// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// One JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{...},"rolling":{...}}.
 std::string metrics_json();
+
+/// Prometheus text exposition (version 0.0.4) of the same snapshot. Names
+/// are prefixed `qapprox_` and sanitized (non-[a-zA-Z0-9_] -> '_');
+/// `.kind.<x>` / `.tenant.<x>` name segments become {kind="x"} /
+/// {tenant="x"} labels. Counters export as `counter`, gauges as `gauge`,
+/// histograms as count/sum `summary` pairs, and rolling histograms as
+/// `summary` with live {quantile="0.5|0.9|0.95|0.99"} samples over their
+/// window plus monotonic _sum/_count totals.
+std::string metrics_prometheus();
 
 /// Human-readable table (histograms summarized as count/mean).
 std::string metrics_table();
@@ -115,7 +140,8 @@ std::string metrics_table();
 /// Returns false (and logs an error) when the file cannot be written.
 bool write_metrics_json(const std::string& path);
 
-/// Zeroes every registered instrument (tests; instruments stay registered).
+/// Zeroes every registered instrument, including rolling histograms (tests;
+/// instruments stay registered).
 void reset_metrics();
 
 }  // namespace qc::obs

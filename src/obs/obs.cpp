@@ -58,6 +58,8 @@ void init_from_env() {
 const std::string& trace_export_path() { return trace_path_storage(); }
 const std::string& metrics_export_path() { return metrics_path_storage(); }
 
+void flush_exports() { export_at_exit(); }
+
 namespace {
 /// Applies the environment as early as possible for binaries that link this
 /// TU; cold constructors re-invoke init_from_env() as a fallback for link

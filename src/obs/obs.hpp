@@ -32,4 +32,12 @@ void init_from_env();
 const std::string& trace_export_path();
 const std::string& metrics_export_path();
 
+/// Writes the armed QAPPROX_TRACE / QAPPROX_METRICS exports immediately (the
+/// same files the at-exit hook would produce). Long-lived daemons call this
+/// after a graceful SIGTERM drain so killed soaks still leave artifacts even
+/// if a later teardown step wedges; calling it again (or the at-exit hook
+/// re-firing) just overwrites with fresher data. No-op when neither export
+/// is armed.
+void flush_exports();
+
 }  // namespace qc::obs

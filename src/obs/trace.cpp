@@ -1,6 +1,8 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -13,6 +15,11 @@ namespace qc::obs {
 namespace detail {
 
 std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+std::atomic<std::uint64_t> g_next_id{1};
+std::atomic<std::size_t> g_capacity{0};  // per-thread ring cap, 0 = unbounded
+}  // namespace
 
 std::uint64_t trace_now_ns() {
   return static_cast<std::uint64_t>(
@@ -27,14 +34,19 @@ struct TraceEvent {
   const char* name;  // string-literal contract (see trace.hpp)
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::vector<SpanArg> args;
 };
 
 /// One buffer per thread. The mutex is uncontended except while an exporter
-/// drains: the owning thread appends, the exporter copies.
+/// drains: the owning thread appends, the exporter copies. With a capacity
+/// set the vector becomes a ring (write cursor wraps, oldest overwritten).
 struct ThreadBuffer {
   std::mutex mu;
   std::vector<TraceEvent> events;
+  std::size_t next = 0;  // ring write cursor, used once capacity is reached
   std::uint32_t tid = 0;
 };
 
@@ -69,15 +81,41 @@ ThreadBuffer& thread_buffer() {
 }  // namespace
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-                 std::vector<SpanArg>&& args) {
+                 std::uint64_t trace_id, std::uint64_t span_id,
+                 std::uint64_t parent_span_id, std::vector<SpanArg>&& args) {
   ThreadBuffer& buf = thread_buffer();
+  const std::size_t cap = g_capacity.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buf.mu);
-  buf.events.push_back(TraceEvent{name, start_ns, end_ns, std::move(args)});
+  TraceEvent ev{name,    start_ns, end_ns,         trace_id,
+                span_id, parent_span_id, std::move(args)};
+  if (cap != 0 && buf.events.size() >= cap) {
+    if (buf.next >= buf.events.size()) buf.next = 0;
+    buf.events[buf.next++] = std::move(ev);
+  } else {
+    buf.events.push_back(std::move(ev));
+  }
 }
 
 std::uint32_t this_thread_id() { return thread_buffer().tid; }
 
 }  // namespace detail
+
+TraceContext mint_trace() {
+  TraceContext ctx;
+  ctx.trace_id = detail::g_next_id.fetch_add(1, std::memory_order_relaxed);
+  ctx.span_id = detail::g_next_id.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+TraceContext mint_child(const TraceContext& parent) {
+  if (!parent.valid()) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = detail::g_next_id.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+std::uint64_t now_ns() { return detail::trace_now_ns(); }
 
 void enable_tracing() {
   detail::registry();  // pin t0 before the first event
@@ -88,16 +126,25 @@ void disable_tracing() {
   detail::g_trace_enabled.store(false, std::memory_order_relaxed);
 }
 
+void set_trace_capacity(std::size_t max_events_per_thread) {
+  detail::g_capacity.store(max_events_per_thread, std::memory_order_relaxed);
+}
+
 void reset_trace() {
   detail::TraceRegistry& reg = detail::registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   for (auto& buf : reg.buffers) {
     std::lock_guard<std::mutex> block(buf->mu);
     buf->events.clear();
+    buf->next = 0;
   }
 }
 
-std::string chrome_trace_json() {
+namespace {
+
+/// Shared exporter: trace_filter == 0 keeps everything; otherwise only spans
+/// of that trace (plus their flow arrows) are written.
+std::string chrome_trace_json_impl(std::uint64_t trace_filter) {
   detail::TraceRegistry& reg = detail::registry();
   std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
   std::uint64_t t0 = 0;
@@ -107,30 +154,59 @@ std::string chrome_trace_json() {
     t0 = reg.t0_ns;
   }
 
+  struct Drained {
+    std::uint32_t tid;
+    std::vector<detail::TraceEvent> events;
+  };
+  std::vector<Drained> drained;
+  drained.reserve(buffers.size());
+  // First pass: copy + filter, and index span ids so parent->child edges
+  // that cross threads can be bound with flow arrows.
+  struct SpanLoc {
+    std::uint32_t tid;
+    std::uint64_t start_ns;
+  };
+  std::map<std::uint64_t, SpanLoc> span_index;
+  for (const auto& buf : buffers) {
+    Drained d;
+    d.tid = buf->tid;
+    {
+      std::lock_guard<std::mutex> lock(buf->mu);
+      d.events.reserve(buf->events.size());
+      for (const auto& ev : buf->events)
+        if (trace_filter == 0 || ev.trace_id == trace_filter)
+          d.events.push_back(ev);
+    }
+    for (const auto& ev : d.events)
+      if (ev.span_id != 0) span_index[ev.span_id] = {d.tid, ev.start_ns};
+    drained.push_back(std::move(d));
+  }
+
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"qapprox\"}}";
   char num[64];
-  for (const auto& buf : buffers) {
-    std::vector<detail::TraceEvent> events;
-    {
-      std::lock_guard<std::mutex> lock(buf->mu);
-      events = buf->events;
-    }
-    for (const auto& ev : events) {
+  const auto micros = [&](std::uint64_t ns) {
+    std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(ns) / 1000.0);
+    return num;
+  };
+  for (const auto& d : drained) {
+    for (const auto& ev : d.events) {
       // Complete ("X") events; ts/dur are microseconds in the trace format.
       os << ",{\"name\":" << detail::json_string(ev.name)
-         << ",\"cat\":\"qapprox\",\"ph\":\"X\",\"pid\":1,\"tid\":" << buf->tid;
-      std::snprintf(num, sizeof(num), "%.3f",
-                    static_cast<double>(ev.start_ns - t0) / 1000.0);
-      os << ",\"ts\":" << num;
-      std::snprintf(num, sizeof(num), "%.3f",
-                    static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0);
-      os << ",\"dur\":" << num;
-      if (!ev.args.empty()) {
+         << ",\"cat\":\"qapprox\",\"ph\":\"X\",\"pid\":1,\"tid\":" << d.tid;
+      os << ",\"ts\":" << micros(ev.start_ns - t0);
+      os << ",\"dur\":" << micros(ev.end_ns - ev.start_ns);
+      const bool have_trace = ev.trace_id != 0;
+      if (have_trace || !ev.args.empty()) {
         os << ",\"args\":{";
         bool first = true;
+        if (have_trace) {
+          os << "\"trace\":" << ev.trace_id << ",\"span\":" << ev.span_id
+             << ",\"parent\":" << ev.parent_span_id;
+          first = false;
+        }
         for (const auto& a : ev.args) {
           if (!first) os << ",";
           first = false;
@@ -148,10 +224,33 @@ std::string chrome_trace_json() {
         os << "}";
       }
       os << "}";
+      // Cross-thread parent link: a flow arrow from inside the parent slice
+      // to the start of this one, so Perfetto draws the job as one connected
+      // graph even though phases ran on reader, scheduler, and pool threads.
+      if (ev.parent_span_id != 0) {
+        const auto parent = span_index.find(ev.parent_span_id);
+        if (parent != span_index.end() && parent->second.tid != d.tid) {
+          os << ",{\"name\":\"link\",\"cat\":\"qapprox\",\"ph\":\"s\",\"pid\":1"
+             << ",\"tid\":" << parent->second.tid << ",\"id\":" << ev.span_id
+             << ",\"ts\":" << micros(std::max(parent->second.start_ns, t0) - t0)
+             << "}";
+          os << ",{\"name\":\"link\",\"cat\":\"qapprox\",\"ph\":\"f\",\"bp\":"
+                "\"e\",\"pid\":1,\"tid\":" << d.tid << ",\"id\":" << ev.span_id
+             << ",\"ts\":" << micros(ev.start_ns - t0) << "}";
+        }
+      }
     }
   }
   os << "]}";
   return os.str();
+}
+
+}  // namespace
+
+std::string chrome_trace_json() { return chrome_trace_json_impl(0); }
+
+std::string chrome_trace_json_for_trace(std::uint64_t trace_id) {
+  return chrome_trace_json_impl(trace_id);
 }
 
 bool write_chrome_trace(const std::string& path) {

@@ -9,6 +9,22 @@
 // into one JSON file (armed automatically at process exit when the
 // environment variable is set).
 //
+// Request-scoped tracing: a TraceContext {trace_id, span_id} names a span
+// and the trace it belongs to. Mint a root with mint_trace() at admission,
+// derive children with mint_child(), and pass contexts across threads (the
+// server hands one to the scheduler, the scheduler to the engine via
+// RunRequest::trace_parent); every span constructed with a parent context
+// carries the trace id and its parent's span id, so one job's admission,
+// queue-wait, compile, evolve, and reply phases export as one connected
+// trace — the exporter additionally emits Chrome flow arrows for
+// parent->child edges that cross threads. chrome_trace_json_for_trace()
+// extracts a single trace (the tail sampler's per-job capture).
+//
+// Long-lived processes set set_trace_capacity(): each thread's buffer
+// becomes a ring of that many events and the oldest are overwritten, so a
+// daemon can trace forever in bounded memory (the tail sampler extracts
+// interesting traces before they age out).
+//
 // A span can also carry a duration histogram: pass &obs::histogram(...) and
 // the scope's duration (ns) is recorded whenever timing_enabled(), even with
 // tracing off. This is how per-phase timings reach the metrics snapshot.
@@ -28,6 +44,27 @@
 
 namespace qc::obs {
 
+/// Identity of a span within a trace. trace_id == 0 means "no trace": spans
+/// built on an invalid context record as plain unparented events.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Mints a fresh root context (new trace id + root span id). Cheap (two
+/// relaxed fetch_adds) and always usable — ids are minted even when tracing
+/// is disabled so they can be echoed in replies and used as capture keys.
+TraceContext mint_trace();
+
+/// Mints a new span slot inside the parent's trace (same trace id, fresh
+/// span id). Invalid parents yield invalid children.
+TraceContext mint_child(const TraceContext& parent);
+
+/// Monotonic nanosecond clock shared by every span (public so callers can
+/// timestamp phases whose spans are recorded after the fact — see ManualSpan).
+std::uint64_t now_ns();
+
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
 
@@ -43,7 +80,8 @@ struct SpanArg {
 };
 
 void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
-                 std::vector<SpanArg>&& args);
+                 std::uint64_t trace_id, std::uint64_t span_id,
+                 std::uint64_t parent_span_id, std::vector<SpanArg>&& args);
 
 /// Small dense id for the current thread (shared with the log prefix).
 std::uint32_t this_thread_id();
@@ -57,12 +95,24 @@ inline bool tracing_enabled() {
 void enable_tracing();
 void disable_tracing();
 
+/// Caps each per-thread buffer at `max_events_per_thread` events (0 =
+/// unbounded, the default); beyond the cap the oldest events are overwritten
+/// ring-style. Applies to buffers created after the call and, lazily, to
+/// existing ones on their next append.
+void set_trace_capacity(std::size_t max_events_per_thread);
+
 /// Drops every buffered event (tests).
 void reset_trace();
 
 /// Chrome trace-event JSON of everything buffered so far. Events are grouped
-/// by thread, in completion order within each thread.
+/// by thread, in completion order within each thread. Spans recorded with a
+/// trace context carry args {trace, span, parent}; cross-thread parent->child
+/// edges additionally emit flow arrows.
 std::string chrome_trace_json();
+
+/// Chrome trace-event JSON of one trace only: every buffered span whose
+/// trace id matches (the tail sampler's per-job extraction).
+std::string chrome_trace_json_for_trace(std::uint64_t trace_id);
 
 /// Writes chrome_trace_json() to `path`; false (and an error log) on failure.
 bool write_chrome_trace(const std::string& path);
@@ -70,19 +120,23 @@ bool write_chrome_trace(const std::string& path);
 class Span {
  public:
   explicit Span(const char* name, Histogram* duration_hist = nullptr) {
-    const bool trace = tracing_enabled();
-    hist_ = (duration_hist != nullptr && timing_enabled()) ? duration_hist : nullptr;
-    if (trace || hist_ != nullptr) {
-      name_ = name;
-      trace_ = trace;
-      start_ns_ = detail::trace_now_ns();
-    }
+    init(name, TraceContext{}, duration_hist);
+  }
+  /// Child span: adopts the parent's trace id and records the parent link.
+  /// context() then names *this* span so further children can chain; when
+  /// tracing is off the parent context passes through unchanged, keeping the
+  /// chain intact for ids echoed in replies.
+  Span(const char* name, const TraceContext& parent,
+       Histogram* duration_hist = nullptr) {
+    init(name, parent, duration_hist);
   }
   ~Span() {
     if (name_ == nullptr) return;
     const std::uint64_t end_ns = detail::trace_now_ns();
     if (hist_ != nullptr) hist_->record(end_ns - start_ns_);
-    if (trace_) detail::record_span(name_, start_ns_, end_ns, std::move(args_));
+    if (trace_)
+      detail::record_span(name_, start_ns_, end_ns, ctx_.trace_id, ctx_.span_id,
+                          parent_span_, std::move(args_));
   }
 
   Span(const Span&) = delete;
@@ -91,6 +145,10 @@ class Span {
   /// True when this span will emit a trace event — guard arg computations
   /// that are themselves not free (e.g. gate-count scans).
   bool active() const { return trace_; }
+
+  /// This span's identity (valid iff constructed with a valid parent); hand
+  /// it to work that continues on other threads.
+  const TraceContext& context() const { return ctx_; }
 
   template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
   void arg(const char* key, T v) {
@@ -110,10 +168,65 @@ class Span {
   }
 
  private:
+  void init(const char* name, const TraceContext& parent, Histogram* hist) {
+    const bool trace = tracing_enabled();
+    hist_ = (hist != nullptr && timing_enabled()) ? hist : nullptr;
+    if (trace || hist_ != nullptr) {
+      name_ = name;
+      trace_ = trace;
+      start_ns_ = detail::trace_now_ns();
+    }
+    if (parent.valid()) {
+      parent_span_ = parent.span_id;
+      ctx_ = trace_ ? mint_child(parent) : parent;
+    }
+  }
+
   const char* name_ = nullptr;  // non-null iff the span is live in any sense
   bool trace_ = false;
   Histogram* hist_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  TraceContext ctx_;            // this span's identity (invalid when unparented)
+  std::uint64_t parent_span_ = 0;
+  std::vector<detail::SpanArg> args_;
+};
+
+/// A span whose interval was measured by the caller: phases like queue-wait
+/// are only known after the fact (admission timestamp captured on one
+/// thread, dequeue observed on another), so they cannot be RAII scopes.
+/// Mint the identity up front (mint_child) so concurrent children can parent
+/// to it, then commit the measured [start, end] once.
+class ManualSpan {
+ public:
+  ManualSpan(const char* name, const TraceContext& self,
+             std::uint64_t parent_span_id)
+      : name_(name), ctx_(self), parent_span_(parent_span_id) {}
+
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  void arg(const char* key, T v) {
+    args_.push_back({key, detail::SpanArg::Kind::Int,
+                     static_cast<std::int64_t>(v), 0.0, {}});
+  }
+  void arg(const char* key, double v) {
+    args_.push_back({key, detail::SpanArg::Kind::Double, 0, v, {}});
+  }
+  void arg(const char* key, const std::string& v) {
+    args_.push_back({key, detail::SpanArg::Kind::Str, 0, 0.0, v});
+  }
+
+  /// Records the event (once). No-op when tracing is disabled.
+  void commit(std::uint64_t start_ns, std::uint64_t end_ns) {
+    if (!tracing_enabled() || committed_) return;
+    committed_ = true;
+    detail::record_span(name_, start_ns, end_ns, ctx_.trace_id, ctx_.span_id,
+                        parent_span_, std::move(args_));
+  }
+
+ private:
+  const char* name_;
+  TraceContext ctx_;
+  std::uint64_t parent_span_;
+  bool committed_ = false;
   std::vector<detail::SpanArg> args_;
 };
 

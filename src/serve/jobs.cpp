@@ -82,11 +82,13 @@ Workload build_workload(const json::Value& params) {
 }
 
 JobOutcome run_simulate_job(const json::Value& params,
-                            const common::Deadline& deadline) {
+                            const common::Deadline& deadline,
+                            const obs::TraceContext& trace) {
   driver::init_runtime();
   const Workload workload = build_workload(params);
 
   exec::RunRequest req;
+  req.trace_parent = trace;
   req.circuit = workload.circuit;
   req.config = driver::execution_config(params.get_string("device", "santiago"),
                                         params.get_string("mode", "simulator"));
@@ -164,7 +166,8 @@ JobOutcome run_simulate_job(const json::Value& params,
 }
 
 JobOutcome run_synthesize_job(const json::Value& params,
-                              const common::Deadline& deadline) {
+                              const common::Deadline& deadline,
+                              const obs::TraceContext& trace) {
   driver::init_runtime();
   const std::string preset = params.get_string("preset", "tfim");
   const bool fast = params.get_bool("fast", true);
@@ -212,8 +215,18 @@ JobOutcome run_synthesize_job(const json::Value& params,
   if (device != nullptr) coupling = &device->coupling;
 
   approx::GenerationReport report;
-  const std::vector<synth::ApproxCircuit> circuits =
-      approx::generate_from_reference(reference, gen, coupling, &report);
+  std::vector<synth::ApproxCircuit> circuits;
+  {
+    // The harvest is the job's whole execution phase; parenting it here puts
+    // the synthesis wall time inside the served job's trace.
+    obs::Span span("synth.generate", trace);
+    circuits = approx::generate_from_reference(reference, gen, coupling, &report);
+    if (span.active()) {
+      span.arg("preset", preset);
+      span.arg("circuits", circuits.size());
+      span.arg("attempts", report.attempts);
+    }
+  }
 
   json::Value result = json::Value::object();
   result.set("preset", preset);

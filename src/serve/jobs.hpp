@@ -37,6 +37,7 @@
 #include "common/deadline.hpp"
 #include "common/json.hpp"
 #include "ir/circuit.hpp"
+#include "obs/trace.hpp"
 
 namespace qc::serve {
 
@@ -65,15 +66,19 @@ struct JobOutcome {
 
 /// Executes a simulate job under `deadline`. The run itself never throws on
 /// timeout — TimedOut results come back Degraded with a partial
-/// distribution, Failed results throw SimulationError.
+/// distribution, Failed results throw SimulationError. A valid `trace`
+/// context parents the engine's exec.run span tree under the server's
+/// per-job trace (invalid: spans record unparented, exactly as before).
 JobOutcome run_simulate_job(const common::json::Value& params,
-                            const common::Deadline& deadline);
+                            const common::Deadline& deadline,
+                            const obs::TraceContext& trace = {});
 
 /// Executes a synthesize job (harvest + selection via
 /// approx::generate_from_reference) under `deadline`. Tool failures and
 /// fallbacks degrade the result instead of failing it (the GenerationReport
-/// is embedded in the result).
+/// is embedded in the result). `trace` as in run_simulate_job.
 JobOutcome run_synthesize_job(const common::json::Value& params,
-                              const common::Deadline& deadline);
+                              const common::Deadline& deadline,
+                              const obs::TraceContext& trace = {});
 
 }  // namespace qc::serve

@@ -12,6 +12,7 @@ const char* request_type_name(RequestType type) {
     case RequestType::Simulate: return "simulate";
     case RequestType::Synthesize: return "synthesize";
     case RequestType::Stats: return "stats";
+    case RequestType::Metrics: return "metrics";
     case RequestType::Shutdown: return "shutdown";
   }
   return "unknown";
@@ -24,6 +25,7 @@ bool type_from_name(const std::string& name, RequestType* out) {
   if (name == "simulate") { *out = RequestType::Simulate; return true; }
   if (name == "synthesize") { *out = RequestType::Synthesize; return true; }
   if (name == "stats") { *out = RequestType::Stats; return true; }
+  if (name == "metrics") { *out = RequestType::Metrics; return true; }
   if (name == "shutdown") { *out = RequestType::Shutdown; return true; }
   return false;
 }

@@ -3,7 +3,7 @@
 // Requests and replies are single JSON objects, one per frame:
 //
 //   request:  {"id": <string|number>, "type": "ping" | "simulate" |
-//              "synthesize" | "stats" | "shutdown",
+//              "synthesize" | "stats" | "metrics" | "shutdown",
 //              "tenant": "team-a",          // optional, default "anon"
 //              "deadline_ms": 2000,          // optional soft budget
 //              "params": { ... }}            // type-specific
@@ -29,8 +29,10 @@
 
 namespace qc::serve {
 
-/// Request types the server dispatches.
-enum class RequestType { Ping, Simulate, Synthesize, Stats, Shutdown };
+/// Request types the server dispatches. Metrics serves the live observability
+/// registry (params {"format": "json" | "prometheus"}) inline, never queued
+/// behind jobs — a dashboard poll must not wait for a synthesis batch.
+enum class RequestType { Ping, Simulate, Synthesize, Stats, Metrics, Shutdown };
 
 const char* request_type_name(RequestType type);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "obs/rolling.hpp"
 
 namespace qc::serve {
 
@@ -50,6 +51,10 @@ bool JobScheduler::submit(const std::string& tenant, Job job,
     ++lifetime_.submitted;
     lifetime_.peak_queued = std::max(lifetime_.peak_queued, queued_);
     obs::gauge("serve.queue.depth").set(static_cast<double>(queued_));
+    // Depth sampled at every submit: the rolling percentiles answer "how deep
+    // was the queue over the last few seconds", which the point-in-time gauge
+    // (usually 0 between bursts) cannot.
+    obs::rolling_histogram("serve.queue.depth.window").record(queued_);
   }
   cv_.notify_one();
   return true;
@@ -93,6 +98,7 @@ void JobScheduler::worker_loop() {
     lock.lock();
     --running_;
     ++lifetime_.completed;
+    obs::counter("serve.scheduler.completed").add(1);
     if (queued_ == 0 && running_ == 0) idle_cv_.notify_all();
   }
 }

@@ -1,8 +1,12 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -10,8 +14,10 @@
 #include "common/driver.hpp"
 #include "common/error.hpp"
 #include "common/faults.hpp"
+#include "common/io.hpp"
 #include "linalg/kernels.hpp"
 #include "obs/obs.hpp"
+#include "obs/rolling.hpp"
 #include "serve/jobs.hpp"
 #include "synth/cache.hpp"
 #include "synth/persist.hpp"
@@ -35,6 +41,62 @@ std::size_t env_size(const char* name, std::size_t fallback) {
   return static_cast<std::size_t>(v);
 }
 
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || v < 0.0) {
+    QC_LOG_WARN("serve", "ignoring malformed %s='%s'", name, raw);
+    return fallback;
+  }
+  return v;
+}
+
+TailSamplerOptions tail_options(const ServerOptions& opts) {
+  TailSamplerOptions t;
+  t.dir = opts.trace_dir;
+  t.top_k = opts.tail_top_k;
+  t.window_ns = static_cast<std::uint64_t>(
+      std::max(1.0, opts.metrics_window_ms) * 1e6);
+  return t;
+}
+
+/// Metric-name-safe rendering of a caller-supplied label segment.
+std::string sanitize_label(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_')
+               ? c
+               : '_';
+  if (out.empty()) out = "anon";
+  if (out.size() > 48) out.resize(48);
+  return out;
+}
+
+/// Caps tenant-label cardinality: the first 32 distinct tenants get their own
+/// rolling series, the rest fold into "other" — a hostile client choosing a
+/// fresh tenant name per request must not mint unbounded instruments.
+std::string tenant_label(const std::string& tenant) {
+  static std::mutex mu;
+  static std::set<std::string>* seen = new std::set<std::string>;
+  const std::string s = sanitize_label(tenant);
+  std::lock_guard<std::mutex> lock(mu);
+  if (seen->count(s) != 0) return s;
+  if (seen->size() >= 32) return "other";
+  seen->insert(s);
+  return s;
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
 }  // namespace
 
 ServerOptions ServerOptions::from_env() {
@@ -47,6 +109,14 @@ ServerOptions ServerOptions::from_env() {
   opts.scheduler.per_tenant_cap =
       std::min(opts.scheduler.per_tenant_cap, opts.scheduler.queue_cap);
   opts.synth_cache_dir = synth::synth_cache_dir_env();
+  if (const char* dir = std::getenv("QAPPROX_TRACE_DIR"))
+    if (*dir != '\0') opts.trace_dir = dir;
+  opts.tail_top_k = env_size("QAPPROX_TAIL_K", opts.tail_top_k);
+  opts.metrics_period_ms =
+      env_double("QAPPROX_METRICS_PERIOD_MS", opts.metrics_period_ms);
+  opts.metrics_window_ms =
+      env_double("QAPPROX_METRICS_WINDOW_MS", opts.metrics_window_ms);
+  if (opts.metrics_window_ms <= 0.0) opts.metrics_window_ms = 1000.0;
   return opts;
 }
 
@@ -64,7 +134,9 @@ struct QapproxServer::ConnState {
 };
 
 QapproxServer::QapproxServer(ServerOptions options)
-    : options_(std::move(options)), scheduler_(options_.scheduler) {}
+    : options_(std::move(options)),
+      scheduler_(options_.scheduler),
+      tail_(tail_options(options_)) {}
 
 QapproxServer::~QapproxServer() { stop(); }
 
@@ -72,6 +144,19 @@ void QapproxServer::start() {
   QC_CHECK_MSG(!running_.load(), "server already started");
   driver::init_runtime();
   started_at_ = std::chrono::steady_clock::now();
+
+  if (tail_.enabled()) {
+    // Tail sampling extracts traces from the live span buffers, so tracing
+    // must be on even without QAPPROX_TRACE — with bounded per-thread rings:
+    // a daemon traces forever in constant memory, and 32k events per thread
+    // comfortably covers several sampling windows of job spans.
+    obs::enable_tracing();
+    obs::set_timing_enabled(true);
+    obs::set_trace_capacity(32768);
+    QC_LOG_INFO("serve", "tail sampling to %s (top %zu per %.0f ms window)",
+                tail_.options().dir.c_str(), tail_.options().top_k,
+                static_cast<double>(tail_.options().window_ns) / 1e6);
+  }
 
   if (!options_.synth_cache_dir.empty()) {
     warm_loaded_ = synth::synth_cache_load(options_.synth_cache_dir);
@@ -111,9 +196,55 @@ void QapproxServer::start() {
 
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (options_.metrics_period_ms > 0.0) {
+    if (obs::metrics_export_path().empty()) {
+      QC_LOG_WARN("serve",
+                  "QAPPROX_METRICS_PERIOD_MS is set but QAPPROX_METRICS is "
+                  "not; periodic snapshots have nowhere to go");
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(exporter_mu_);
+        exporter_stop_ = false;
+      }
+      exporter_thread_ = std::thread([this] { exporter_loop(); });
+      QC_LOG_INFO("serve", "metrics snapshots every %.0f ms -> %s{,.prom}",
+                  options_.metrics_period_ms,
+                  obs::metrics_export_path().c_str());
+    }
+  }
   QC_LOG_INFO("serve", "listening on %s (%zu workers, queue cap %zu)",
               options_.socket_path.c_str(), options_.scheduler.workers,
               options_.scheduler.queue_cap);
+}
+
+void QapproxServer::exporter_loop() {
+  std::unique_lock<std::mutex> lock(exporter_mu_);
+  while (!exporter_stop_) {
+    exporter_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(options_.metrics_period_ms),
+        [this] { return exporter_stop_; });
+    if (exporter_stop_) return;  // stop() writes the final snapshot itself
+    lock.unlock();
+    write_metric_snapshots();
+    lock.lock();
+  }
+}
+
+void QapproxServer::write_metric_snapshots() const {
+  const std::string& path = obs::metrics_export_path();
+  if (path.empty()) return;
+  try {
+    // Same shape as the at-exit QAPPROX_METRICS file, but atomic: a scraper
+    // reading mid-rename sees the previous complete snapshot, never a
+    // truncated one. The Prometheus exposition rides next to it.
+    common::atomic_write_file(path, "{\"build\":" + obs::build_info_json() +
+                                        ",\"metrics\":" + obs::metrics_json() +
+                                        "}");
+    common::atomic_write_file(path + ".prom", obs::metrics_prometheus());
+  } catch (const common::Error& e) {
+    QC_LOG_WARN("serve", "metrics snapshot failed: %s", e.what());
+  }
 }
 
 void QapproxServer::accept_loop() {
@@ -181,6 +312,21 @@ void QapproxServer::handle_frame(const std::shared_ptr<ConnState>& conn,
       send_reply(conn, make_ok_reply(env->id, build_stats()));
       return;
     }
+    case RequestType::Metrics: {
+      counters_.metrics.fetch_add(1, std::memory_order_relaxed);
+      std::string format = "json";
+      if (env->params.is_object())
+        format = env->params.get_string("format", "json");
+      if (format != "json" && format != "prometheus") {
+        send_reply(conn,
+                   make_error_reply(env->id, "bad_request",
+                                    "\"format\" must be \"json\" or "
+                                    "\"prometheus\", got \"" + format + "\""));
+        return;
+      }
+      send_reply(conn, make_ok_reply(env->id, build_metrics(format)));
+      return;
+    }
     case RequestType::Shutdown: {
       counters_.shutdown.fetch_add(1, std::memory_order_relaxed);
       json::Value result = json::Value::object();
@@ -198,47 +344,134 @@ void QapproxServer::handle_frame(const std::shared_ptr<ConnState>& conn,
 
 void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
                                  RequestEnvelope env) {
-  (env.type == RequestType::Simulate ? counters_.simulate : counters_.synthesize)
+  const bool is_simulate = env.type == RequestType::Simulate;
+  (is_simulate ? counters_.simulate : counters_.synthesize)
       .fetch_add(1, std::memory_order_relaxed);
+  const char* kind = is_simulate ? "simulate" : "synthesize";
   const std::string tenant = env.tenant;
   const json::Value request_id = env.id;  // survives the move for rejections
+
+  // Admission: mint the job's trace root and stamp the clock here, on the
+  // reader thread — queue wait starts now, not when a worker first sees the
+  // job. The queued/exec phase identities are pre-minted children of the
+  // root: both phases are committed after the fact (ManualSpan), and the
+  // engine needs the exec identity as its parent *before* that span exists.
+  // Ids are minted even with tracing off, so every reply can echo a trace id.
+  const obs::TraceContext root = obs::mint_trace();
+  const obs::TraceContext queued_ctx = obs::mint_child(root);
+  const obs::TraceContext exec_ctx = obs::mint_child(root);
+  const std::uint64_t admitted_ns = obs::now_ns();
+
   // The job owns the envelope and a reference to the connection; the reply
   // goes out from the worker thread, streaming results in completion order.
-  auto body = [this, conn, env = std::move(env)](
-                  const common::CancelToken& cancel) {
+  auto body = [this, conn, env = std::move(env), is_simulate, kind, tenant,
+               root, queued_ctx, exec_ctx,
+               admitted_ns](const common::CancelToken& cancel) {
+    const std::uint64_t start_ns = obs::now_ns();
     common::Deadline deadline = env.deadline_ms > 0
                                     ? common::Deadline::after_ms(env.deadline_ms)
                                     : common::Deadline::from_env();
     deadline = deadline.with_token(cancel);
     json::Value reply;
+    const char* status = "ok";
     try {
       const JobOutcome outcome =
-          env.type == RequestType::Simulate
-              ? run_simulate_job(env.params, deadline)
-              : run_synthesize_job(env.params, deadline);
+          is_simulate ? run_simulate_job(env.params, deadline, exec_ctx)
+                      : run_synthesize_job(env.params, deadline, exec_ctx);
+      status = outcome.degraded ? "degraded" : "ok";
       reply = outcome.degraded
                   ? make_degraded_reply(env.id, outcome.result, outcome.why)
                   : make_ok_reply(env.id, outcome.result);
     } catch (const common::TimeoutError& e) {
+      status = "error";
       reply = make_error_reply(env.id, "timeout", e.what());
     } catch (const common::ContractError& e) {
+      status = "error";
       reply = make_error_reply(env.id, "contract", e.what());
     } catch (const common::SynthesisError& e) {
+      status = "error";
       reply = make_error_reply(env.id, "synthesis", e.what());
     } catch (const common::SimulationError& e) {
+      status = "error";
       reply = make_error_reply(env.id, "simulation", e.what());
     } catch (const std::exception& e) {
+      status = "error";
       reply = make_error_reply(env.id, "internal", e.what());
     }
+    const std::uint64_t exec_end_ns = obs::now_ns();
+
+    // Every job reply carries its server-side timeline, so clients can split
+    // their measured latency into queue wait vs execution without a second
+    // request. reply_ns covers reply *construction* (the frame write itself
+    // is only measurable afterwards; its true cost goes to the
+    // serve.job.reply span and the serve.job.reply_ns rolling histogram).
+    json::Value timeline = json::Value::object();
+    timeline.set("trace_id", trace_id_hex(root.trace_id));
+    timeline.set("queued_ns", start_ns - admitted_ns);
+    timeline.set("exec_ns", exec_end_ns - start_ns);
+    const std::uint64_t reply_start_ns = obs::now_ns();
+    timeline.set("reply_ns", reply_start_ns - exec_end_ns);
+    reply.set("timeline", std::move(timeline));
+
     if (reply.find("error") != nullptr)
       counters_.job_errors.fetch_add(1, std::memory_order_relaxed);
     send_reply(conn, reply);
+    const std::uint64_t end_ns = obs::now_ns();
+
+    // Commit the phase spans now that every interval is known: one connected
+    // trace per job — serve.job{queued,exec,reply} under the root, with the
+    // engine's exec.run tree already parented at exec_ctx.
+    {
+      obs::ManualSpan queued("serve.job.queued", queued_ctx, root.span_id);
+      queued.commit(admitted_ns, start_ns);
+      obs::ManualSpan exec_span("serve.job.exec", exec_ctx, root.span_id);
+      exec_span.commit(start_ns, exec_end_ns);
+      obs::ManualSpan reply_span("serve.job.reply", obs::mint_child(root),
+                                 root.span_id);
+      reply_span.commit(reply_start_ns, end_ns);
+      obs::ManualSpan job("serve.job", root, 0);
+      job.arg("kind", std::string(kind));
+      job.arg("tenant", tenant);
+      job.arg("status", std::string(status));
+      job.commit(admitted_ns, end_ns);
+    }
+
+    record_job_metrics(kind, tenant, end_ns - admitted_ns,
+                       start_ns - admitted_ns, exec_end_ns - start_ns);
+    obs::rolling_histogram("serve.job.reply_ns").record(end_ns - reply_start_ns);
+    // Degraded/error traces always survive; healthy ones only if they are
+    // among the window's slowest.
+    tail_.observe(root.trace_id, end_ns - admitted_ns, end_ns, status,
+                  std::strcmp(status, "ok") != 0);
   };
   std::string reject_reason;
   if (!scheduler_.submit(tenant, std::move(body), &reject_reason)) {
     counters_.overloaded.fetch_add(1, std::memory_order_relaxed);
     send_reply(conn, make_error_reply(request_id, "overloaded", reject_reason));
   }
+}
+
+void QapproxServer::record_job_metrics(const char* kind,
+                                       const std::string& tenant,
+                                       std::uint64_t latency_ns,
+                                       std::uint64_t queue_wait_ns,
+                                       std::uint64_t exec_ns) {
+  const std::uint64_t window_ns = static_cast<std::uint64_t>(
+      std::max(1.0, options_.metrics_window_ms) * 1e6);
+  const auto rec = [&](const std::string& name, std::uint64_t v) {
+    obs::rolling_histogram(name, window_ns).record(v);
+  };
+  rec("serve.job.latency_ns", latency_ns);
+  rec("serve.job.queue_wait_ns", queue_wait_ns);
+  rec("serve.job.exec_ns", exec_ns);
+  const std::string by_kind = std::string(".kind.") + kind;
+  rec("serve.job.latency_ns" + by_kind, latency_ns);
+  rec("serve.job.queue_wait_ns" + by_kind, queue_wait_ns);
+  rec("serve.job.exec_ns" + by_kind, exec_ns);
+  const std::string by_tenant = ".tenant." + tenant_label(tenant);
+  rec("serve.job.latency_ns" + by_tenant, latency_ns);
+  rec("serve.job.queue_wait_ns" + by_tenant, queue_wait_ns);
+  rec("serve.job.exec_ns" + by_tenant, exec_ns);
 }
 
 void QapproxServer::send_reply(const std::shared_ptr<ConnState>& conn,
@@ -302,7 +535,21 @@ void QapproxServer::stop() {
   readers_.clear();
   conns_.clear();
 
-  // 4. Snapshot the synthesis cache for the next warm start.
+  // 4. Stop the metrics exporter and leave final observability artifacts:
+  // the pending tail-sample window, one last metrics snapshot, and the
+  // armed QAPPROX_TRACE / QAPPROX_METRICS exports — a SIGTERM'd daemon must
+  // not rely on atexit ordering to preserve its soak evidence.
+  {
+    std::lock_guard<std::mutex> lock(exporter_mu_);
+    exporter_stop_ = true;
+  }
+  exporter_cv_.notify_all();
+  if (exporter_thread_.joinable()) exporter_thread_.join();
+  tail_.flush();
+  if (options_.metrics_period_ms > 0.0) write_metric_snapshots();
+  obs::flush_exports();
+
+  // 5. Snapshot the synthesis cache for the next warm start.
   if (!options_.synth_cache_dir.empty()) {
     try {
       const std::size_t n = synth::synth_cache_save(options_.synth_cache_dir);
@@ -332,6 +579,7 @@ json::Value QapproxServer::build_stats() const {
   requests.set("simulate", counters_.simulate.load());
   requests.set("synthesize", counters_.synthesize.load());
   requests.set("stats", counters_.stats.load());
+  requests.set("metrics", counters_.metrics.load());
   requests.set("shutdown", counters_.shutdown.load());
   requests.set("bad_requests", counters_.bad_requests.load());
   requests.set("oversized_frames", counters_.oversized_frames.load());
@@ -407,6 +655,15 @@ json::Value QapproxServer::build_stats() const {
               linalg::simd_isa_name(linalg::active_simd_isa()));
   stats.set("compile", std::move(compile));
 
+  const TailSamplerStats tail = tail_.stats();
+  json::Value tail_json = json::Value::object();
+  tail_json.set("dir", options_.trace_dir);
+  tail_json.set("observed", tail.observed);
+  tail_json.set("captured", tail.captured);
+  tail_json.set("evicted", tail.evicted);
+  tail_json.set("write_failures", tail.write_failures);
+  stats.set("tail_sampler", std::move(tail_json));
+
   stats.set("faults", common::faults::enabled() ? common::faults::active_spec()
                                                 : std::string());
 
@@ -420,6 +677,34 @@ json::Value QapproxServer::build_stats() const {
     stats.set("metrics", obs::metrics_json());
   }
   return stats;
+}
+
+json::Value QapproxServer::build_metrics(const std::string& format) const {
+  json::Value result = json::Value::object();
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count();
+  result.set("uptime_ms", uptime_ms);
+  if (format == "prometheus") {
+    result.set("content_type", "text/plain; version=0.0.4");
+    result.set("body", obs::metrics_prometheus());
+    return result;
+  }
+  // Live scheduler depths ride along so one poll paints the whole dashboard.
+  const SchedulerStats sched = scheduler_.stats();
+  json::Value queue = json::Value::object();
+  queue.set("queued", sched.queued);
+  queue.set("running", sched.running);
+  queue.set("tenants", sched.tenants);
+  result.set("queue", std::move(queue));
+  json::Value metrics;
+  std::string parse_error;
+  if (json::try_parse(obs::metrics_json(), &metrics, &parse_error))
+    result.set("metrics", std::move(metrics));
+  else
+    result.set("metrics", obs::metrics_json());
+  return result;
 }
 
 }  // namespace qc::serve

@@ -35,8 +35,10 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/tail.hpp"
 #include "serve/wire.hpp"
 
 namespace qc::serve {
@@ -49,9 +51,24 @@ struct ServerOptions {
   /// Synthesis-cache snapshot directory ("" = no persistence). Defaults to
   /// QAPPROX_SYNTH_CACHE_DIR via from_env().
   std::string synth_cache_dir;
+  /// Tail-sample capture directory ("" = tail sampling off). When set, the
+  /// server force-enables tracing with bounded per-thread rings and writes
+  /// the slowest / degraded / errored jobs' traces here (QAPPROX_TRACE_DIR).
+  std::string trace_dir;
+  /// Slowest jobs captured per rolling window (QAPPROX_TAIL_K).
+  std::size_t tail_top_k = 3;
+  /// > 0: a background thread snapshots the metrics registry every period —
+  /// JSON to the QAPPROX_METRICS path and Prometheus text next to it
+  /// (`<path>.prom`), both via atomic rename (QAPPROX_METRICS_PERIOD_MS).
+  double metrics_period_ms = 0.0;
+  /// Span of one rolling-histogram window for the per-job SLO metrics
+  /// (QAPPROX_METRICS_WINDOW_MS). Geometry is fixed at first use.
+  double metrics_window_ms = 1000.0;
 
   /// Reads QAPPROX_SERVE_SOCKET / _WORKERS / _QUEUE_CAP /
-  /// QAPPROX_SYNTH_CACHE_DIR (malformed numbers warn and keep defaults).
+  /// QAPPROX_SYNTH_CACHE_DIR / QAPPROX_TRACE_DIR / QAPPROX_TAIL_K /
+  /// QAPPROX_METRICS_PERIOD_MS / QAPPROX_METRICS_WINDOW_MS (malformed
+  /// numbers warn and keep defaults).
   static ServerOptions from_env();
 };
 
@@ -86,6 +103,14 @@ class QapproxServer {
   /// synthesis cache totals, metrics registry, build info, fault spec.
   common::json::Value build_stats() const;
 
+  /// The metrics-request payload: the live registry as a JSON tree
+  /// (format == "json") or as Prometheus text exposition wrapped in
+  /// {"content_type", "body"} (format == "prometheus").
+  common::json::Value build_metrics(const std::string& format) const;
+
+  /// Tail-sampler counters (tests / exit summary).
+  TailSamplerStats tail_stats() const { return tail_.stats(); }
+
  private:
   struct ConnState;
 
@@ -97,17 +122,30 @@ class QapproxServer {
                     RequestEnvelope env);
   void send_reply(const std::shared_ptr<ConnState>& conn,
                   const common::json::Value& reply);
+  void exporter_loop();
+  void write_metric_snapshots() const;
+  /// Records one finished job into the rolling SLO instruments
+  /// (serve.job.{latency,queue_wait,exec}_ns plus per-kind / per-tenant).
+  void record_job_metrics(const char* kind, const std::string& tenant,
+                          std::uint64_t latency_ns, std::uint64_t queue_wait_ns,
+                          std::uint64_t exec_ns);
 
   ServerOptions options_;
   JobScheduler scheduler_;
+  TailSampler tail_;
   int listen_fd_ = -1;
   std::thread accept_thread_;
+  std::thread exporter_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
+
+  std::mutex exporter_mu_;
+  std::condition_variable exporter_cv_;
+  bool exporter_stop_ = false;
 
   std::mutex conns_mu_;
   std::vector<std::thread> readers_;
@@ -123,6 +161,7 @@ class QapproxServer {
     std::atomic<std::uint64_t> simulate{0};
     std::atomic<std::uint64_t> synthesize{0};
     std::atomic<std::uint64_t> stats{0};
+    std::atomic<std::uint64_t> metrics{0};
     std::atomic<std::uint64_t> shutdown{0};
     std::atomic<std::uint64_t> bad_requests{0};
     std::atomic<std::uint64_t> oversized_frames{0};

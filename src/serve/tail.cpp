@@ -1,0 +1,119 @@
+#include "serve/tail.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "obs/obs.hpp"
+
+namespace qc::serve {
+
+namespace fs = std::filesystem;
+
+TailSampler::TailSampler(TailSamplerOptions options)
+    : options_(std::move(options)) {
+  if (options_.top_k == 0) options_.top_k = 1;
+  if (options_.window_ns == 0) options_.window_ns = 1'000'000'000ull;
+  if (options_.max_files == 0) options_.max_files = 1;
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    QC_LOG_WARN("serve", "tail sampler: cannot create %s (%s); disabled",
+                options_.dir.c_str(), ec.message().c_str());
+    options_.dir.clear();
+  }
+}
+
+void TailSampler::observe(std::uint64_t trace_id, std::uint64_t latency_ns,
+                          std::uint64_t now_ns, const std::string& reason,
+                          bool always_capture) {
+  if (!enabled() || trace_id == 0) return;
+  std::vector<Candidate> closed;
+  bool capture_now = always_capture;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.observed;
+    closed = rotate_locked(now_ns / options_.window_ns);
+    if (!capture_now) {
+      // Contest for a top-K slot; evict the fastest current winner.
+      if (window_best_.size() < options_.top_k) {
+        window_best_.push_back({trace_id, latency_ns});
+      } else {
+        std::size_t fastest = 0;
+        for (std::size_t i = 1; i < window_best_.size(); ++i)
+          if (window_best_[i].latency_ns < window_best_[fastest].latency_ns)
+            fastest = i;
+        if (window_best_[fastest].latency_ns < latency_ns)
+          window_best_[fastest] = {trace_id, latency_ns};
+      }
+    }
+  }
+  if (capture_now) capture(trace_id, latency_ns, reason);
+  for (const Candidate& c : closed) capture(c.trace_id, c.latency_ns, "slow");
+}
+
+std::vector<TailSampler::Candidate> TailSampler::rotate_locked(
+    std::uint64_t epoch) {
+  if (epoch <= window_epoch_) return {};
+  std::vector<Candidate> closed = std::move(window_best_);
+  window_best_.clear();
+  window_epoch_ = epoch;
+  return closed;
+}
+
+void TailSampler::capture(std::uint64_t trace_id, std::uint64_t latency_ns,
+                          const std::string& reason) {
+  const std::string json = obs::chrome_trace_json_for_trace(trace_id);
+  std::string evict_path;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    char name[128];
+    std::snprintf(name, sizeof(name), "trace_%06llu_%s_%016llx.json",
+                  static_cast<unsigned long long>(seq_++), reason.c_str(),
+                  static_cast<unsigned long long>(trace_id));
+    path = options_.dir + "/" + name;
+    files_.push_back(path);
+    if (files_.size() > options_.max_files) {
+      evict_path = std::move(files_.front());
+      files_.pop_front();
+      ++stats_.evicted;
+    }
+  }
+  try {
+    common::atomic_write_file(path, json);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.captured;
+    QC_LOG_DEBUG("serve", "tail capture %s (%.2f ms)", path.c_str(),
+                 static_cast<double>(latency_ns) / 1e6);
+  } catch (const common::Error& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_failures;
+    QC_LOG_WARN("serve", "tail capture failed: %s", e.what());
+  }
+  if (!evict_path.empty()) {
+    std::error_code ec;
+    fs::remove(evict_path, ec);  // best-effort; a vanished file is fine
+  }
+}
+
+void TailSampler::flush() {
+  if (!enabled()) return;
+  std::vector<Candidate> closed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed = std::move(window_best_);
+    window_best_.clear();
+  }
+  for (const Candidate& c : closed) capture(c.trace_id, c.latency_ns, "slow");
+}
+
+TailSamplerStats TailSampler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qc::serve

@@ -1,0 +1,95 @@
+// Tail sampling: keep full traces for the jobs worth debugging, drop the rest.
+//
+// Tracing every job in a long-lived server is cheap to *record* (bounded
+// per-thread rings, see obs/trace.hpp) but exporting every trace would be an
+// unbounded disk write. The interesting traces are a tiny biased sample: the
+// slowest few jobs per time window (the p99 the SLO dashboard points at) and
+// anything that finished degraded or as an error. The TailSampler watches
+// every completed job and extracts exactly those:
+//
+//  * observe(trace_id, latency, ...) buckets completions into fixed wall
+//    windows and keeps the top-K latencies of the current window; when the
+//    window closes (first observation of the next window) the survivors are
+//    captured. Degraded/error jobs skip the contest and capture immediately.
+//  * A capture is chrome_trace_json_for_trace(trace_id) — the connected
+//    admission/queue/exec/reply span tree — atomically written to
+//    `<dir>/trace_<seq>_<reason>_<trace id>.json`.
+//  * The directory is a bounded ring: beyond `max_files` the oldest capture
+//    is unlinked, so a week-long soak cannot fill the disk.
+//
+// Captures race against the per-thread rings overwriting old events, so the
+// server sizes the rings (set_trace_capacity) to comfortably cover one
+// window of traffic. flush() captures the current window's survivors early
+// (graceful shutdown).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qc::serve {
+
+struct TailSamplerOptions {
+  /// Capture directory; "" disables the sampler entirely (observe() is a
+  /// no-op beyond one atomic load).
+  std::string dir;
+  /// Slowest jobs kept per window.
+  std::size_t top_k = 3;
+  /// Window span. Matches the rolling-histogram default so "slowest this
+  /// window" and "p99 this window" talk about the same interval.
+  std::uint64_t window_ns = 1'000'000'000ull;
+  /// On-disk ring size; the oldest capture is unlinked beyond this.
+  std::size_t max_files = 64;
+};
+
+struct TailSamplerStats {
+  std::uint64_t observed = 0;   // completions seen
+  std::uint64_t captured = 0;   // trace files written
+  std::uint64_t evicted = 0;    // old captures unlinked by the file ring
+  std::uint64_t write_failures = 0;
+};
+
+class TailSampler {
+ public:
+  explicit TailSampler(TailSamplerOptions options = {});
+
+  bool enabled() const { return !options_.dir.empty(); }
+  const TailSamplerOptions& options() const { return options_; }
+
+  /// Reports one completed job. `reason` tags the capture filename
+  /// ("slow" for top-K winners; pass "degraded"/"error" with
+  /// `always_capture` for jobs that must not be lost). Thread-safe; capture
+  /// IO happens outside the bookkeeping lock.
+  void observe(std::uint64_t trace_id, std::uint64_t latency_ns,
+               std::uint64_t now_ns, const std::string& reason,
+               bool always_capture);
+
+  /// Captures the current window's survivors immediately (shutdown path).
+  void flush();
+
+  TailSamplerStats stats() const;
+
+ private:
+  struct Candidate {
+    std::uint64_t trace_id = 0;
+    std::uint64_t latency_ns = 0;
+  };
+
+  /// Closes the window `epoch` belongs to if it is newer than the current
+  /// one; returns the evicted survivors. Caller holds mu_.
+  std::vector<Candidate> rotate_locked(std::uint64_t epoch);
+  void capture(std::uint64_t trace_id, std::uint64_t latency_ns,
+               const std::string& reason);
+
+  TailSamplerOptions options_;
+  mutable std::mutex mu_;
+  std::uint64_t window_epoch_ = 0;
+  std::vector<Candidate> window_best_;   // current window's top-K, unsorted
+  std::deque<std::string> files_;        // capture paths, oldest first
+  std::uint64_t seq_ = 0;
+  TailSamplerStats stats_;
+};
+
+}  // namespace qc::serve

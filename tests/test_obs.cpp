@@ -488,6 +488,130 @@ TEST(ObsSpanTest, ConcurrentRunBatchProducesWellFormedTrace) {
   obs::reset_trace();
 }
 
+// ---- request-scoped trace contexts -----------------------------------------
+
+TEST(TraceContextTest, MintedIdsAreFreshAndChildrenInheritTraceId) {
+  const obs::TraceContext a = obs::mint_trace();
+  const obs::TraceContext b = obs::mint_trace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+
+  const obs::TraceContext child = obs::mint_child(a);
+  EXPECT_EQ(child.trace_id, a.trace_id);
+  EXPECT_NE(child.span_id, a.span_id);
+
+  const obs::TraceContext orphan = obs::mint_child(obs::TraceContext{});
+  EXPECT_FALSE(orphan.valid());
+}
+
+// Collects (name, trace, span, parent, tid) for every complete event that
+// belongs to `trace_id`.
+struct TracedEvent {
+  std::string name;
+  std::uint64_t span = 0, parent = 0;
+  int tid = 0;
+};
+
+std::vector<TracedEvent> events_of_trace(const JsonValue& root,
+                                         std::uint64_t trace_id) {
+  std::vector<TracedEvent> out;
+  for (const JsonValue& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").string != "X" || !ev.has("args")) continue;
+    const JsonValue& args = ev.at("args");
+    if (!args.has("trace")) continue;
+    if (static_cast<std::uint64_t>(args.at("trace").number) != trace_id)
+      continue;
+    TracedEvent t;
+    t.name = ev.at("name").string;
+    t.span = static_cast<std::uint64_t>(args.at("span").number);
+    t.parent = static_cast<std::uint64_t>(args.at("parent").number);
+    t.tid = static_cast<int>(ev.at("tid").number);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(TraceContextTest, EngineRunThreadsOneTraceAcrossPhasesAndPoolThreads) {
+  obs::enable_tracing();
+  obs::reset_trace();
+
+  exec::ExecutionEngine engine(exec::EngineOptions{4});
+  exec::ExecutionConfig cfg =
+      exec::ExecutionConfig::simulator(noise::device_by_name("ourense"));
+  cfg.use_trajectories = true;
+  cfg.shots = 512;
+
+  const obs::TraceContext root = obs::mint_trace();
+  exec::RunRequest req{algos::grover_circuit(3, 0b011), cfg};
+  req.trace_parent = root;
+  const exec::RunResult result = engine.run(req);
+  // A second, unrelated traced run: its spans must not leak into the first
+  // trace's extraction.
+  const obs::TraceContext other = obs::mint_trace();
+  exec::RunRequest req2{algos::grover_circuit(3, 0b110), cfg};
+  req2.trace_parent = other;
+  engine.run(req2);
+  obs::disable_tracing();
+
+  // The reply-visible id is the engine's run span inside the root's trace.
+  EXPECT_EQ(result.record.trace_id, root.trace_id);
+
+  const JsonValue full = parse_json(obs::chrome_trace_json());
+  const auto events = events_of_trace(full, root.trace_id);
+  std::map<std::string, std::size_t> by_name;
+  std::map<std::uint64_t, std::size_t> spans;
+  for (const auto& ev : events) {
+    ++by_name[ev.name];
+    spans[ev.span] = 1;
+  }
+  for (const char* name : {"exec.run", "exec.transpile", "exec.compile",
+                           "exec.model", "exec.evolve", "exec.trajectories",
+                           "exec.traj_block"})
+    EXPECT_GE(by_name[name], 1u) << "missing traced span " << name;
+  // Connectivity: every span's parent is either the minted root or another
+  // span in the same trace — no orphans, even for trajectory blocks that ran
+  // on pool threads.
+  for (const auto& ev : events)
+    EXPECT_TRUE(ev.parent == root.span_id || spans.count(ev.parent) != 0)
+        << ev.name << " has dangling parent " << ev.parent;
+
+  // Single-trace extraction keeps the first trace and drops the second.
+  const JsonValue only = parse_json(obs::chrome_trace_json_for_trace(root.trace_id));
+  EXPECT_FALSE(events_of_trace(only, root.trace_id).empty());
+  EXPECT_TRUE(events_of_trace(only, other.trace_id).empty());
+  obs::reset_trace();
+}
+
+TEST(TraceContextTest, ManualSpanCommitsMeasuredIntervalIntoParentTrace) {
+  obs::enable_tracing();
+  obs::reset_trace();
+
+  const obs::TraceContext root = obs::mint_trace();
+  const obs::TraceContext queued = obs::mint_child(root);
+  obs::ManualSpan span("test.queued", queued, root.span_id);
+  span.arg("reason", std::string("unit"));
+  span.commit(1000, 5000);
+  span.commit(9000, 9999);  // second commit is a no-op
+
+  const JsonValue full = parse_json(obs::chrome_trace_json());
+  const auto events = events_of_trace(full, root.trace_id);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.queued");
+  EXPECT_EQ(events[0].span, queued.span_id);
+  EXPECT_EQ(events[0].parent, root.span_id);
+  obs::reset_trace();
+  obs::disable_tracing();
+
+  // Disabled tracing: commit records nothing, by contract.
+  obs::ManualSpan silent("test.silent", obs::mint_trace(), 0);
+  silent.commit(0, 1);
+  EXPECT_EQ(obs::chrome_trace_json_for_trace(root.trace_id)
+                .find("test.silent"),
+            std::string::npos);
+}
+
 TEST(ObsSpanTest, CacheCountersMatchEngineStatsDelta) {
   obs::Counter& hits = obs::counter("exec.cache.transpile.hits");
   obs::Counter& misses = obs::counter("exec.cache.transpile.misses");

@@ -1,0 +1,223 @@
+// Rolling-window histograms: window rotation and expiry against an explicit
+// clock, exactness of the monotonic totals under concurrent recording, the
+// log-linear percentile estimate against a sorted-vector oracle, and the
+// registry/export plumbing the serve layer depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
+#include "obs/rolling.hpp"
+
+namespace qc {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+// ---- rotation and expiry ----------------------------------------------------
+
+TEST(RollingHistogramTest, EmptySnapshotIsAllZeros) {
+  obs::RollingHistogram h(kSecond, 4);
+  const obs::RollingSnapshot snap = h.snapshot_at(42 * kSecond);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.total_count, 0u);
+  EXPECT_TRUE(snap.buckets.empty());
+  EXPECT_EQ(snap.percentile(0.5), 0.0);
+  EXPECT_EQ(snap.rate_per_second(), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(RollingHistogramTest, SamplesExpireAsWindowsRotateOut) {
+  obs::RollingHistogram h(kSecond, 4);  // retention: 4 seconds
+  h.record_at(100, 1 * kSecond + 1);
+  h.record_at(200, 1 * kSecond + 2);
+  h.record_at(300, 2 * kSecond + 1);
+
+  // All three inside retention when "now" is in window 2.
+  obs::RollingSnapshot snap = h.snapshot_at(2 * kSecond + 500);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 600u);
+
+  // Advance to window 5: window 1 (epochs 5,4,3,2 retained) has aged out,
+  // taking the two early samples with it.
+  snap = h.snapshot_at(5 * kSecond + 1);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 300u);
+
+  // Far future: everything expired, but the monotonic totals never reset.
+  snap = h.snapshot_at(60 * kSecond);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.total_count, 3u);
+  EXPECT_EQ(snap.total_sum, 600u);
+}
+
+TEST(RollingHistogramTest, RingSlotRecycleZeroesOldCounts) {
+  obs::RollingHistogram h(kSecond, 2);  // tiny ring: slot reuse every 2s
+  for (std::uint64_t sec = 0; sec < 10; ++sec)
+    h.record_at(7, sec * kSecond + 5);
+  // Only the last 2 windows (epochs 9 and 8) survive; recycled slots must
+  // not leak counts from the epochs they previously held.
+  const obs::RollingSnapshot snap = h.snapshot_at(9 * kSecond + 10);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 14u);
+  EXPECT_EQ(snap.total_count, 10u);
+}
+
+TEST(RollingHistogramTest, CoveredSecondsTracksLiveWindows) {
+  obs::RollingHistogram h(kSecond, 8);
+  h.record_at(1, 3 * kSecond + 1);
+  const obs::RollingSnapshot snap = h.snapshot_at(3 * kSecond + 600'000'000ull);
+  EXPECT_GT(snap.covered_seconds, 0.0);
+  EXPECT_LE(snap.covered_seconds, 8.0 + 1e-9);
+  EXPECT_GT(snap.rate_per_second(), 0.0);
+}
+
+// ---- concurrency exactness --------------------------------------------------
+
+TEST(RollingHistogramTest, ConcurrentRecordsAreCountedExactlyOnce) {
+  obs::RollingHistogram h(kSecond / 1000, 16);  // 1 ms windows: many rotations
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20'000;
+  common::ThreadPool pool(kThreads);
+  pool.parallel_for(0, kThreads, [&](std::size_t t) {
+    // Each worker walks its own timestamp sequence, forcing rotation races:
+    // interleaved epochs across threads hit the CAS path constantly.
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const std::uint64_t now = (t * 37 + i * 13) * (kSecond / 10000);
+      h.record_at(i + 1, now);
+    }
+  });
+  const obs::RollingSnapshot snap = h.snapshot_at(0);
+  EXPECT_EQ(snap.total_count, kThreads * kPerThread);
+  // Sum of 1..kPerThread per thread; every sample counted in exactly one
+  // window means the monotonic totals match closed-form exactly.
+  const std::uint64_t expected_sum =
+      kThreads * (kPerThread * (kPerThread + 1) / 2);
+  EXPECT_EQ(snap.total_sum, expected_sum);
+}
+
+TEST(RollingHistogramTest, WindowCountsSumToMonotonicTotalWithinRetention) {
+  obs::RollingHistogram h(kSecond, 64);
+  common::ThreadPool pool(4);
+  pool.parallel_for(0, 4, [&](std::size_t t) {
+    std::mt19937_64 rng(t);
+    for (std::size_t i = 0; i < 10'000; ++i) {
+      // Timestamps confined to the retention span ending at 64s: nothing
+      // expires, so the merged window counts must equal the monotonic total.
+      const std::uint64_t now = rng() % (64 * kSecond);
+      h.record_at(rng() % 1000, now);
+    }
+  });
+  const obs::RollingSnapshot snap = h.snapshot_at(64 * kSecond - 1);
+  EXPECT_EQ(snap.count, snap.total_count);
+  EXPECT_EQ(snap.sum, snap.total_sum);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [index, count] : snap.buckets) {
+    (void)index;
+    bucket_total += count;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ---- percentile accuracy ----------------------------------------------------
+
+TEST(RollingHistogramTest, BucketBoundsRoundTrip) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 2ull, 7ull, 8ull, 9ull, 100ull, 1023ull, 1024ull,
+        999'983ull, 123'456'789ull, ~0ull >> 1}) {
+    const std::uint32_t b = obs::RollingHistogram::bucket_index(v);
+    ASSERT_LT(b, static_cast<std::uint32_t>(obs::RollingHistogram::kNumBuckets));
+    EXPECT_GE(v, obs::RollingHistogram::bucket_lower_bound(b)) << v;
+    EXPECT_LT(v, obs::RollingHistogram::bucket_upper_bound(b)) << v;
+  }
+}
+
+TEST(RollingHistogramTest, PercentilesMatchSortedVectorOracle) {
+  obs::RollingHistogram h(kSecond, 8);
+  std::mt19937_64 rng(1234);
+  // Log-normal-ish latency shape: a dense body with a long tail, the
+  // distribution the serve layer actually reports on.
+  std::vector<std::uint64_t> values;
+  values.reserve(50'000);
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    const std::uint64_t v =
+        static_cast<std::uint64_t>(50'000.0 * std::exp(3.0 * u));
+    values.push_back(v);
+    h.record_at(v, 4 * kSecond + (i % kSecond));
+  }
+  std::sort(values.begin(), values.end());
+  const obs::RollingSnapshot snap = h.snapshot_at(4 * kSecond + 500);
+  ASSERT_EQ(snap.count, values.size());
+  for (const double p : {0.50, 0.90, 0.95, 0.99}) {
+    const double oracle = static_cast<double>(
+        values[std::min(values.size() - 1,
+                        static_cast<std::size_t>(p * values.size()))]);
+    const double est = snap.percentile(p);
+    // Log-linear buckets at 8 sub-buckets/octave resolve ~9%; midpoint
+    // interpolation keeps the estimate within 10% of the true quantile.
+    EXPECT_NEAR(est, oracle, 0.10 * oracle) << "p" << p * 100;
+  }
+}
+
+TEST(RollingHistogramTest, PercentileOfSingleValueLandsInItsBucket) {
+  obs::RollingHistogram h(kSecond, 4);
+  h.record_at(1000, kSecond + 1);
+  const obs::RollingSnapshot snap = h.snapshot_at(kSecond + 2);
+  const std::uint32_t b = obs::RollingHistogram::bucket_index(1000);
+  const double p50 = snap.percentile(0.5);
+  EXPECT_GE(p50, static_cast<double>(obs::RollingHistogram::bucket_lower_bound(b)));
+  EXPECT_LE(p50, static_cast<double>(obs::RollingHistogram::bucket_upper_bound(b)));
+}
+
+// ---- registry and export ----------------------------------------------------
+
+TEST(RollingRegistryTest, SameNameReturnsSameInstrument) {
+  obs::RollingHistogram& a = obs::rolling_histogram("test.rolling.identity");
+  obs::RollingHistogram& b =
+      obs::rolling_histogram("test.rolling.identity", kSecond * 5, 32);
+  EXPECT_EQ(&a, &b);
+  // Geometry fixed by first creation; later different-geometry lookups
+  // do not resize the ring.
+  EXPECT_EQ(b.window_ns(), a.window_ns());
+  EXPECT_EQ(b.num_windows(), a.num_windows());
+}
+
+TEST(RollingRegistryTest, SnapshotsAppearInMetricsJson) {
+  obs::RollingHistogram& h = obs::rolling_histogram("test.rolling.export");
+  h.reset();
+  h.record(123'456);
+  const std::string json = obs::metrics_json();
+  EXPECT_NE(json.find("\"rolling\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.rolling.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  const std::string prom = obs::metrics_prometheus();
+  // Dotted name flattens to the prefixed Prometheus-legal family with
+  // quantile series and monotonic _count/_sum companions.
+  EXPECT_NE(prom.find("qapprox_test_rolling_export{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("qapprox_test_rolling_export_count"), std::string::npos);
+  EXPECT_NE(prom.find("qapprox_test_rolling_export_sum"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE qapprox_test_rolling_export summary"),
+            std::string::npos);
+  h.reset();
+}
+
+TEST(RollingRegistryTest, ResetRollingZeroesLiveWindows) {
+  obs::RollingHistogram& h = obs::rolling_histogram("test.rolling.reset");
+  h.record(5);
+  obs::reset_rolling();
+  const obs::RollingSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+}
+
+}  // namespace
+}  // namespace qc

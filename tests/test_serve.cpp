@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <future>
 #include <map>
 #include <mutex>
@@ -696,6 +698,180 @@ TEST(Server, WarmStartReloadsTheSynthesisCacheAcrossRestart) {
       << "hits " << hits << ", misses " << misses;
   server.stop();
   synth::clear_synth_cache();
+}
+
+// ---- live metrics and request-scoped tracing --------------------------------
+
+Value simulate_request(std::uint64_t id, int shots, double deadline_ms = 0.0) {
+  Value req = Value::object();
+  req.set("id", id);
+  req.set("type", "simulate");
+  if (deadline_ms > 0.0) req.set("deadline_ms", deadline_ms);
+  Value params = Value::object();
+  params.set("workload", "tfim");
+  params.set("qubits", 3);
+  params.set("steps", 4);
+  params.set("shots", shots);
+  req.set("params", std::move(params));
+  return req;
+}
+
+TEST(Server, MetricsRequestServesJsonAndPrometheusInline) {
+  QapproxServer server(test_options("metrics"));
+  server.start();
+  Client client = Client::connect(server.options().socket_path);
+
+  // One completed job so the rolling SLO histograms have something to show.
+  const Value job_reply = client.call(simulate_request(1, 256));
+  ASSERT_EQ(job_reply.get_string("status", ""), "ok") << job_reply.dump();
+
+  // The reply is written before the worker records the job's SLO samples;
+  // poll until the histogram shows up rather than racing it.
+  Value reply;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    Value req = Value::object();
+    req.set("id", 2);
+    req.set("type", "metrics");
+    reply = client.call(req);
+    ASSERT_EQ(reply.get_string("status", ""), "ok") << reply.dump();
+    const Value* m = reply.find("result")->find("metrics");
+    if (m != nullptr && m->find("rolling") != nullptr &&
+        m->find("rolling")->find("serve.job.latency_ns") != nullptr)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const Value* result = reply.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->get_number("uptime_ms", -1.0), 0.0);
+  const Value* queue = result->find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_GE(queue->get_number("queued", -1.0), 0.0);
+  EXPECT_GE(queue->get_number("running", -1.0), 0.0);
+  const Value* metrics = result->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Value* rolling = metrics->find("rolling");
+  ASSERT_NE(rolling, nullptr);
+  const Value* latency = rolling->find("serve.job.latency_ns");
+  ASSERT_NE(latency, nullptr) << "job latency histogram missing";
+  EXPECT_GE(latency->get_number("count", 0.0), 1.0);
+  EXPECT_GT(latency->get_number("p50", 0.0), 0.0);
+  // Per-kind and per-tenant breakdowns ride in the same flat namespace.
+  EXPECT_NE(rolling->find("serve.job.latency_ns.kind.simulate"), nullptr);
+  EXPECT_NE(rolling->find("serve.job.queue_wait_ns"), nullptr);
+  EXPECT_NE(rolling->find("serve.job.exec_ns"), nullptr);
+
+  Value prom_req = Value::object();
+  prom_req.set("id", 3);
+  prom_req.set("type", "metrics");
+  Value prom_params = Value::object();
+  prom_params.set("format", "prometheus");
+  prom_req.set("params", std::move(prom_params));
+  const Value prom_reply = client.call(prom_req);
+  ASSERT_EQ(prom_reply.get_string("status", ""), "ok");
+  const Value* prom = prom_reply.find("result");
+  ASSERT_NE(prom, nullptr);
+  EXPECT_EQ(prom->get_string("content_type", ""), "text/plain; version=0.0.4");
+  const std::string body = prom->get_string("body", "");
+  EXPECT_NE(body.find("qapprox_build_info"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE qapprox_serve_job_latency_ns summary"),
+            std::string::npos);
+  EXPECT_NE(body.find("kind=\"simulate\""), std::string::npos);
+  EXPECT_NE(body.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(body.find("qapprox_serve_job_latency_ns_count"), std::string::npos);
+
+  Value bad = Value::object();
+  bad.set("id", 4);
+  bad.set("type", "metrics");
+  Value bad_params = Value::object();
+  bad_params.set("format", "xml");
+  bad.set("params", std::move(bad_params));
+  const Value bad_reply = client.call(bad);
+  EXPECT_EQ(bad_reply.get_string("status", ""), "error");
+  EXPECT_EQ(bad_reply.find("error")->get_string("kind", ""), "bad_request");
+  server.stop();
+}
+
+TEST(Server, JobRepliesCarryTimelineWithFreshTraceIds) {
+  QapproxServer server(test_options("timeline"));
+  server.start();
+  Client client = Client::connect(server.options().socket_path);
+
+  std::vector<std::string> trace_ids;
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    const Value reply = client.call(simulate_request(id, 256));
+    ASSERT_EQ(reply.get_string("status", ""), "ok") << reply.dump();
+    const Value* timeline = reply.find("timeline");
+    ASSERT_NE(timeline, nullptr) << "job reply lost its timeline";
+    const std::string trace_id = timeline->get_string("trace_id", "");
+    EXPECT_EQ(trace_id.size(), 16u) << trace_id;  // zero-padded hex64
+    EXPECT_NE(trace_id, "0000000000000000");
+    trace_ids.push_back(trace_id);
+    EXPECT_GE(timeline->get_number("queued_ns", -1.0), 0.0);
+    EXPECT_GT(timeline->get_number("exec_ns", 0.0), 0.0);
+    EXPECT_GE(timeline->get_number("reply_ns", -1.0), 0.0);
+  }
+  EXPECT_NE(trace_ids[0], trace_ids[1]);  // one trace per admission
+
+  // Inline requests (ping/stats/metrics) are not jobs and carry no timeline.
+  const Value pong = client.call(ping_request(9));
+  EXPECT_EQ(pong.find("timeline"), nullptr);
+  server.stop();
+}
+
+TEST(Server, TailSamplerCapturesDegradedAndSlowestButNotEveryJob) {
+  ServerOptions opts = test_options("tail");
+  opts.trace_dir = make_temp_dir();
+  opts.tail_top_k = 1;
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // Four healthy jobs contest the single top-K slot; the expired-deadline
+  // job degrades and must be captured unconditionally.
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    const Value reply = client.call(simulate_request(id, 256));
+    ASSERT_EQ(reply.get_string("status", ""), "ok") << reply.dump();
+  }
+  const Value degraded = client.call(simulate_request(5, 1 << 18, 0.001));
+  ASSERT_EQ(degraded.get_string("status", ""), "degraded") << degraded.dump();
+
+  // Post-reply bookkeeping (tail observe) races the client's return; wait
+  // for the worker to log all five jobs.
+  for (int attempt = 0; attempt < 200 && server.tail_stats().observed < 5;
+       ++attempt)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  const Value stats = server.build_stats();
+  const Value* tail = stats.find("tail_sampler");
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->get_string("dir", ""), opts.trace_dir);
+  EXPECT_EQ(tail->get_int("observed", 0), 5);
+
+  server.stop();  // flushes the open window's top-K survivors
+
+  std::vector<std::string> files;
+  bool saw_degraded = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opts.trace_dir)) {
+    const std::string name = entry.path().filename().string();
+    files.push_back(name);
+    if (name.find("degraded") != std::string::npos) saw_degraded = true;
+    std::ifstream in(entry.path());
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(body.find("traceEvents"), std::string::npos) << name;
+    EXPECT_NE(body.find("serve.job"), std::string::npos) << name;
+  }
+  EXPECT_TRUE(saw_degraded) << "degraded job not tail-sampled";
+  // Tail sampling, not full capture: with top_k=1 the four fast-ok jobs
+  // cannot all appear — only the degraded capture plus the window's slowest.
+  EXPECT_GE(files.size(), 2u);
+  EXPECT_LT(files.size(), 5u);
+
+  const TailSamplerStats after = server.tail_stats();
+  EXPECT_EQ(after.observed, 5u);
+  EXPECT_EQ(after.captured, files.size());
+  EXPECT_EQ(after.write_failures, 0u);
 }
 
 // ---- job builders (no socket) ----------------------------------------------

@@ -4,16 +4,23 @@
 // "shutdown" request or SIGINT/SIGTERM. Configuration is flags-over-env:
 //
 //   qapprox_serve [--socket=PATH] [--workers=N] [--queue-cap=N]
-//                 [--cache-dir=DIR] [--version]
+//                 [--cache-dir=DIR] [--trace-dir=DIR]
+//                 [--metrics-period-ms=N] [--version]
 //
-//   QAPPROX_SERVE_SOCKET     socket path        (default /tmp/qapprox.sock)
-//   QAPPROX_SERVE_WORKERS    worker threads     (default 4)
-//   QAPPROX_SERVE_QUEUE_CAP  total queued jobs  (default 256)
-//   QAPPROX_SYNTH_CACHE_DIR  synthesis-cache snapshot dir (default: off)
+//   QAPPROX_SERVE_SOCKET       socket path        (default /tmp/qapprox.sock)
+//   QAPPROX_SERVE_WORKERS      worker threads     (default 4)
+//   QAPPROX_SERVE_QUEUE_CAP    total queued jobs  (default 256)
+//   QAPPROX_SYNTH_CACHE_DIR    synthesis-cache snapshot dir (default: off)
+//   QAPPROX_TRACE_DIR          tail-sample capture dir      (default: off)
+//   QAPPROX_METRICS_PERIOD_MS  periodic metrics snapshots to the
+//                              QAPPROX_METRICS path (+ .prom) (default: off)
+//   QAPPROX_METRICS_WINDOW_MS  rolling SLO window span       (default 1000)
 //
 // On exit the daemon prints its stats payload (the same JSON a "stats"
 // request returns) so soak scripts can assert on counters without keeping a
-// client open through shutdown.
+// client open through shutdown. A SIGTERM/SIGINT drain also flushes the
+// armed QAPPROX_TRACE / QAPPROX_METRICS exports and the pending tail-sample
+// window before the process exits — a killed soak still leaves artifacts.
 #include <csignal>
 #include <cstdio>
 
@@ -43,6 +50,9 @@ static int run(int argc, char** argv) {
   opts.scheduler.queue_cap = static_cast<std::size_t>(ctx.args.get_int(
       "queue-cap", static_cast<int>(opts.scheduler.queue_cap)));
   opts.synth_cache_dir = ctx.args.get("cache-dir", opts.synth_cache_dir);
+  opts.trace_dir = ctx.args.get("trace-dir", opts.trace_dir);
+  opts.metrics_period_ms =
+      ctx.args.get_double("metrics-period-ms", opts.metrics_period_ms);
 
   serve::QapproxServer server(opts);
   g_server = &server;
