@@ -30,16 +30,37 @@
 //
 // Exit is nonzero when any reply is missing, duplicated, or uncorrelated —
 // the soak gate in CI runs this under QAPPROX_FAULTS and a sanitizer build.
+//
+// Crash-chaos mode (requires a server under tools/qapprox_supervisor with
+// QAPPROX_JOURNAL_DIR set):
+//
+//   bench_serve --socket=PATH --pidfile=PATH --chaos=N
+//               [--kill-interval-ms=N] [--chaos-seed=S] [--shutdown-after]
+//
+// Every job carries an idempotency key derived from its request id. While
+// the load runs, the harness SIGKILLs the pid in --pidfile N times
+// (re-reading it each cycle — the supervisor rewrites it per spawn);
+// clients reconnect with backoff and resend unreplied requests under their
+// original keys. The gate is the crash-durability contract: every request
+// eventually gets a reply, all replies for one request id carry the same
+// exec id (the job's side effects ran under exactly one acknowledged
+// execution — a retry replayed or attached, never re-executed), and the
+// server's duplicate_exec counter reads 0. --shutdown-after ends with a
+// wire shutdown so the supervisor exits cleanly for CI.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <signal.h>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -237,11 +258,290 @@ struct MetricsScraper {
   }
 };
 
+// ---------------------------------------------------------------- chaos mode
+
+/// A chaos request is the regular mixed load minus inline stats (every
+/// request must be a job so it has an idempotency key and an exec id), with
+/// the key derived from the request id so a resend after a reconnect is a
+/// true retry.
+Value make_chaos_request(std::uint64_t id, const std::string& tenant,
+                         double deadline_ms, std::uint64_t seed) {
+  Value req = make_request(id, tenant, deadline_ms);
+  if (req.get_string("type", "") == "stats") {
+    req.set("type", "simulate");
+    Value params = Value::object();
+    params.set("workload", "tfim");
+    params.set("qubits", 3);
+    params.set("steps", 2);
+    params.set("shots", 128);
+    req.set("params", std::move(params));
+  }
+  req.set("idem", "chaos-" + std::to_string(seed) + "-" + std::to_string(id));
+  return req;
+}
+
+struct ChaosLog {
+  std::mutex mu;
+  std::vector<int> replies;                  // count per request id
+  std::vector<std::set<std::string>> execs;  // distinct exec ids per request
+  std::uint64_t replayed = 0;                // replies served from replay/attach
+  std::uint64_t reaped = 0;                  // structured watchdog replies
+  std::uint64_t unknown_ids = 0;
+  std::uint64_t reconnects = 0;
+};
+
+/// Drives ids [first, first+count) across server crashes: reconnect with
+/// backoff, resend whatever has not been answered yet under the original
+/// idempotency keys, stop once every id has a reply.
+void drive_chaos_connection(const std::string& socket_path,
+                            std::uint64_t first, std::uint64_t count,
+                            std::size_t inflight,
+                            const std::vector<std::string>& tenants,
+                            double deadline_ms, std::uint64_t seed,
+                            ChaosLog& log, std::atomic<bool>& failed) {
+  std::vector<bool> done(count, false);
+  std::uint64_t remaining = count;
+  int epochs = 0;
+  while (remaining > 0) {
+    if (++epochs > 500) {
+      std::fprintf(stderr,
+                   "chaos connection [%llu..%llu): gave up after %d epochs "
+                   "with %llu unanswered\n",
+                   static_cast<unsigned long long>(first),
+                   static_cast<unsigned long long>(first + count), epochs,
+                   static_cast<unsigned long long>(remaining));
+      failed.store(true);
+      return;
+    }
+    try {
+      qc::serve::Client client =
+          qc::serve::Client::connect_with_retry(socket_path, 30000.0);
+      std::vector<bool> sent(count, false);  // this connection epoch only
+      std::size_t outstanding = 0;
+      while (remaining > 0) {
+        for (std::uint64_t i = 0; i < count && outstanding < inflight; ++i) {
+          if (done[i] || sent[i]) continue;
+          client.send(make_chaos_request(
+              first + i, tenants[(first + i) % tenants.size()], deadline_ms,
+              seed));
+          sent[i] = true;
+          ++outstanding;
+        }
+        if (outstanding == 0) break;  // everything left is answered
+        std::optional<Value> reply = client.recv();
+        if (!reply.has_value()) break;  // server died: reconnect + resend
+        --outstanding;
+        std::lock_guard<std::mutex> lock(log.mu);
+        const Value* id = reply->find("id");
+        if (id == nullptr || !id->is_number() || id->as_uint64() < first ||
+            id->as_uint64() >= first + count) {
+          ++log.unknown_ids;
+          continue;
+        }
+        const std::uint64_t gid = id->as_uint64();
+        const std::uint64_t idx = gid - first;
+        log.replies[gid] += 1;
+        const std::string exec = reply->get_string("exec", "");
+        if (!exec.empty()) log.execs[gid].insert(exec);
+        if (reply->get_bool("replayed", false)) ++log.replayed;
+        if (const Value* error = reply->find("error"))
+          if (error->get_string("kind", "") == "reaped") ++log.reaped;
+        if (!done[idx]) {
+          done[idx] = true;
+          --remaining;
+        }
+      }
+    } catch (const std::exception&) {
+      // connect budget exhausted or a send hit a dying socket: new epoch.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (remaining > 0) {
+      std::lock_guard<std::mutex> lock(log.mu);
+      ++log.reconnects;
+    }
+  }
+}
+
+/// The supervisor rewrites the pidfile after every spawn; re-read it per
+/// kill so the SIGKILL lands on the live incarnation, never a stale pid.
+pid_t read_pidfile(const std::string& path) {
+  std::ifstream in(path);
+  long pid = 0;
+  if (!(in >> pid) || pid <= 1) return -1;
+  return static_cast<pid_t>(pid);
+}
+
+/// One wire `stats` call (fresh connection, retried through restarts).
+std::optional<Value> scrape_stats(const std::string& socket_path) {
+  try {
+    qc::serve::Client client =
+        qc::serve::Client::connect_with_retry(socket_path, 15000.0);
+    Value req = Value::object();
+    req.set("id", "chaos-stats");
+    req.set("type", "stats");
+    Value reply = client.call(req);
+    const Value* result = reply.find("result");
+    if (result == nullptr || reply.get_string("status", "") != "ok")
+      return std::nullopt;
+    return *result;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+int run_chaos(qc::common::CliArgs& args, const std::string& socket_path) {
+  using namespace qc;
+  const int chaos_kills = args.get_int("chaos", 5);
+  const std::string pidfile = args.get("pidfile", "");
+  QC_CHECK_MSG(!socket_path.empty(),
+               "--chaos needs --socket (an external server under the "
+               "supervisor; an in-process server would die with us)");
+  QC_CHECK_MSG(!pidfile.empty(),
+               "--chaos needs --pidfile (the supervisor's, to aim SIGKILL)");
+  const std::uint64_t jobs = static_cast<std::uint64_t>(
+      std::max(1, args.get_int("jobs", 2000)));
+  const std::size_t connections =
+      static_cast<std::size_t>(std::max(1, args.get_int("connections", 8)));
+  const std::size_t num_tenants =
+      static_cast<std::size_t>(std::max(1, args.get_int("tenants", 4)));
+  const std::size_t inflight =
+      static_cast<std::size_t>(std::max(1, args.get_int("inflight", 32)));
+  const double deadline_ms = args.get_double("deadline-ms", 150.0);
+  const double kill_interval_ms = args.get_double("kill-interval-ms", 700.0);
+  const std::uint64_t seed = args.get_seed("chaos-seed", 11);
+
+  std::vector<std::string> tenants;
+  for (std::size_t t = 0; t < num_tenants; ++t)
+    tenants.push_back("tenant-" + std::to_string(t));
+
+  ChaosLog log;
+  log.replies.assign(jobs, 0);
+  log.execs.assign(jobs, {});
+  std::atomic<bool> failed{false};
+  std::atomic<bool> load_done{false};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> drivers;
+  const std::uint64_t per_conn = (jobs + connections - 1) / connections;
+  for (std::size_t c = 0; c < connections; ++c) {
+    const std::uint64_t first = static_cast<std::uint64_t>(c) * per_conn;
+    if (first >= jobs) break;
+    const std::uint64_t count = std::min(per_conn, jobs - first);
+    drivers.emplace_back([&, first, count] {
+      drive_chaos_connection(socket_path, first, count, inflight, tenants,
+                             deadline_ms, seed, log, failed);
+    });
+  }
+
+  // The kill loop: every interval, SIGKILL whatever pid the supervisor
+  // last wrote. Runs to its full count even if the load drains early (the
+  // recovery path still gets exercised); kills landing mid-load are counted
+  // separately because they are the ones that prove the contract.
+  int kills_done = 0, kills_mid_load = 0;
+  std::thread killer([&] {
+    while (kills_done < chaos_kills) {
+      const auto resume =
+          Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(kill_interval_ms));
+      while (Clock::now() < resume)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      const pid_t pid = read_pidfile(pidfile);
+      if (pid <= 1) continue;  // supervisor has not (re)written it yet
+      if (::kill(pid, SIGKILL) == 0) {
+        ++kills_done;
+        if (!load_done.load()) ++kills_mid_load;
+        std::printf("chaos: SIGKILL %d (%d/%d%s)\n", static_cast<int>(pid),
+                    kills_done, chaos_kills,
+                    load_done.load() ? ", post-load" : "");
+        std::fflush(stdout);
+      }
+    }
+  });
+
+  for (std::thread& t : drivers) t.join();
+  load_done.store(true);
+  killer.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  // ---- the crash contract ---------------------------------------------------
+  std::uint64_t missing = 0, multi_exec = 0, total_replies = 0;
+  for (std::uint64_t i = 0; i < jobs; ++i) {
+    if (log.replies[i] == 0) ++missing;
+    if (log.execs[i].size() > 1) ++multi_exec;
+    total_replies += static_cast<std::uint64_t>(log.replies[i]);
+  }
+
+  // The final boot's own counters (duplicate_exec is per-boot and must be 0
+  // in every boot; the exec-id invariant above covers the earlier ones).
+  std::uint64_t duplicate_exec = 0, recovered_jobs = 0, replay_hits = 0;
+  double recovery_ms = -1.0;
+  bool stats_ok = false;
+  if (std::optional<Value> stats = scrape_stats(socket_path)) {
+    stats_ok = true;
+    if (const Value* dur = stats->find("durability")) {
+      duplicate_exec =
+          static_cast<std::uint64_t>(dur->get_number("duplicate_exec", 0.0));
+      recovered_jobs =
+          static_cast<std::uint64_t>(dur->get_number("recovered_jobs", 0.0));
+      replay_hits =
+          static_cast<std::uint64_t>(dur->get_number("replayed", 0.0));
+    }
+    if (const Value* journal = stats->find("journal"))
+      recovery_ms = journal->get_number("recovery_ms", -1.0);
+  }
+
+  std::printf("chaos soak: %llu jobs, %d SIGKILLs (%d mid-load) in %.0f ms\n",
+              static_cast<unsigned long long>(jobs), kills_done,
+              kills_mid_load, wall_ms);
+  std::printf("  replies %llu (replayed %llu, reaped %llu), reconnect epochs "
+              "%llu\n",
+              static_cast<unsigned long long>(total_replies),
+              static_cast<unsigned long long>(log.replayed),
+              static_cast<unsigned long long>(log.reaped),
+              static_cast<unsigned long long>(log.reconnects));
+  std::printf("  final boot: %llu jobs recovered from the journal, %llu "
+              "replay hits, recovery %.1f ms\n",
+              static_cast<unsigned long long>(recovered_jobs),
+              static_cast<unsigned long long>(replay_hits), recovery_ms);
+
+  if (args.get_bool("shutdown-after", false)) {
+    try {
+      qc::serve::Client client =
+          qc::serve::Client::connect_with_retry(socket_path, 15000.0);
+      Value req = Value::object();
+      req.set("id", "chaos-shutdown");
+      req.set("type", "shutdown");
+      client.call(req);
+      std::printf("chaos: sent wire shutdown\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "chaos: shutdown request failed: %s\n", e.what());
+      failed.store(true);
+    }
+  }
+
+  const bool ok = !failed.load() && stats_ok && missing == 0 &&
+                  multi_exec == 0 && log.unknown_ids == 0 &&
+                  duplicate_exec == 0 && kills_done == chaos_kills;
+  std::printf("chaos gate: missing %llu, multi-exec ids %llu, uncorrelated "
+              "%llu, duplicate_exec %llu -> %s\n",
+              static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(multi_exec),
+              static_cast<unsigned long long>(log.unknown_ids),
+              static_cast<unsigned long long>(duplicate_exec),
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 static int run(int argc, char** argv) {
   using namespace qc;
   common::driver::DriverContext ctx(argc, argv, "bench_serve");
+
+  if (ctx.args.get_int("chaos", 0) > 0)
+    return run_chaos(ctx.args, ctx.args.get("socket", ""));
 
   const std::uint64_t jobs =
       static_cast<std::uint64_t>(std::max(1, ctx.args.get_int("jobs", 2000)));

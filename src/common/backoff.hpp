@@ -1,0 +1,73 @@
+// Exponential backoff with jitter, shared by every reconnect/restart loop.
+//
+// The chaos path has three independent retry loops — the client reconnecting
+// through a supervisor restart, the supervisor respawning a crashed server,
+// and bench_serve resending unreplied requests — and un-jittered retries from
+// all of them at once synchronize into a thundering herd against a socket
+// that is still being rebound. One policy object, header-only so tools can
+// use it without linking anything: delay_n = min(initial × multiplier^n,
+// max), scaled by a uniform factor in [1-jitter, 1+jitter] drawn from a
+// deterministic splitmix64 stream (seedable, so tests are reproducible).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace qc::common {
+
+struct BackoffOptions {
+  double initial_ms = 10.0;
+  double max_ms = 2000.0;
+  double multiplier = 2.0;
+  /// Each delay is scaled by a uniform draw from [1-jitter, 1+jitter].
+  double jitter = 0.25;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffOptions& options = {},
+                   std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : options_(options), state_(seed) {
+    if (options_.initial_ms <= 0.0) options_.initial_ms = 1.0;
+    if (options_.max_ms < options_.initial_ms)
+      options_.max_ms = options_.initial_ms;
+    if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+    options_.jitter = std::clamp(options_.jitter, 0.0, 1.0);
+    current_ms_ = options_.initial_ms;
+  }
+
+  /// The next delay in milliseconds; advances the schedule.
+  double next_ms() {
+    const double base = current_ms_;
+    current_ms_ = std::min(current_ms_ * options_.multiplier, options_.max_ms);
+    ++attempts_;
+    if (options_.jitter == 0.0) return base;
+    return base * (1.0 - options_.jitter + 2.0 * options_.jitter * uniform());
+  }
+
+  /// Back to the initial delay — call after a success (e.g. the supervisor's
+  /// child stayed up past its stability window).
+  void reset() {
+    current_ms_ = options_.initial_ms;
+    attempts_ = 0;
+  }
+
+  std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  double uniform() {  // splitmix64 -> [0, 1)
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  BackoffOptions options_;
+  double current_ms_;
+  std::uint32_t attempts_ = 0;
+  std::uint64_t state_;
+};
+
+}  // namespace qc::common

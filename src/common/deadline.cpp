@@ -16,12 +16,21 @@ CancelToken CancelToken::make() {
   return token;
 }
 
+CancelToken CancelToken::linked(const CancelToken& parent) {
+  CancelToken token = make();
+  // One level of linkage (job token -> scheduler stop token). Linking to an
+  // already-linked token observes that token's own flag, not its grandparent.
+  token.parent_ = parent.flag_ ? parent.flag_ : parent.parent_;
+  return token;
+}
+
 void CancelToken::request_cancel() const noexcept {
   if (flag_) flag_->store(true, std::memory_order_relaxed);
 }
 
 bool CancelToken::cancelled() const noexcept {
-  return flag_ && flag_->load(std::memory_order_relaxed);
+  if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+  return parent_ && parent_->load(std::memory_order_relaxed);
 }
 
 Deadline Deadline::after_ms(double ms) {
@@ -40,6 +49,13 @@ Deadline Deadline::at(Clock::time_point tp) {
 Deadline Deadline::with_token(CancelToken token) const {
   Deadline d = *this;
   d.token_ = std::move(token);
+  return d;
+}
+
+Deadline Deadline::with_progress(
+    std::shared_ptr<std::atomic<std::uint64_t>> beacon) const {
+  Deadline d = *this;
+  d.progress_ = std::move(beacon);
   return d;
 }
 

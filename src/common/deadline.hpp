@@ -18,6 +18,7 @@
 // — no clock read, no atomic.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -37,18 +38,29 @@ class CancelToken {
   /// Creates a token with live shared state.
   static CancelToken make();
 
-  /// Requests cancellation; every copy of this token observes it. No-op on
-  /// a stateless (default-constructed) token.
+  /// Creates a token with its own flag that additionally observes `parent`:
+  /// cancelled() is true once either this token or the parent is cancelled,
+  /// while request_cancel() only trips this token's own flag. The server's
+  /// watchdog uses this to cancel one hung job without cancelling the
+  /// scheduler-wide stop token it is linked to.
+  static CancelToken linked(const CancelToken& parent);
+
+  /// Requests cancellation; every copy of this token observes it (but never
+  /// a linked parent). No-op on a stateless (default-constructed) token.
   void request_cancel() const noexcept;
 
-  /// True once any copy called request_cancel().
+  /// True once any copy (or a linked parent) called request_cancel().
   bool cancelled() const noexcept;
 
-  /// True when this token carries live state (was created via make()).
-  bool valid() const noexcept { return static_cast<bool>(flag_); }
+  /// True when this token carries live state (was created via make() or
+  /// linked() from a live parent).
+  bool valid() const noexcept {
+    return static_cast<bool>(flag_) || static_cast<bool>(parent_);
+  }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<bool>> parent_;  // linked() only; read-only here
 };
 
 /// A point in time work must not run past, plus an optional CancelToken.
@@ -78,6 +90,14 @@ class Deadline {
   /// Attaches a cancellation token (kept alongside any time limit).
   Deadline with_token(CancelToken token) const;
 
+  /// Attaches a progress beacon: every expired() poll bumps the counter.
+  /// The server's watchdog reads the beacon between scans to distinguish a
+  /// job that is still cooperatively polling (slow but alive — its StopPoller
+  /// reaches expired()) from one wedged in non-polling code, which is the
+  /// only kind worth reaping.
+  Deadline with_progress(
+      std::shared_ptr<std::atomic<std::uint64_t>> beacon) const;
+
   const CancelToken& token() const { return token_; }
 
   /// True when this deadline can ever expire (has a time limit or a token).
@@ -86,6 +106,7 @@ class Deadline {
   /// One-branch fast path for unbounded deadlines; otherwise an atomic load
   /// (token) and/or a clock read.
   bool expired() const {
+    if (progress_) progress_->fetch_add(1, std::memory_order_relaxed);
     if (token_.valid() && token_.cancelled()) return true;
     return at_.has_value() && Clock::now() >= *at_;
   }
@@ -101,6 +122,7 @@ class Deadline {
  private:
   std::optional<Clock::time_point> at_;
   CancelToken token_;
+  std::shared_ptr<std::atomic<std::uint64_t>> progress_;
 };
 
 /// Amortizing poll helper for per-iteration checks in hot loops: consults the

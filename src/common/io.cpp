@@ -1,29 +1,69 @@
 #include "common/io.hpp"
 
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/error.hpp"
 
 namespace qc::common {
 
+namespace {
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+[[noreturn]] void fail(const std::string& tmp, const std::string& what) {
+  const int saved = errno;
+  ::unlink(tmp.c_str());
+  throw Error("atomic_write_file: " + what + ": " + std::strerror(saved));
+}
+
+}  // namespace
+
 void atomic_write_file(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("atomic_write_file: cannot open " + tmp);
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      throw Error("atomic_write_file: write to " + tmp + " failed");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw Error("atomic_write_file: cannot open " + tmp + ": " +
+                std::strerror(errno));
+
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail(tmp, "write to " + tmp + " failed");
     }
+    off += static_cast<std::size_t>(n);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw Error("atomic_write_file: rename " + tmp + " -> " + path + " failed");
+
+  // fsync before rename: otherwise the rename can hit disk ahead of the data
+  // and a crash exposes the new name with truncated content — the exact
+  // failure "atomic" is meant to rule out.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail(tmp, "fsync " + tmp + " failed");
+  }
+  if (::close(fd) != 0) fail(tmp, "close " + tmp + " failed");
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail(tmp, "rename " + tmp + " -> " + path + " failed");
+
+  // fsync the parent directory so the rename itself is durable; best-effort
+  // (some filesystems refuse directory fds) — the data is already safe.
+  const int dfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 

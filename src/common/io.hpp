@@ -5,16 +5,19 @@
 // injection, operator Ctrl-C) must never leave a truncated file behind.
 // atomic_write_file stages the content in `<path>.tmp` and renames it over
 // the destination, so readers observe either the old file or the complete
-// new one.
+// new one — and it is crash-durable, not just rename-atomic: the staged file
+// is fsync'd before the rename and the parent directory after, so a power
+// cut cannot expose the new name with old or truncated content.
 #pragma once
 
 #include <string>
 
 namespace qc::common {
 
-/// Writes `content` to `path` atomically (stage to `<path>.tmp`, flush, then
-/// rename over `path`). Throws Error when the file cannot be staged or
-/// renamed; the destination is left untouched on failure.
+/// Writes `content` to `path` atomically and durably (stage to `<path>.tmp`,
+/// write, fsync, rename over `path`, fsync the parent directory). Throws
+/// Error when the file cannot be staged or renamed; the destination is left
+/// untouched on failure.
 void atomic_write_file(const std::string& path, const std::string& content);
 
 }  // namespace qc::common

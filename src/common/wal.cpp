@@ -1,0 +1,202 @@
+#include "common/wal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+
+namespace qc::common {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& what) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("wal: write(" + what + ") failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string encode_wal_frame(const std::string& payload) {
+  QC_CHECK_MSG(payload.size() <= kMaxWalRecordBytes,
+               "wal record exceeds the 64 MiB record cap");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(payload);
+  return frame;
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return result;  // missing file: clean cold start
+  result.existed = true;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw Error("wal: read(" + path + ") failed");
+
+  std::size_t off = 0;
+  while (bytes.size() - off >= 8) {
+    std::uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + off, 4);
+    std::memcpy(&crc, bytes.data() + off + 4, 4);
+    if (len > kMaxWalRecordBytes) break;            // corrupt header
+    if (bytes.size() - off - 8 < len) break;        // torn mid-record
+    const char* payload = bytes.data() + off + 8;
+    if (crc32(payload, len) != crc) break;          // bit rot / torn rewrite
+    result.records.emplace_back(payload, len);
+    off += 8 + len;
+  }
+  result.valid_bytes = off;
+  result.torn_bytes = bytes.size() - off;
+  return result;
+}
+
+WalWriter::WalWriter(const std::string& path) : path_(path) {
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0)
+    throw Error("wal: open(" + path + ") failed: " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd_, &st) == 0)
+    appended_bytes_ = static_cast<std::uint64_t>(st.st_size);
+  if (!existed) {
+    // A crash right after creation must not lose the file's directory entry:
+    // the journal's existence is itself state.
+    const int dfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+std::uint64_t WalWriter::append(const std::string& payload) {
+  const std::string frame = encode_wal_frame(payload);
+  std::lock_guard<std::mutex> lock(append_mu_);
+  write_all(fd_, frame.data(), frame.size(), path_);
+  appended_bytes_ += frame.size();
+  return next_seq_++;
+}
+
+std::uint64_t WalWriter::append_durable(const std::string& payload) {
+  const std::uint64_t seq = append(payload);
+  sync_to(seq);
+  return seq;
+}
+
+void WalWriter::sync_to(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  while (synced_seq_ < seq) {
+    if (sync_in_flight_) {
+      // Another caller is flushing; its fsync may already cover us.
+      sync_cv_.wait(lock);
+      continue;
+    }
+    // Become the group-commit leader: flush everything appended so far on
+    // behalf of every waiter that queued behind this batch.
+    sync_in_flight_ = true;
+    std::uint64_t target;
+    {
+      std::lock_guard<std::mutex> alock(append_mu_);
+      target = next_seq_ - 1;
+    }
+    lock.unlock();
+    const int rc = ::fsync(fd_);
+    lock.lock();
+    sync_in_flight_ = false;
+    ++sync_calls_;
+    if (rc == 0) synced_seq_ = std::max(synced_seq_, target);
+    sync_cv_.notify_all();
+    if (rc != 0)
+      throw Error("wal: fsync(" + path_ + ") failed: " + std::strerror(errno));
+  }
+}
+
+void WalWriter::sync_all() {
+  std::uint64_t last;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    last = next_seq_ - 1;
+  }
+  if (last > 0) sync_to(last);
+}
+
+std::uint64_t WalWriter::appended_bytes() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  return appended_bytes_;
+}
+
+std::uint64_t WalWriter::last_seq() const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t WalWriter::sync_calls() const {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  return sync_calls_;
+}
+
+void rewrite_wal(const std::string& path,
+                 const std::vector<std::string>& records) {
+  std::string content;
+  for (const std::string& record : records)
+    content += encode_wal_frame(record);
+  // atomic_write_file stages, fsyncs the file, renames, and fsyncs the
+  // parent directory — exactly the crash-safety a compaction needs.
+  atomic_write_file(path, content);
+}
+
+}  // namespace qc::common

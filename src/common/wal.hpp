@@ -1,0 +1,123 @@
+// Fsync-aware write-ahead log with CRC-framed records.
+//
+// The serve layer's job journal (serve/journal.hpp) needs an append-only log
+// whose tail can be torn at any byte by a power cut or SIGKILL and still
+// replay to the longest valid prefix. This module is that substrate, kept
+// generic: records are opaque byte strings framed as
+//
+//   [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+//
+// (CRC-32 is the zlib/IEEE polynomial, so external tooling — the CI chaos
+// gate uses python's zlib.crc32 — can walk and verify a journal without
+// linking this code.)
+//
+// Durability model: append() stages a record in the OS page cache;
+// append_durable() returns only once the record (and every record appended
+// before it) has been fsync'd. Syncs are group-committed: concurrent
+// append_durable() callers elect one leader to issue a single fsync covering
+// the whole batch, so a burst of small records pays ~one disk flush, not one
+// each — the classic WAL group-commit.
+//
+// Recovery model: read_wal() scans from the start and stops at the first
+// frame that cannot be completed — short header, declared length beyond the
+// sanity cap or past EOF, or CRC mismatch — and reports the valid prefix
+// plus how many trailing bytes were discarded. A torn or bit-flipped tail
+// therefore costs the unsynced suffix, never the whole log.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qc::common {
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected). `seed` chains calls:
+/// crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// One framed record: 8-byte header + payload.
+std::string encode_wal_frame(const std::string& payload);
+
+/// A record's framed size on disk.
+inline std::size_t wal_frame_size(std::size_t payload_len) {
+  return 8 + payload_len;
+}
+
+/// Largest payload a frame may declare before the reader treats the header
+/// itself as corruption (a real journal record is KBs, not GBs).
+inline constexpr std::size_t kMaxWalRecordBytes = 64u << 20;  // 64 MiB
+
+struct WalReadResult {
+  std::vector<std::string> records;  // longest valid prefix, in order
+  std::uint64_t valid_bytes = 0;     // offset the prefix ends at
+  std::uint64_t torn_bytes = 0;      // trailing bytes discarded as corrupt
+  bool existed = false;              // file was present (even if empty)
+};
+
+/// Replays a WAL file to its longest valid prefix. Missing files return an
+/// empty result with existed=false; IO errors throw common::Error. Never
+/// throws on corruption — corruption is the expected crash signature.
+WalReadResult read_wal(const std::string& path);
+
+/// Append-only writer. One writer per file; appends are serialized
+/// internally, so any thread may call append()/append_durable().
+class WalWriter {
+ public:
+  /// Opens (creating if needed) `path` for append. On creation the parent
+  /// directory is fsync'd so the new file's name itself survives a crash.
+  /// Throws common::Error when the file cannot be opened.
+  explicit WalWriter(const std::string& path);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record without waiting for durability. Returns the
+  /// record's sequence number (1-based, monotonically increasing).
+  std::uint64_t append(const std::string& payload);
+
+  /// append() + sync_to(seq): returns once the record is on disk.
+  std::uint64_t append_durable(const std::string& payload);
+
+  /// Blocks until every record with sequence <= `seq` is fsync'd. Group
+  /// commit: one caller fsyncs on behalf of everyone waiting.
+  void sync_to(std::uint64_t seq);
+
+  /// Fsyncs everything appended so far.
+  void sync_all();
+
+  /// Bytes appended so far (framed).
+  std::uint64_t appended_bytes() const;
+  /// Sequence number of the last appended record (0 = none).
+  std::uint64_t last_seq() const;
+  /// Number of fsync() calls issued (group-commit effectiveness metric).
+  std::uint64_t sync_calls() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+
+  mutable std::mutex append_mu_;  // serializes write() + seq/byte bookkeeping
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t appended_bytes_ = 0;
+
+  mutable std::mutex sync_mu_;  // group-commit state
+  std::condition_variable sync_cv_;
+  std::uint64_t synced_seq_ = 0;
+  bool sync_in_flight_ = false;
+  std::uint64_t sync_calls_ = 0;
+};
+
+/// Atomically replaces the WAL at `path` with the given records (compaction).
+/// Stages to `<path>.tmp`, fsyncs, renames, fsyncs the parent directory —
+/// readers and a post-crash recovery observe either the old log or the
+/// complete new one. Throws common::Error on IO failure.
+void rewrite_wal(const std::string& path,
+                 const std::vector<std::string>& records);
+
+}  // namespace qc::common

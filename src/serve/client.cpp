@@ -1,12 +1,15 @@
 #include "serve/client.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 #include <utility>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 
 namespace qc::serve {
@@ -49,6 +52,34 @@ Client Client::connect(const std::string& socket_path,
   client.fd_ = fd;
   client.decoder_ = FrameDecoder(max_frame_bytes);
   return client;
+}
+
+Client Client::connect_with_retry(const std::string& socket_path,
+                                  double budget_ms,
+                                  std::size_t max_frame_bytes) {
+  using Clock = std::chrono::steady_clock;
+  const auto give_up_at =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(budget_ms));
+  common::Backoff backoff;
+  std::string last_error;
+  while (true) {
+    try {
+      return connect(socket_path, max_frame_bytes);
+    } catch (const common::Error& e) {
+      last_error = e.what();
+    }
+    const double delay_ms = backoff.next_ms();
+    if (Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(delay_ms)) >=
+        give_up_at)
+      throw common::Error("client: connect_with_retry(" + socket_path +
+                          ") gave up after " + std::to_string(budget_ms) +
+                          " ms: " + last_error);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
 }
 
 void Client::close() {

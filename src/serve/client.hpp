@@ -30,6 +30,16 @@ class Client {
   static Client connect(const std::string& socket_path,
                         std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
+  /// Connects with exponential-backoff retries (jittered; see
+  /// common/backoff.hpp) for up to `budget_ms`. Rides out a supervisor
+  /// restart window: a refused/missing socket is retried, and the caller
+  /// resends any unreplied requests under their original idempotency keys so
+  /// the reconnect never double-executes work. Throws common::Error once the
+  /// budget is exhausted.
+  static Client connect_with_retry(
+      const std::string& socket_path, double budget_ms = 10000.0,
+      std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
   bool connected() const { return fd_ >= 0; }
   void close();
 

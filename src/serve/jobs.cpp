@@ -1,8 +1,10 @@
 #include "serve/jobs.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "algos/grover.hpp"
@@ -36,6 +38,38 @@ std::string outcome_bits(std::size_t index, int num_qubits) {
   for (int q = 0; q < num_qubits; ++q)
     if ((index >> q) & 1u) bits[static_cast<std::size_t>(num_qubits - 1 - q)] = '1';
   return bits;
+}
+
+/// Test hooks for the durability machinery (both capped so a stray request
+/// cannot park a worker for long):
+///
+///   "sleep_ms" — cooperative stall: sleeps in short chunks, polling the
+///   deadline each chunk (which also bumps the watchdog's progress beacon),
+///   and winds down early when cancelled. Exercises strike-1 cancellation
+///   and chaos-harness kill windows without ever being reaped.
+///
+///   "hang_ms" — uncooperative stall: sleeps through the whole budget while
+///   ignoring the deadline entirely, exactly like a job wedged in
+///   non-polling code. The watchdog's strike 2 reaps it; the bounded
+///   duration keeps stop() joinable in tests.
+void run_stall_hooks(const json::Value& params,
+                     const common::Deadline& deadline) {
+  const std::int64_t sleep_ms = params.get_int("sleep_ms", 0);
+  QC_CHECK_MSG(sleep_ms >= 0 && sleep_ms <= 60000,
+               "\"sleep_ms\" out of range [0, 60000]");
+  if (sleep_ms > 0) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(sleep_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      if (deadline.expired()) break;  // cancelled or out of time: wind down
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const std::int64_t hang_ms = params.get_int("hang_ms", 0);
+  QC_CHECK_MSG(hang_ms >= 0 && hang_ms <= 60000,
+               "\"hang_ms\" out of range [0, 60000]");
+  if (hang_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(hang_ms));
 }
 
 }  // namespace
@@ -85,6 +119,7 @@ JobOutcome run_simulate_job(const json::Value& params,
                             const common::Deadline& deadline,
                             const obs::TraceContext& trace) {
   driver::init_runtime();
+  run_stall_hooks(params, deadline);
   const Workload workload = build_workload(params);
 
   exec::RunRequest req;
@@ -169,6 +204,7 @@ JobOutcome run_synthesize_job(const json::Value& params,
                               const common::Deadline& deadline,
                               const obs::TraceContext& trace) {
   driver::init_runtime();
+  run_stall_hooks(params, deadline);
   const std::string preset = params.get_string("preset", "tfim");
   const bool fast = params.get_bool("fast", true);
 

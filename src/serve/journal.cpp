@@ -1,0 +1,308 @@
+#include "serve/journal.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace qc::serve {
+
+namespace json = common::json;
+
+namespace {
+
+void make_dirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+      throw common::Error("journal: mkdir(" + prefix +
+                          ") failed: " + std::strerror(errno));
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+}
+
+std::string record_json(const char* type, const std::string& key,
+                        const char* field, const json::Value& value) {
+  json::Value rec = json::Value::object();
+  rec.set("t", type);
+  rec.set("key", key);
+  rec.set(field, value);
+  return rec.dump();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ReplayCache
+
+std::optional<json::Value> ReplayCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+void ReplayCache::put(const std::string& key, json::Value reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(reply);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(reply));
+  index_[key] = lru_.begin();
+  if (lru_.size() > cap_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool ReplayCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) != 0;
+}
+
+std::size_t ReplayCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t ReplayCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ReplayCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ReplayCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+// ----------------------------------------------------------------- JobJournal
+
+JobJournal::JobJournal(const std::string& dir, ReplayCache* replay)
+    : replay_(replay) {
+  if (dir.empty()) return;  // journaling off: record_* are no-ops
+  make_dirs(dir);
+  path_ = dir + "/jobs.wal";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const common::WalReadResult log = common::read_wal(path_);
+  stats_.torn_bytes = log.torn_bytes;
+
+  // Replay to a key -> last-state map. Order matters twice: DONE replies go
+  // to the replay cache oldest-first so LRU keeps the newest, and incomplete
+  // jobs re-enqueue in acceptance order.
+  std::vector<std::string> done_order;           // keys, oldest first
+  std::unordered_map<std::string, json::Value> done_replies;
+  std::vector<std::string> accept_order;
+  std::unordered_map<std::string, json::Value> accept_requests;
+  for (const std::string& payload : log.records) {
+    json::Value rec;
+    std::string parse_error;
+    if (!json::try_parse(payload, &rec, &parse_error) || !rec.is_object())
+      continue;  // CRC-valid but unparseable: skip, never fail recovery
+    const std::string type = rec.get_string("t", "");
+    const std::string key = rec.get_string("key", "");
+    if (key.empty()) continue;
+    if (type == "accepted") {
+      const json::Value* request = rec.find("request");
+      if (request == nullptr) continue;
+      if (accept_requests.count(key) == 0) accept_order.push_back(key);
+      accept_requests[key] = *request;
+    } else if (type == "done") {
+      const json::Value* reply = rec.find("reply");
+      if (reply == nullptr) continue;
+      if (done_replies.count(key) == 0) done_order.push_back(key);
+      done_replies[key] = *reply;
+    } else if (type == "rejected") {
+      // The scheduler bounced this key after it was accepted: nothing ran,
+      // nothing to re-enqueue. A later re-accept re-opens it.
+      accept_requests.erase(key);
+    }
+    // "started" records are forensic only; recovery has no use for them.
+  }
+
+  for (const std::string& key : done_order) {
+    if (replay_ != nullptr) replay_->put(key, done_replies[key]);
+    ++stats_.recovered_replies;
+  }
+  for (const std::string& key : accept_order) {
+    if (done_replies.count(key) != 0) continue;  // finished before the crash
+    if (accept_requests.count(key) == 0) continue;  // rejected, never re-opened
+    if (incomplete_.count(key) != 0) continue;  // reject->re-accept: one entry
+    RecoveredJob job;
+    job.key = key;
+    job.request = accept_requests[key];
+    incomplete_[key] = job.request.dump();
+    recovered_.push_back(std::move(job));
+    ++stats_.recovered_incomplete;
+  }
+
+  // Compact before the writer opens: recovery is the one moment the log has
+  // no concurrent appenders, and rewriting here bounds growth across crash
+  // loops (the chaos soak restarts this path five-plus times).
+  std::vector<std::string> keep;
+  const std::size_t done_cap = replay_ != nullptr ? replay_->cap() : 4096;
+  const std::size_t first_done =
+      done_order.size() > done_cap ? done_order.size() - done_cap : 0;
+  for (std::size_t i = first_done; i < done_order.size(); ++i)
+    keep.push_back(record_json("done", done_order[i], "reply",
+                               done_replies[done_order[i]]));
+  for (const RecoveredJob& job : recovered_)
+    keep.push_back(record_json("accepted", job.key, "request", job.request));
+  if (log.existed) {
+    common::rewrite_wal(path_, keep);
+    ++stats_.compactions;
+  }
+
+  writer_ = std::make_unique<common::WalWriter>(path_);
+  stats_.enabled = true;
+  stats_.path = path_;
+  stats_.recovery_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  obs::gauge("serve.journal.recovery_ms").set(stats_.recovery_ms);
+  obs::counter("serve.journal.recovered_replies")
+      .add(stats_.recovered_replies);
+  obs::counter("serve.journal.recovered_incomplete")
+      .add(stats_.recovered_incomplete);
+  if (stats_.torn_bytes > 0)
+    obs::counter("serve.journal.torn_bytes").add(stats_.torn_bytes);
+}
+
+JobJournal::~JobJournal() = default;
+
+void JobJournal::append_durable(const std::string& payload) {
+  common::WalWriter* writer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer = writer_.get();
+  }
+  if (writer == nullptr) return;
+  // fsync outside mu_: WalWriter group-commits internally, so concurrent
+  // reader/worker threads amortize one flush instead of queueing on ours.
+  writer->append_durable(payload);
+}
+
+void JobJournal::append_staged(const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_) writer_->append(payload);
+}
+
+void JobJournal::record_accepted(const std::string& key,
+                                 const json::Value& request) {
+  if (!enabled()) return;
+  const std::string payload = record_json("accepted", key, "request", request);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incomplete_[key] = payload;
+    ++stats_.accepted;
+  }
+  append_durable(payload);
+}
+
+void JobJournal::record_started(const std::string& key,
+                                const std::string& exec_id) {
+  if (!enabled()) return;
+  json::Value rec = json::Value::object();
+  rec.set("t", "started");
+  rec.set("key", key);
+  rec.set("exec", exec_id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.started;
+  }
+  append_staged(rec.dump());
+}
+
+void JobJournal::record_done(const std::string& key,
+                             const json::Value& reply) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incomplete_.erase(key);
+    ++stats_.done;
+  }
+  append_durable(record_json("done", key, "reply", reply));
+}
+
+void JobJournal::record_rejected(const std::string& key) {
+  if (!enabled()) return;
+  json::Value rec = json::Value::object();
+  rec.set("t", "rejected");
+  rec.set("key", key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incomplete_.erase(key);
+  }
+  append_staged(rec.dump());
+}
+
+void JobJournal::compact() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Appends are quiesced (scheduler drained) by contract, so closing the
+  // writer, rewriting, and reopening cannot lose records.
+  writer_.reset();
+  std::vector<std::string> keep;
+  if (replay_ != nullptr) {
+    // Everything worth replaying after a restart is exactly the cache's
+    // current contents; walk it via the journal's own bookkeeping instead of
+    // exposing iteration: re-read the compacted-at-open log plus this boot's
+    // DONE records. Simpler and equivalent: re-scan the file we just wrote.
+    const common::WalReadResult log = common::read_wal(path_);
+    std::vector<std::string> order;
+    std::unordered_map<std::string, std::string> latest;
+    for (const std::string& payload : log.records) {
+      json::Value rec;
+      std::string parse_error;
+      if (!json::try_parse(payload, &rec, &parse_error) || !rec.is_object())
+        continue;
+      if (rec.get_string("t", "") != "done") continue;
+      const std::string key = rec.get_string("key", "");
+      if (key.empty()) continue;
+      if (latest.count(key) == 0) order.push_back(key);
+      latest[key] = payload;
+    }
+    const std::size_t cap = replay_->cap();
+    const std::size_t first = order.size() > cap ? order.size() - cap : 0;
+    for (std::size_t i = first; i < order.size(); ++i)
+      keep.push_back(latest[order[i]]);
+  }
+  for (const auto& [key, payload] : incomplete_) keep.push_back(payload);
+  common::rewrite_wal(path_, keep);
+  ++stats_.compactions;
+  writer_ = std::make_unique<common::WalWriter>(path_);
+}
+
+JournalStats JobJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalStats s = stats_;
+  if (writer_) {
+    s.appended_bytes = writer_->appended_bytes();
+    s.sync_calls = writer_->sync_calls();
+  }
+  return s;
+}
+
+}  // namespace qc::serve

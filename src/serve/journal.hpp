@@ -1,0 +1,164 @@
+// Write-ahead job journal + bounded reply-replay cache for the serve layer.
+//
+// The exactly-once-reply contract across a crash (DESIGN.md §14) rests on
+// three record types appended to a common::WalWriter-backed log:
+//
+//   {"t":"accepted","key":K,"request":{...}}   durable before admission acks
+//   {"t":"started","key":K,"exec":E}           staged (observability only)
+//   {"t":"done","key":K,"reply":{...}}         durable BEFORE the reply is
+//                                              sent — the load-bearing order
+//
+// DONE-before-send is what makes replay safe: a crash after the fsync but
+// before the client read the reply is recovered by replaying the cached
+// reply; a crash before the fsync means the client never saw a reply, so
+// re-executing is not a duplicate. The forbidden window — reply delivered,
+// DONE lost — never exists.
+//
+// Recovery (open()): replay the log to its longest valid prefix, rebuild the
+// replay cache from DONE records, collect ACCEPTED-without-DONE keys as
+// incomplete jobs for the server to re-enqueue, then compact the log so it
+// does not grow across restarts. Compaction keeps the most recent DONE
+// records (up to the replay-cache cap) plus every incomplete ACCEPTED; a
+// clean drain therefore leaves a DONE-only journal, which the CI chaos gate
+// asserts by walking the frames with python's struct + zlib.
+//
+// Only idempotency-keyed jobs are journaled: a keyless job cannot be matched
+// to a retry, so replaying it after a crash would execute work nobody can
+// claim. Keys are tenant-scoped by the server before they reach this layer.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/wal.hpp"
+
+namespace qc::serve {
+
+/// Bounded LRU map from idempotency key to the reply that key produced.
+/// Lives next to the journal because recovery rebuilds it from DONE records;
+/// it also runs journal-less (in-memory only) when QAPPROX_JOURNAL_DIR is
+/// unset. Eviction is capacity-only: an evicted key's retry re-executes, so
+/// the cap trades memory against the retry horizon (default 4096 — size
+/// chaos loads under it).
+class ReplayCache {
+ public:
+  explicit ReplayCache(std::size_t cap) : cap_(cap == 0 ? 1 : cap) {}
+
+  /// The cached reply for `key`, bumping its recency; nullopt on miss.
+  std::optional<common::json::Value> get(const std::string& key);
+
+  /// Inserts/overwrites `key`, evicting the least-recently-used entry over
+  /// capacity.
+  void put(const std::string& key, common::json::Value reply);
+
+  bool contains(const std::string& key) const;
+
+  std::size_t size() const;
+  std::size_t cap() const { return cap_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using Entry = std::pair<std::string, common::json::Value>;
+
+  std::size_t cap_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// An ACCEPTED-without-DONE job found at recovery: the server re-enqueues it.
+struct RecoveredJob {
+  std::string key;
+  common::json::Value request;  // the original request envelope object
+};
+
+struct JournalStats {
+  bool enabled = false;
+  std::string path;
+  std::uint64_t accepted = 0;   // records appended this boot
+  std::uint64_t started = 0;
+  std::uint64_t done = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t sync_calls = 0;
+  std::uint64_t recovered_replies = 0;     // DONE records replayed at open
+  std::uint64_t recovered_incomplete = 0;  // jobs re-enqueued at open
+  std::uint64_t torn_bytes = 0;            // tail discarded at open
+  std::uint64_t compactions = 0;
+  double recovery_ms = 0.0;  // wall time of the open() replay+compact
+};
+
+/// The journal. Disabled (all record_* are no-ops) when constructed with an
+/// empty directory. One instance per server; thread-safe.
+class JobJournal {
+ public:
+  /// `dir` == "": journaling off. Otherwise opens (creating) `dir/jobs.wal`,
+  /// recovers, fills `replay` with recovered replies, and compacts. Throws
+  /// common::Error when the directory cannot be used.
+  JobJournal(const std::string& dir, ReplayCache* replay);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  bool enabled() const { return writer_ != nullptr; }
+
+  /// Durable: returns only once the ACCEPTED record is on disk.
+  void record_accepted(const std::string& key,
+                       const common::json::Value& request);
+
+  /// Staged (group-committed with the next durable append): STARTED is
+  /// observability — duplicate-execution forensics — not correctness.
+  void record_started(const std::string& key, const std::string& exec_id);
+
+  /// Durable: MUST complete before the reply is sent (see file header).
+  void record_done(const std::string& key, const common::json::Value& reply);
+
+  /// Staged: closes an ACCEPTED key whose job the scheduler rejected — the
+  /// client got an "overloaded" error and nothing executed. Recovery treats
+  /// it like DONE minus the replay-cache entry; losing the record to a crash
+  /// merely re-enqueues a job that never ran (one execution, zero duplicated
+  /// side effects), so group commit is enough.
+  void record_rejected(const std::string& key);
+
+  /// Jobs to re-enqueue, in journal order. Filled by the constructor; the
+  /// server consumes (moves from) it once at start().
+  std::vector<RecoveredJob>& recovered() { return recovered_; }
+
+  /// Rewrites the log to DONE records (newest `replay_cap` per the cache
+  /// handed to the constructor) plus still-incomplete ACCEPTED records.
+  /// Called at clean shutdown after the scheduler drained; safe to call with
+  /// appends quiesced only.
+  void compact();
+
+  JournalStats stats() const;
+
+ private:
+  void append_durable(const std::string& payload);
+  void append_staged(const std::string& payload);
+
+  std::string path_;
+  std::unique_ptr<common::WalWriter> writer_;
+  ReplayCache* replay_ = nullptr;
+
+  mutable std::mutex mu_;  // guards writer_ swap during compact + counters
+  // Keys accepted (journaled) but not yet done, with their request payloads —
+  // what a compaction must preserve.
+  std::unordered_map<std::string, std::string> incomplete_;
+  std::vector<RecoveredJob> recovered_;
+  JournalStats stats_;
+};
+
+}  // namespace qc::serve

@@ -63,6 +63,7 @@ std::optional<RequestEnvelope> parse_request(const std::string& payload,
   try {
     env.tenant = doc.get_string("tenant", "anon");
     env.deadline_ms = doc.get_number("deadline_ms", 0.0);
+    env.idem = doc.get_string("idem", "");
   } catch (const common::Error& e) {
     if (error) *error = e.what();
     return std::nullopt;

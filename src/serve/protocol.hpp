@@ -6,6 +6,7 @@
 //              "synthesize" | "stats" | "metrics" | "shutdown",
 //              "tenant": "team-a",          // optional, default "anon"
 //              "deadline_ms": 2000,          // optional soft budget
+//              "idem": "client-42-req-7",    // optional idempotency key
 //              "params": { ... }}            // type-specific
 //
 //   reply:    {"id": <echoed>, "status": "ok" | "degraded" | "error",
@@ -18,7 +19,14 @@
 // and its result is usable but annotated (deadline-truncated shots,
 // synthesis fallback, injected-fault retries). Error kinds extend the
 // library taxonomy (contract/synthesis/simulation/timeout) with transport
-// and admission kinds: bad_request, overloaded, shutdown, internal.
+// and admission kinds: bad_request, overloaded, shutdown, internal, and
+// reaped (watchdog killed a hung job).
+//
+// "idem" makes a job request safe to retry: two requests carrying the same
+// key execute at most once, and the later one receives the cached reply
+// (stamped "replayed": true) or attaches to the in-flight execution. Keys
+// are scoped per tenant. Inline types (ping/stats/metrics/shutdown) ignore
+// the key — they are naturally idempotent or intentionally not.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +52,8 @@ struct RequestEnvelope {
   std::string tenant = "anon";
   /// <= 0: no per-request deadline (process default applies).
   double deadline_ms = 0.0;
+  /// Idempotency key; empty = none (every request executes independently).
+  std::string idem;
   common::json::Value params;  // object or Null
 };
 

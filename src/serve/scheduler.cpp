@@ -12,6 +12,7 @@ JobScheduler::JobScheduler(const SchedulerOptions& options) : options_(options) 
   if (options_.queue_cap == 0) options_.queue_cap = 1;
   if (options_.per_tenant_cap == 0) options_.per_tenant_cap = 1;
   workers_.reserve(options_.workers);
+  live_workers_ = options_.workers;
   for (std::size_t i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
@@ -89,7 +90,10 @@ void JobScheduler::worker_loop() {
     cv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
     Job job;
     if (!pop_next(&job)) {
-      if (stopping_) return;  // drained and stopping: exit
+      if (stopping_) {
+        --live_workers_;
+        return;  // drained and stopping: exit
+      }
       continue;
     }
     ++running_;
@@ -100,7 +104,30 @@ void JobScheduler::worker_loop() {
     ++lifetime_.completed;
     obs::counter("serve.scheduler.completed").add(1);
     if (queued_ == 0 && running_ == 0) idle_cv_.notify_all();
+    // Surplus retirement: while a reaped job's thread is presumed wedged it
+    // is excluded from the usable count, so its replacement stays. Once the
+    // wedged thread returns (note_wedged_worker_returned), the pool really
+    // is oversize and the next finisher — usually that very thread — exits.
+    if (!stopping_ && live_workers_ - wedged_ > options_.workers) {
+      --live_workers_;
+      return;
+    }
   }
+}
+
+void JobScheduler::spawn_surplus_worker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  ++live_workers_;
+  ++wedged_;
+  ++lifetime_.surplus_spawned;
+  obs::counter("serve.scheduler.surplus_spawned").add(1);
+  workers_.emplace_back([this] { worker_loop(); });
+}
+
+void JobScheduler::note_wedged_worker_returned() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_ > 0) --wedged_;
 }
 
 void JobScheduler::stop() {
@@ -127,6 +154,7 @@ SchedulerStats JobScheduler::stats() const {
   s.queued = queued_;
   s.running = running_;
   s.tenants = queues_.size();
+  s.live_workers = live_workers_;
   return s;
 }
 

@@ -49,6 +49,8 @@ struct SchedulerStats {
   std::uint64_t rejected = 0;    // cap rejections, lifetime
   std::uint64_t completed = 0;   // jobs whose body returned, lifetime
   std::size_t peak_queued = 0;   // high-water mark (bounded-depth evidence)
+  std::uint64_t surplus_spawned = 0;  // replacement workers, lifetime
+  std::size_t live_workers = 0;  // threads currently in the loop
 };
 
 class JobScheduler {
@@ -74,6 +76,18 @@ class JobScheduler {
   /// completion (under the cancelled token), and joins. Idempotent.
   void stop();
 
+  /// Adds one temporary worker thread to replace a slot wedged by a reaped
+  /// job (see watchdog.hpp). Surplus workers retire — the next worker to
+  /// finish a job exits instead of looping — once the pool is back above its
+  /// configured size, so repeated reaps do not grow the pool permanently.
+  /// No-op while stopping.
+  void spawn_surplus_worker();
+
+  /// The server calls this when a reaped job's body finally returns: its
+  /// thread is no longer wedged, so the pool is genuinely oversize and the
+  /// next finishing worker retires.
+  void note_wedged_worker_returned();
+
   /// Blocks until no job is queued or running (test/soak synchronization).
   void wait_idle();
 
@@ -97,6 +111,8 @@ class JobScheduler {
   std::size_t rr_cursor_ = 0;
   std::size_t queued_ = 0;
   std::size_t running_ = 0;
+  std::size_t live_workers_ = 0;  // threads currently inside worker_loop
+  std::size_t wedged_ = 0;        // reaped jobs' threads not yet returned
   bool stopping_ = false;
   SchedulerStats lifetime_;  // submitted/rejected/completed/peak under mu_
 

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <set>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "common/deadline.hpp"
 
 #include "common/driver.hpp"
 #include "common/error.hpp"
@@ -117,26 +121,74 @@ ServerOptions ServerOptions::from_env() {
   opts.metrics_window_ms =
       env_double("QAPPROX_METRICS_WINDOW_MS", opts.metrics_window_ms);
   if (opts.metrics_window_ms <= 0.0) opts.metrics_window_ms = 1000.0;
+  if (const char* dir = std::getenv("QAPPROX_JOURNAL_DIR"))
+    if (*dir != '\0') opts.journal_dir = dir;
+  opts.replay_cache_cap =
+      env_size("QAPPROX_REPLAY_CACHE", opts.replay_cache_cap);
+  opts.write_budget_bytes =
+      env_size("QAPPROX_WRITE_BUDGET", opts.write_budget_bytes);
+  opts.watchdog = Watchdog::options_from_env();
   return opts;
 }
 
-/// Per-connection shared state. Reader thread and every queued job hold a
-/// shared_ptr; the last owner's destructor closes the fd, so replies for a
-/// disconnected client degrade to counted write failures, never a write to
-/// a reused descriptor.
+/// Per-connection shared state. Reader thread, writer thread, and every
+/// queued job hold a shared_ptr; the last owner's destructor closes the fd,
+/// so replies for a disconnected client degrade to counted write failures,
+/// never a write to a reused descriptor. Replies are staged in a bounded
+/// byte-budget queue drained by the connection's writer thread; a client
+/// slower than its replies accumulate is disconnected at the budget (slow-
+/// loris back-pressure) instead of wedging a worker or growing the queue.
 struct QapproxServer::ConnState {
   int fd = -1;
-  std::mutex write_mu;
   std::atomic<bool> write_ok{true};
+
+  std::mutex q_mu;
+  std::condition_variable q_cv;
+  std::deque<std::string> queue;  // encoded frames, FIFO
+  std::size_t queued_bytes = 0;
+  std::size_t pending_jobs = 0;   // dispatched jobs not yet replied
+  bool reader_done = false;       // reader thread exited
+  bool stop = false;              // server stopping: flush queue and exit
+
   ~ConnState() {
     if (fd >= 0) ::close(fd);
+  }
+
+  /// Pending-job accounting: a connection's writer thread stays alive until
+  /// the reader is gone AND every dispatched job has enqueued its reply.
+  /// Null-safe (journal-recovered jobs have no connection).
+  static void job_begin(const std::shared_ptr<ConnState>& conn) {
+    if (conn == nullptr) return;
+    std::lock_guard<std::mutex> lock(conn->q_mu);
+    ++conn->pending_jobs;
+  }
+
+  static void job_end(const std::shared_ptr<ConnState>& conn) {
+    if (conn == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(conn->q_mu);
+      if (conn->pending_jobs > 0) --conn->pending_jobs;
+    }
+    conn->q_cv.notify_all();
   }
 };
 
 QapproxServer::QapproxServer(ServerOptions options)
     : options_(std::move(options)),
       scheduler_(options_.scheduler),
-      tail_(tail_options(options_)) {}
+      tail_(tail_options(options_)),
+      replay_(options_.replay_cache_cap) {
+  // Exec ids are "<boot>-<seq>": unique per actual execution across
+  // restarts, which is what lets the chaos harness prove a request id never
+  // executed twice.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llx",
+                static_cast<unsigned long long>(
+                    (obs::now_ns() ^ (static_cast<std::uint64_t>(::getpid())
+                                      << 32)) &
+                    0xFFFFFFFFFFFFull));
+  boot_id_ = buf;
+}
 
 QapproxServer::~QapproxServer() { stop(); }
 
@@ -165,6 +217,26 @@ void QapproxServer::start() {
                   static_cast<unsigned long long>(warm_loaded_),
                   options_.synth_cache_dir.c_str());
   }
+
+  // Crash durability: recover the journal (rebuilding the replay cache),
+  // arm the watchdog, and re-enqueue accepted-but-unfinished jobs — all
+  // before the listener exists, so no connection observes a half-recovered
+  // server and no job runs unwatched.
+  journal_ = std::make_unique<JobJournal>(options_.journal_dir, &replay_);
+  if (journal_->enabled()) {
+    const JournalStats js = journal_->stats();
+    QC_LOG_INFO("serve",
+                "journal %s: %llu replies replayed, %llu jobs to re-enqueue, "
+                "%llu torn bytes discarded (%.1f ms)",
+                js.path.c_str(),
+                static_cast<unsigned long long>(js.recovered_replies),
+                static_cast<unsigned long long>(js.recovered_incomplete),
+                static_cast<unsigned long long>(js.torn_bytes), js.recovery_ms);
+  }
+  watchdog_ = std::make_unique<Watchdog>(
+      options_.watchdog,
+      [this](const std::shared_ptr<JobTicket>& ticket) { reap_job(ticket); });
+  replay_recovered_jobs();
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -255,13 +327,23 @@ void QapproxServer::accept_loop() {
       return;  // listener closed (stop()) or fatal: accept loop ends
     }
     counters_.connections.fetch_add(1, std::memory_order_relaxed);
+    // Bound every blocking send: a peer that stops reading mid-frame stalls
+    // its writer thread for at most this long before counting as dead, so
+    // stop() can always flush and join.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
     auto conn = std::make_shared<ConnState>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_.load()) return;  // raced with stop(): conn closes via dtor
     conns_.push_back(conn);
-    readers_.emplace_back([this, conn = std::move(conn)]() mutable {
+    readers_.emplace_back([this, conn]() mutable {
       handle_connection(std::move(conn));
+    });
+    writers_.emplace_back([this, conn = std::move(conn)]() mutable {
+      writer_loop(std::move(conn));
     });
   }
 }
@@ -285,6 +367,11 @@ void QapproxServer::handle_connection(std::shared_ptr<ConnState> conn) {
     if (decoder.poisoned()) break;
     if (!read_into_decoder(conn->fd, decoder)) break;  // EOF / error / stop()
   }
+  {
+    std::lock_guard<std::mutex> lock(conn->q_mu);
+    conn->reader_done = true;
+  }
+  conn->q_cv.notify_all();  // writer may now exit once pending jobs drain
 }
 
 void QapproxServer::handle_frame(const std::shared_ptr<ConnState>& conn,
@@ -343,13 +430,101 @@ void QapproxServer::handle_frame(const std::shared_ptr<ConnState>& conn,
 }
 
 void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
-                                 RequestEnvelope env) {
+                                 RequestEnvelope env, bool recovered) {
   const bool is_simulate = env.type == RequestType::Simulate;
   (is_simulate ? counters_.simulate : counters_.synthesize)
       .fetch_add(1, std::memory_order_relaxed);
   const char* kind = is_simulate ? "simulate" : "synthesize";
   const std::string tenant = env.tenant;
-  const json::Value request_id = env.id;  // survives the move for rejections
+
+  // Idempotency key, tenant-scoped so tenants cannot collide or probe each
+  // other's replies. "" = keyless: not journaled, not deduplicated.
+  const std::string key =
+      env.idem.empty() ? std::string() : tenant + '\x1f' + env.idem;
+
+  // Replay fast path: a completed key's retry gets the cached reply —
+  // re-stamped with this request's id — never a second execution.
+  if (!key.empty()) {
+    if (std::optional<json::Value> cached = replay_.get(key)) {
+      counters_.replayed.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.replay.hits").add(1);
+      json::Value reply = std::move(*cached);
+      reply.set("id", env.id);
+      reply.set("replayed", true);
+      send_reply(conn, reply);
+      return;
+    }
+  }
+
+  auto ticket = std::make_shared<JobTicket>();
+  ticket->id = ticket_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ticket->kind = kind;
+  ticket->tenant = tenant;
+  ticket->key = key;
+  ticket->request_id = env.id;
+  ticket->wait_key = key.empty() ? std::string(1, '\0') + "#" +
+                                       std::to_string(ticket->id)
+                                 : key;
+  if (env.deadline_ms > 0) {
+    ticket->budget_ms = env.deadline_ms;
+  } else {
+    const double rem = common::Deadline::from_env().remaining_ms();
+    if (std::isfinite(rem)) ticket->budget_ms = rem;
+  }
+
+  // Register the waiter. For keyed jobs this is also the dedup point: a
+  // retry of an in-flight key attaches to the one execution instead of
+  // re-executing, and the replay cache is re-checked under inflight_mu_ to
+  // close the race with a concurrent completion (record_done puts the reply
+  // into the cache *before* deliver_keyed_reply pops the waiter list under
+  // this same mutex, so "not in flight" implies "visible in the cache").
+  ConnState::job_begin(conn);
+  bool primary = true;
+  std::optional<json::Value> completed_racing;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(ticket->wait_key);
+    if (it != inflight_.end()) {
+      it->second.push_back(Waiter{conn, env.id});
+      primary = false;
+    } else if (!key.empty() && (completed_racing = replay_.get(key))) {
+      primary = false;
+    } else {
+      inflight_.emplace(ticket->wait_key,
+                        std::vector<Waiter>{Waiter{conn, env.id}});
+    }
+  }
+  if (completed_racing) {
+    ConnState::job_end(conn);
+    counters_.replayed.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.replay.hits").add(1);
+    json::Value reply = std::move(*completed_racing);
+    reply.set("id", env.id);
+    reply.set("replayed", true);
+    send_reply(conn, reply);
+    return;
+  }
+  if (!primary) {
+    counters_.attached.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.replay.attached").add(1);
+    return;  // reply arrives via deliver_keyed_reply
+  }
+
+  // Journal ACCEPTED before submitting — durable, so a crash from here on
+  // re-enqueues the job. The order matters: an ACCEPTED appended after the
+  // job's own DONE would resurrect a completed job at recovery and execute
+  // it a second time. Recovered jobs are already in the journal's
+  // incomplete set and must not be re-accepted.
+  if (!key.empty() && !recovered) {
+    json::Value request = json::Value::object();
+    request.set("type", kind);
+    request.set("id", env.id);
+    request.set("tenant", env.tenant);
+    request.set("idem", env.idem);
+    if (env.deadline_ms > 0) request.set("deadline_ms", env.deadline_ms);
+    request.set("params", env.params);
+    journal_->record_accepted(key, request);
+  }
 
   // Admission: mint the job's trace root and stamp the clock here, on the
   // reader thread — queue wait starts now, not when a worker first sees the
@@ -362,16 +537,33 @@ void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
   const obs::TraceContext exec_ctx = obs::mint_child(root);
   const std::uint64_t admitted_ns = obs::now_ns();
 
-  // The job owns the envelope and a reference to the connection; the reply
-  // goes out from the worker thread, streaming results in completion order.
-  auto body = [this, conn, env = std::move(env), is_simulate, kind, tenant,
-               root, queued_ctx, exec_ctx,
+  // The job owns the envelope; the reply goes out from the worker thread via
+  // the waiter table (deliver_keyed_reply), streaming in completion order.
+  auto body = [this, env = std::move(env), is_simulate, kind, tenant, key,
+               ticket, root, queued_ctx, exec_ctx,
                admitted_ns](const common::CancelToken& cancel) {
     const std::uint64_t start_ns = obs::now_ns();
+    // Exec ids are unique per actual execution, across restarts (boot-id
+    // prefixed): the chaos harness proves exactly-once execution by checking
+    // every reply for one request id carries the same exec id.
+    const std::string exec_id =
+        boot_id_ + "-" +
+        std::to_string(exec_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+    if (!key.empty()) journal_->record_started(key, exec_id);
+
+    // Arm the watchdog: a per-job token linked to the scheduler's stop token
+    // (strike 1 cancels this job alone), a progress beacon bumped by every
+    // deadline poll (strike 2 requires the beacon frozen — the job is wedged
+    // in non-polling code, not merely slow).
+    ticket->cancel = common::CancelToken::linked(cancel);
+    ticket->started_at = std::chrono::steady_clock::now();
     common::Deadline deadline = env.deadline_ms > 0
                                     ? common::Deadline::after_ms(env.deadline_ms)
                                     : common::Deadline::from_env();
-    deadline = deadline.with_token(cancel);
+    deadline = deadline.with_token(ticket->cancel)
+                   .with_progress(ticket->beacon);
+    watchdog_->watch(ticket);
+
     json::Value reply;
     const char* status = "ok";
     try {
@@ -399,6 +591,7 @@ void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
       reply = make_error_reply(env.id, "internal", e.what());
     }
     const std::uint64_t exec_end_ns = obs::now_ns();
+    watchdog_->release(ticket);
 
     // Every job reply carries its server-side timeline, so clients can split
     // their measured latency into queue wait vs execution without a second
@@ -412,10 +605,28 @@ void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
     const std::uint64_t reply_start_ns = obs::now_ns();
     timeline.set("reply_ns", reply_start_ns - exec_end_ns);
     reply.set("timeline", std::move(timeline));
+    reply.set("exec", exec_id);
+
+    // Exactly-one-reply arbitration with the reaper: whoever flips the flag
+    // first owns the reply. Losing means the watchdog already answered (and
+    // journaled) for this job while this thread was wedged — suppress
+    // everything and hand the slot accounting back to the scheduler.
+    if (ticket->replied->exchange(true)) {
+      scheduler_.note_wedged_worker_returned();
+      return;
+    }
 
     if (reply.find("error") != nullptr)
       counters_.job_errors.fetch_add(1, std::memory_order_relaxed);
-    send_reply(conn, reply);
+    if (!key.empty()) {
+      // A key completing twice is the invariant the whole journal exists to
+      // uphold; the counter is the chaos gate (must stay 0).
+      if (replay_.contains(key))
+        counters_.duplicate_exec.fetch_add(1, std::memory_order_relaxed);
+      journal_->record_done(key, reply);  // durable BEFORE any send
+      replay_.put(key, reply);
+    }
+    deliver_keyed_reply(ticket->wait_key, reply);
     const std::uint64_t end_ns = obs::now_ns();
 
     // Commit the phase spans now that every interval is known: one connected
@@ -447,7 +658,24 @@ void QapproxServer::dispatch_job(const std::shared_ptr<ConnState>& conn,
   std::string reject_reason;
   if (!scheduler_.submit(tenant, std::move(body), &reject_reason)) {
     counters_.overloaded.fetch_add(1, std::memory_order_relaxed);
-    send_reply(conn, make_error_reply(request_id, "overloaded", reject_reason));
+    // Close the key in the journal (nothing ran; recovery must not
+    // re-enqueue it) and bounce every waiter — retries may have attached
+    // between registration and this rejection.
+    if (!key.empty()) journal_->record_rejected(key);
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(ticket->wait_key);
+      if (it != inflight_.end()) {
+        waiters = std::move(it->second);
+        inflight_.erase(it);
+      }
+    }
+    for (const Waiter& w : waiters) {
+      send_reply(w.conn,
+                 make_error_reply(w.request_id, "overloaded", reject_reason));
+      ConnState::job_end(w.conn);
+    }
   }
 }
 
@@ -476,17 +704,139 @@ void QapproxServer::record_job_metrics(const char* kind,
 
 void QapproxServer::send_reply(const std::shared_ptr<ConnState>& conn,
                                const json::Value& reply) {
+  // Journal-recovered jobs have no connection: their reply lives in the
+  // replay cache, waiting for the client's retry.
+  if (conn == nullptr) return;
   if (!conn->write_ok.load(std::memory_order_relaxed)) return;
-  const std::string payload = reply.dump();
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  try {
-    write_frame_fd(conn->fd, payload);
-    counters_.replies.fetch_add(1, std::memory_order_relaxed);
-  } catch (const common::Error&) {
-    // Client went away; remaining replies for this connection are dropped
-    // (and counted) rather than retried against a dead socket.
+  std::string payload = reply.dump();
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->q_mu);
+    if (conn->queued_bytes + payload.size() > options_.write_budget_bytes) {
+      overflow = true;
+      conn->queue.clear();
+      conn->queued_bytes = 0;
+    } else {
+      conn->queued_bytes += payload.size();
+      conn->queue.push_back(std::move(payload));
+    }
+  }
+  if (overflow) {
+    // Slow reader: the client cannot keep up with its own replies. Cut it
+    // off at the budget — buffering without bound would let one stalled
+    // client hold reply memory for the whole server hostage.
     conn->write_ok.store(false, std::memory_order_relaxed);
-    counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+    counters_.slow_disconnects.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.conn.slow_disconnects").add(1);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  conn->q_cv.notify_all();
+}
+
+void QapproxServer::writer_loop(std::shared_ptr<ConnState> conn) {
+  std::unique_lock<std::mutex> lock(conn->q_mu);
+  while (true) {
+    conn->q_cv.wait(lock, [&] {
+      return !conn->queue.empty() || conn->stop ||
+             !conn->write_ok.load(std::memory_order_relaxed) ||
+             (conn->reader_done && conn->pending_jobs == 0);
+    });
+    if (!conn->write_ok.load(std::memory_order_relaxed)) return;
+    if (!conn->queue.empty()) {
+      std::string payload = std::move(conn->queue.front());
+      conn->queue.pop_front();
+      conn->queued_bytes -= payload.size();
+      lock.unlock();
+      try {
+        write_frame_fd(conn->fd, payload);
+        counters_.replies.fetch_add(1, std::memory_order_relaxed);
+      } catch (const common::Error&) {
+        // Client went away (or SO_SNDTIMEO fired on a wedged peer);
+        // remaining replies for this connection are dropped and counted,
+        // never retried against a dead socket.
+        conn->write_ok.store(false, std::memory_order_relaxed);
+        counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      lock.lock();
+      continue;
+    }
+    // Queue drained: exit once no more replies can arrive (stop() drains the
+    // scheduler before flagging, so pending replies are already queued) or
+    // once this connection's reader is gone and its last job has replied.
+    if (conn->stop || (conn->reader_done && conn->pending_jobs == 0)) return;
+  }
+}
+
+void QapproxServer::deliver_keyed_reply(const std::string& key,
+                                        const json::Value& reply) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      waiters = std::move(it->second);
+      inflight_.erase(it);
+    }
+  }
+  // The first waiter started the execution; the rest are retries that
+  // attached mid-flight and get the same reply marked as replayed.
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    json::Value copy = reply;
+    copy.set("id", waiters[i].request_id);
+    if (i > 0) copy.set("replayed", true);
+    send_reply(waiters[i].conn, copy);
+    ConnState::job_end(waiters[i].conn);
+  }
+}
+
+void QapproxServer::reap_job(const std::shared_ptr<JobTicket>& ticket) {
+  // Arbitrate with the worker: if it replied between the scan and this
+  // callback, there is nothing to reap.
+  if (ticket->replied->exchange(true)) return;
+  counters_.reaped.fetch_add(1, std::memory_order_relaxed);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                ticket->started_at)
+                                .count();
+  char msg[160];
+  std::snprintf(msg, sizeof(msg),
+                "%s job ran %.0f ms against a %.0f ms budget without polling "
+                "its deadline; slot reaped",
+                ticket->kind.c_str(), elapsed_ms, ticket->budget_ms);
+  json::Value reply = make_error_reply(ticket->request_id, "reaped", msg);
+  reply.set("timed_out", true);
+  if (!ticket->key.empty()) {
+    // The key is burnt: the wedged thread may yet complete its side effects,
+    // so a retry must replay this error, never re-execute. A fresh attempt
+    // needs a fresh idempotency key.
+    journal_->record_done(ticket->key, reply);
+    replay_.put(ticket->key, reply);
+  }
+  deliver_keyed_reply(ticket->wait_key, reply);
+  // Replace the wedged slot so throughput survives the loss; the surplus
+  // worker retires once the stuck thread finally returns.
+  scheduler_.spawn_surplus_worker();
+}
+
+void QapproxServer::replay_recovered_jobs() {
+  if (journal_ == nullptr || !journal_->enabled()) return;
+  std::vector<RecoveredJob> jobs = std::move(journal_->recovered());
+  for (RecoveredJob& job : jobs) {
+    std::string error;
+    json::Value salvage_id;
+    std::optional<RequestEnvelope> env =
+        parse_request(job.request.dump(), &error, &salvage_id);
+    if (!env || (env->type != RequestType::Simulate &&
+                 env->type != RequestType::Synthesize)) {
+      QC_LOG_WARN("serve", "journal: dropping unusable recovered job %s: %s",
+                  job.key.c_str(), error.c_str());
+      continue;
+    }
+    counters_.recovered_jobs.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.journal.replayed_jobs").add(1);
+    // No connection: the reply lands in the replay cache for the client's
+    // retry. recovered=true keeps the journal's incomplete entry as-is.
+    dispatch_job(nullptr, std::move(*env), /*recovered=*/true);
   }
 }
 
@@ -519,11 +869,33 @@ void QapproxServer::stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  // 2. Drain the scheduler: every accepted job runs under a cancelled token
-  // and sends its reply while the connections are still alive.
+  // 2. Stop the watchdog before draining: a reap callback racing teardown
+  // would touch the journal and scheduler mid-destruction.
+  if (watchdog_) watchdog_->stop();
+
+  // 3. Drain the scheduler: every accepted job runs under a cancelled token
+  // and queues its reply while the connections are still alive.
   scheduler_.stop();
 
-  // 3. Unblock readers (shutdown, not close — ConnState owns the fd) and
+  // 4. Flush and join the writers (before the readers: every drained job's
+  // reply is queued by now, and the writers must send them before the fd
+  // shutdown below can race the last frames onto a closing socket).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& weak : conns_)
+      if (auto conn = weak.lock()) {
+        {
+          std::lock_guard<std::mutex> ql(conn->q_mu);
+          conn->stop = true;
+        }
+        conn->q_cv.notify_all();
+      }
+  }
+  for (std::thread& t : writers_)
+    if (t.joinable()) t.join();
+  writers_.clear();
+
+  // 5. Unblock readers (shutdown, not close — ConnState owns the fd) and
   // join them.
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -535,7 +907,7 @@ void QapproxServer::stop() {
   readers_.clear();
   conns_.clear();
 
-  // 4. Stop the metrics exporter and leave final observability artifacts:
+  // 6. Stop the metrics exporter and leave final observability artifacts:
   // the pending tail-sample window, one last metrics snapshot, and the
   // armed QAPPROX_TRACE / QAPPROX_METRICS exports — a SIGTERM'd daemon must
   // not rely on atexit ordering to preserve its soak evidence.
@@ -549,7 +921,18 @@ void QapproxServer::stop() {
   if (options_.metrics_period_ms > 0.0) write_metric_snapshots();
   obs::flush_exports();
 
-  // 5. Snapshot the synthesis cache for the next warm start.
+  // 7. Compact the journal: appends are quiesced, so a clean drain leaves a
+  // DONE-only log (the CI chaos gate walks the frames and asserts exactly
+  // that).
+  if (journal_) {
+    try {
+      journal_->compact();
+    } catch (const common::Error& e) {
+      QC_LOG_WARN("serve", "journal compaction failed: %s", e.what());
+    }
+  }
+
+  // 8. Snapshot the synthesis cache for the next warm start.
   if (!options_.synth_cache_dir.empty()) {
     try {
       const std::size_t n = synth::synth_cache_save(options_.synth_cache_dir);
@@ -601,7 +984,52 @@ json::Value QapproxServer::build_stats() const {
   scheduler.set("rejected", sched.rejected);
   scheduler.set("completed", sched.completed);
   scheduler.set("peak_queued", sched.peak_queued);
+  scheduler.set("live_workers", sched.live_workers);
+  scheduler.set("surplus_spawned", sched.surplus_spawned);
   stats.set("scheduler", std::move(scheduler));
+
+  const DurabilityStats dur = durability_stats();
+  json::Value durability = json::Value::object();
+  durability.set("replayed", dur.replayed);
+  durability.set("attached", dur.attached);
+  durability.set("recovered_jobs", dur.recovered_jobs);
+  durability.set("reaped", dur.reaped);
+  durability.set("duplicate_exec", dur.duplicate_exec);  // chaos gate: == 0
+  durability.set("slow_disconnects", dur.slow_disconnects);
+  stats.set("durability", std::move(durability));
+
+  const JournalStats js = journal_stats();
+  json::Value journal = json::Value::object();
+  journal.set("enabled", js.enabled);
+  journal.set("path", js.path);
+  journal.set("accepted", js.accepted);
+  journal.set("started", js.started);
+  journal.set("done", js.done);
+  journal.set("appended_bytes", js.appended_bytes);
+  journal.set("sync_calls", js.sync_calls);
+  journal.set("recovered_replies", js.recovered_replies);
+  journal.set("recovered_incomplete", js.recovered_incomplete);
+  journal.set("torn_bytes", js.torn_bytes);
+  journal.set("compactions", js.compactions);
+  journal.set("recovery_ms", js.recovery_ms);
+  stats.set("journal", std::move(journal));
+
+  json::Value replay = json::Value::object();
+  replay.set("entries", replay_.size());
+  replay.set("cap", replay_.cap());
+  replay.set("hits", replay_.hits());
+  replay.set("misses", replay_.misses());
+  replay.set("evictions", replay_.evictions());
+  stats.set("replay_cache", std::move(replay));
+
+  const WatchdogStats ws = watchdog_stats();
+  json::Value watchdog = json::Value::object();
+  watchdog.set("enabled", ws.enabled);
+  watchdog.set("scans", ws.scans);
+  watchdog.set("strikes", ws.strikes);
+  watchdog.set("reaped", ws.reaped);
+  watchdog.set("watched", ws.watched);
+  stats.set("watchdog", std::move(watchdog));
 
   const exec::CacheSnapshot engine = driver::engine().cache_stats_snapshot();
   json::Value engine_cache = json::Value::object();
@@ -677,6 +1105,25 @@ json::Value QapproxServer::build_stats() const {
     stats.set("metrics", obs::metrics_json());
   }
   return stats;
+}
+
+QapproxServer::DurabilityStats QapproxServer::durability_stats() const {
+  DurabilityStats d;
+  d.replayed = counters_.replayed.load();
+  d.attached = counters_.attached.load();
+  d.recovered_jobs = counters_.recovered_jobs.load();
+  d.reaped = counters_.reaped.load();
+  d.duplicate_exec = counters_.duplicate_exec.load();
+  d.slow_disconnects = counters_.slow_disconnects.load();
+  return d;
+}
+
+WatchdogStats QapproxServer::watchdog_stats() const {
+  return watchdog_ ? watchdog_->stats() : WatchdogStats{};
+}
+
+JournalStats QapproxServer::journal_stats() const {
+  return journal_ ? journal_->stats() : JournalStats{};
 }
 
 json::Value QapproxServer::build_metrics(const std::string& format) const {

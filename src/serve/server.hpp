@@ -6,21 +6,32 @@
 // (scheduler.hpp), so every client amortizes one warm ExecutionEngine and
 // one warm synthesis cache instead of cold-starting a process per figure.
 //
-// Structure: an accept thread spawns one reader thread per connection;
-// readers decode frames and either answer inline (ping/stats/shutdown —
-// cheap, never queued behind synthesis) or submit a job. Replies stream
-// back in completion order under a per-connection write lock; a connection
-// object stays alive (via shared_ptr) until its last queued job has
-// replied, so a client that disconnects early never turns into a
-// use-after-close.
+// Structure: an accept thread spawns one reader and one writer thread per
+// connection; readers decode frames and either answer inline (ping/stats/
+// shutdown — cheap, never queued behind synthesis) or submit a job. Replies
+// stream back in completion order through a bounded per-connection write
+// queue (QAPPROX_WRITE_BUDGET; a reader slower than its replies is
+// disconnected rather than buffered without limit); a connection object
+// stays alive (via shared_ptr) until its last queued job has replied.
 //
-// Lifecycle: start() warm-starts the synthesis cache from
-// QAPPROX_SYNTH_CACHE_DIR (when set), binds, and returns; wait() blocks
-// until a shutdown request (wire or signal handler calling
-// request_shutdown()); stop() closes the listener, drains the scheduler
-// (every accepted job runs, under a cancelled token — exactly one reply
-// per request, never a leak), unblocks and joins the readers, and
-// snapshots the synthesis cache back to disk.
+// Crash durability (DESIGN.md §14): with QAPPROX_JOURNAL_DIR set,
+// idempotency-keyed jobs are journaled ACCEPTED/STARTED/DONE over a
+// CRC-framed WAL — DONE fsync'd before the reply is sent — so a SIGKILL
+// mid-load loses no acked work: restart replays the journal, rebuilds the
+// reply-replay cache, and re-enqueues incomplete jobs. Retries carrying the
+// same "idem" key replay the cached reply or attach to the in-flight
+// execution instead of re-executing. A watchdog (QAPPROX_WATCHDOG_MS)
+// cancels overdue jobs and, when a job stops polling entirely, reaps its
+// slot with a structured "reaped" reply and a replacement worker.
+//
+// Lifecycle: start() recovers the journal, warm-starts the synthesis cache
+// from QAPPROX_SYNTH_CACHE_DIR (when set), re-enqueues recovered jobs,
+// binds, and returns; wait() blocks until a shutdown request (wire or
+// signal handler calling request_shutdown()); stop() closes the listener,
+// stops the watchdog, drains the scheduler (every accepted job runs, under
+// a cancelled token — exactly one reply per request, never a leak), flushes
+// and joins the writers, unblocks and joins the readers, compacts the
+// journal, and snapshots the synthesis cache back to disk.
 #pragma once
 
 #include <atomic>
@@ -32,13 +43,16 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.hpp"
 #include "obs/trace.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/tail.hpp"
+#include "serve/watchdog.hpp"
 #include "serve/wire.hpp"
 
 namespace qc::serve {
@@ -64,11 +78,26 @@ struct ServerOptions {
   /// Span of one rolling-histogram window for the per-job SLO metrics
   /// (QAPPROX_METRICS_WINDOW_MS). Geometry is fixed at first use.
   double metrics_window_ms = 1000.0;
+  /// Job-journal directory ("" = crash durability off). When set, idem-keyed
+  /// jobs are journaled (see journal.hpp) and restart re-enqueues incomplete
+  /// work (QAPPROX_JOURNAL_DIR).
+  std::string journal_dir;
+  /// Reply-replay cache entries (QAPPROX_REPLAY_CACHE). Retries of keys past
+  /// the cap re-execute, so size chaos/retry horizons under it.
+  std::size_t replay_cache_cap = 4096;
+  /// Per-connection write-queue byte budget (QAPPROX_WRITE_BUDGET). A reader
+  /// slower than its replies accumulate is disconnected at the budget
+  /// instead of growing the queue without bound.
+  std::size_t write_budget_bytes = 8u << 20;
+  /// Hung-job watchdog (QAPPROX_WATCHDOG_MS / QAPPROX_WATCHDOG_GRACE).
+  WatchdogOptions watchdog;
 
   /// Reads QAPPROX_SERVE_SOCKET / _WORKERS / _QUEUE_CAP /
   /// QAPPROX_SYNTH_CACHE_DIR / QAPPROX_TRACE_DIR / QAPPROX_TAIL_K /
-  /// QAPPROX_METRICS_PERIOD_MS / QAPPROX_METRICS_WINDOW_MS (malformed
-  /// numbers warn and keep defaults).
+  /// QAPPROX_METRICS_PERIOD_MS / QAPPROX_METRICS_WINDOW_MS /
+  /// QAPPROX_JOURNAL_DIR / QAPPROX_REPLAY_CACHE / QAPPROX_WRITE_BUDGET /
+  /// QAPPROX_WATCHDOG_MS / QAPPROX_WATCHDOG_GRACE (malformed numbers warn
+  /// and keep defaults).
   static ServerOptions from_env();
 };
 
@@ -111,17 +140,42 @@ class QapproxServer {
   /// Tail-sampler counters (tests / exit summary).
   TailSamplerStats tail_stats() const { return tail_.stats(); }
 
+  /// Journal / replay / watchdog / write-queue counters (tests and the
+  /// stats payload's "durability" section).
+  struct DurabilityStats {
+    std::uint64_t replayed = 0;        // replies served from the replay cache
+    std::uint64_t attached = 0;        // retries merged into in-flight jobs
+    std::uint64_t recovered_jobs = 0;  // re-enqueued from the journal
+    std::uint64_t reaped = 0;          // watchdog gave the slot up
+    std::uint64_t duplicate_exec = 0;  // MUST stay 0: the chaos-gate counter
+    std::uint64_t slow_disconnects = 0;
+  };
+  DurabilityStats durability_stats() const;
+  WatchdogStats watchdog_stats() const;
+  JournalStats journal_stats() const;
+
  private:
   struct ConnState;
+  struct Waiter {
+    std::shared_ptr<ConnState> conn;  // null for journal-recovered jobs
+    common::json::Value request_id;
+  };
 
   void accept_loop();
   void handle_connection(std::shared_ptr<ConnState> conn);
   void handle_frame(const std::shared_ptr<ConnState>& conn,
                     const std::string& payload);
   void dispatch_job(const std::shared_ptr<ConnState>& conn,
-                    RequestEnvelope env);
+                    RequestEnvelope env, bool recovered = false);
   void send_reply(const std::shared_ptr<ConnState>& conn,
                   const common::json::Value& reply);
+  void writer_loop(std::shared_ptr<ConnState> conn);
+  /// Pops `key`'s waiter list and sends each its (id-patched) copy of
+  /// `reply`, closing the per-connection pending-job accounting.
+  void deliver_keyed_reply(const std::string& key,
+                           const common::json::Value& reply);
+  void reap_job(const std::shared_ptr<JobTicket>& ticket);
+  void replay_recovered_jobs();
   void exporter_loop();
   void write_metric_snapshots() const;
   /// Records one finished job into the rolling SLO instruments
@@ -133,11 +187,23 @@ class QapproxServer {
   ServerOptions options_;
   JobScheduler scheduler_;
   TailSampler tail_;
+  ReplayCache replay_;
+  std::unique_ptr<JobJournal> journal_;    // created (and recovered) at start()
+  std::unique_ptr<Watchdog> watchdog_;     // created at start()
+  std::string boot_id_;                    // exec-id prefix, unique per boot
+  std::atomic<std::uint64_t> exec_seq_{0};
+  std::atomic<std::uint64_t> ticket_seq_{0};
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::thread exporter_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+
+  // In-flight idempotency keys -> every connection waiting on the result.
+  // The first waiter is the request that started the execution; later ones
+  // are retries that attached instead of re-executing.
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::vector<Waiter>> inflight_;
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;
@@ -149,6 +215,7 @@ class QapproxServer {
 
   std::mutex conns_mu_;
   std::vector<std::thread> readers_;
+  std::vector<std::thread> writers_;  // joined before readers at stop()
   std::list<std::weak_ptr<ConnState>> conns_;
 
   std::chrono::steady_clock::time_point started_at_;
@@ -169,6 +236,12 @@ class QapproxServer {
     std::atomic<std::uint64_t> replies{0};
     std::atomic<std::uint64_t> write_failures{0};
     std::atomic<std::uint64_t> job_errors{0};
+    std::atomic<std::uint64_t> replayed{0};
+    std::atomic<std::uint64_t> attached{0};
+    std::atomic<std::uint64_t> recovered_jobs{0};
+    std::atomic<std::uint64_t> reaped{0};
+    std::atomic<std::uint64_t> duplicate_exec{0};
+    std::atomic<std::uint64_t> slow_disconnects{0};
   };
   mutable Counters counters_;
   std::uint64_t warm_loaded_ = 0;  // cache entries loaded at start()

@@ -1,7 +1,10 @@
 // qapprox server tests: wire framing edge cases, request parsing, fair
-// scheduling and admission control, synthesis-cache persistence, and
+// scheduling and admission control, synthesis-cache persistence,
 // socket-level integration (garbage input, oversized frames, overload
-// backpressure, clean shutdown with in-flight jobs, warm restarts).
+// backpressure, clean shutdown with in-flight jobs, warm restarts), and the
+// crash-durability machinery — idempotent replay, in-flight retry attach,
+// watchdog reaping, journal recovery across restart, write-budget
+// disconnects, and client reconnect backoff.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -910,6 +913,279 @@ TEST(Jobs, SimulateJobHonorsItsDeadlineWithAPartialResult) {
   EXPECT_TRUE(out.degraded);
   EXPECT_FALSE(out.why.empty());
   EXPECT_TRUE(out.result.get_bool("timed_out", false));
+}
+
+// ---- crash durability: replay, attach, watchdog, journal recovery ----------
+
+TEST(FrameDecoder, CorpusSplitAtEveryOffsetAlwaysResynchronizes) {
+  const std::string corpus = encode_frame("alpha") +
+                             encode_frame(std::string(300, 'x')) +
+                             encode_frame("") + encode_frame("omega");
+  for (std::size_t split = 0; split <= corpus.size(); ++split) {
+    FrameDecoder dec;
+    dec.feed(corpus.data(), split);
+    std::vector<std::string> got;
+    while (auto frame = dec.next()) got.push_back(frame->payload);
+    dec.feed(corpus.data() + split, corpus.size() - split);
+    while (auto frame = dec.next()) got.push_back(frame->payload);
+    ASSERT_EQ(got.size(), 4u) << "split at " << split;
+    EXPECT_EQ(got[0], "alpha");
+    EXPECT_EQ(got[1].size(), 300u);
+    EXPECT_EQ(got[2], "");
+    EXPECT_EQ(got[3], "omega");
+    EXPECT_FALSE(dec.poisoned());
+  }
+}
+
+Value keyed_simulate(std::uint64_t id, const std::string& idem,
+                     int sleep_ms = 0, int hang_ms = 0,
+                     double deadline_ms = 0.0) {
+  Value req = Value::object();
+  req.set("id", id);
+  req.set("type", "simulate");
+  req.set("tenant", "t0");
+  if (!idem.empty()) req.set("idem", idem);
+  if (deadline_ms > 0.0) req.set("deadline_ms", deadline_ms);
+  Value params = Value::object();
+  params.set("workload", "tfim");
+  params.set("qubits", 3);
+  params.set("steps", 2);
+  params.set("shots", 128);
+  if (sleep_ms > 0) params.set("sleep_ms", sleep_ms);
+  if (hang_ms > 0) params.set("hang_ms", hang_ms);
+  req.set("params", std::move(params));
+  return req;
+}
+
+TEST(Server, IdempotentRetryReplaysTheCachedReplyWithoutReExecuting) {
+  QapproxServer server(test_options("idem"));
+  server.start();
+  Client client = Client::connect(server.options().socket_path);
+
+  const Value first = client.call(keyed_simulate(1, "idem-a"));
+  ASSERT_EQ(first.get_string("status", ""), "ok") << first.dump();
+  const std::string exec = first.get_string("exec", "");
+  ASSERT_FALSE(exec.empty()) << "job replies must carry their exec id";
+  EXPECT_FALSE(first.get_bool("replayed", false));
+
+  // Same key, new request id: the retry is answered from the replay cache,
+  // re-stamped with its own id, flagged, and carrying the ORIGINAL exec id —
+  // proof nothing ran twice.
+  const Value retry = client.call(keyed_simulate(2, "idem-a"));
+  EXPECT_EQ(retry.get_string("status", ""), "ok");
+  EXPECT_EQ(retry.find("id")->as_uint64(), 2u);
+  EXPECT_TRUE(retry.get_bool("replayed", false));
+  EXPECT_EQ(retry.get_string("exec", ""), exec);
+
+  // A different key under the same tenant is its own execution.
+  const Value other = client.call(keyed_simulate(3, "idem-b"));
+  EXPECT_FALSE(other.get_bool("replayed", false));
+  EXPECT_NE(other.get_string("exec", ""), exec);
+
+  const QapproxServer::DurabilityStats dur = server.durability_stats();
+  EXPECT_EQ(dur.replayed, 1u);
+  EXPECT_EQ(dur.duplicate_exec, 0u);
+  server.stop();
+}
+
+TEST(Server, ConcurrentRetryAttachesToTheInflightExecution) {
+  ServerOptions opts = test_options("attach");
+  opts.scheduler.workers = 1;
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // The first request holds the worker for ~300 ms (cooperative stall); the
+  // pipelined retry lands while it is in flight and must attach, not queue a
+  // second execution.
+  client.send(keyed_simulate(1, "shared", /*sleep_ms=*/300));
+  client.send(keyed_simulate(2, "shared"));
+
+  std::map<std::uint64_t, Value> replies;
+  for (int i = 0; i < 2; ++i) {
+    auto reply = client.recv();
+    ASSERT_TRUE(reply.has_value());
+    replies.emplace(reply->find("id")->as_uint64(), *reply);
+  }
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_FALSE(replies.at(1).get_bool("replayed", false));
+  EXPECT_TRUE(replies.at(2).get_bool("replayed", false));
+  EXPECT_EQ(replies.at(1).get_string("exec", "?"),
+            replies.at(2).get_string("exec", "??"))
+      << "attached retry must share the one execution";
+
+  const QapproxServer::DurabilityStats dur = server.durability_stats();
+  EXPECT_EQ(dur.attached, 1u);
+  EXPECT_EQ(dur.duplicate_exec, 0u);
+  server.stop();
+}
+
+TEST(Server, WatchdogReapsAWedgedJobAndTheServerKeepsServing) {
+  ServerOptions opts = test_options("reap");
+  opts.scheduler.workers = 1;
+  opts.watchdog.scan_period_ms = 20.0;
+  opts.watchdog.grace = 1.0;
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // hang_ms ignores the deadline entirely — a stand-in for a job wedged in
+  // non-polling code. Budget 50 ms, so it goes overdue almost immediately,
+  // never bumps its beacon, and strike 2 reaps the slot.
+  const Value reaped = client.call(
+      keyed_simulate(1, "wedged", /*sleep_ms=*/0, /*hang_ms=*/1500,
+                     /*deadline_ms=*/50.0));
+  EXPECT_EQ(reaped.get_string("status", ""), "error") << reaped.dump();
+  ASSERT_NE(reaped.find("error"), nullptr);
+  EXPECT_EQ(reaped.find("error")->get_string("kind", ""), "reaped");
+  EXPECT_TRUE(reaped.get_bool("timed_out", false));
+
+  // The wedged thread still holds the original worker, but the reap spawned
+  // a surplus one: the server must keep serving immediately.
+  const Value next = client.call(keyed_simulate(2, "after-reap"));
+  EXPECT_EQ(next.get_string("status", ""), "ok") << next.dump();
+
+  // A retry of the reaped key replays the reaped error — the key is burnt,
+  // not silently re-executed.
+  const Value retry = client.call(keyed_simulate(3, "wedged"));
+  EXPECT_EQ(retry.get_string("status", ""), "error");
+  EXPECT_TRUE(retry.get_bool("replayed", false));
+
+  EXPECT_EQ(server.durability_stats().reaped, 1u);
+  EXPECT_GE(server.watchdog_stats().reaped, 1u);
+  EXPECT_EQ(server.durability_stats().duplicate_exec, 0u);
+  server.stop();  // blocks until the wedged sleep returns; bounded at 1.5 s
+}
+
+TEST(Server, CooperativelySlowJobIsCancelledNotReaped) {
+  ServerOptions opts = test_options("coop");
+  opts.watchdog.scan_period_ms = 20.0;
+  opts.watchdog.grace = 1.0;
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // sleep_ms polls the deadline every 5 ms: the job blows its 60 ms budget
+  // but keeps bumping its beacon, so strike 1 cancels it and it winds down
+  // with a degraded partial — the watchdog must never reap it.
+  const Value reply = client.call(
+      keyed_simulate(1, "slow", /*sleep_ms=*/400, /*hang_ms=*/0,
+                     /*deadline_ms=*/60.0));
+  const std::string status = reply.get_string("status", "");
+  EXPECT_TRUE(status == "ok" || status == "degraded") << reply.dump();
+  EXPECT_EQ(server.watchdog_stats().reaped, 0u);
+  EXPECT_EQ(server.durability_stats().reaped, 0u);
+  server.stop();
+}
+
+TEST(Server, JournalRecoveryServesCachedRepliesAcrossRestart) {
+  const std::string dir = make_temp_dir();
+  std::string exec;
+  {
+    ServerOptions opts = test_options("jrn1");
+    opts.journal_dir = dir;
+    QapproxServer server(opts);
+    server.start();
+    Client client = Client::connect(opts.socket_path);
+    const Value reply = client.call(keyed_simulate(1, "stable"));
+    ASSERT_EQ(reply.get_string("status", ""), "ok") << reply.dump();
+    exec = reply.get_string("exec", "");
+    ASSERT_FALSE(exec.empty());
+    server.stop();  // clean drain: compacts the journal to DONE records
+  }
+
+  ServerOptions opts = test_options("jrn2");
+  opts.journal_dir = dir;
+  QapproxServer server(opts);
+  server.start();
+  EXPECT_GE(server.journal_stats().recovered_replies, 1u);
+  EXPECT_EQ(server.durability_stats().recovered_jobs, 0u)
+      << "a completed job must not re-enqueue";
+  EXPECT_GT(server.journal_stats().recovery_ms, 0.0);
+
+  // The retry after the "crash" replays boot 1's reply — same exec id, which
+  // this boot could not have minted (exec ids are boot-prefixed).
+  Client client = Client::connect(opts.socket_path);
+  const Value retry = client.call(keyed_simulate(2, "stable"));
+  EXPECT_EQ(retry.get_string("status", ""), "ok");
+  EXPECT_TRUE(retry.get_bool("replayed", false));
+  EXPECT_EQ(retry.get_string("exec", ""), exec);
+  server.stop();
+}
+
+TEST(Server, RecoveredIncompleteJobExecutesOnceAndAnswersItsRetry) {
+  const std::string dir = make_temp_dir();
+  // Forge the crash signature directly: an ACCEPTED record with no DONE, as
+  // a SIGKILL between admission and completion leaves behind.
+  const std::string key = std::string("t0") + '\x1f' + "recover-1";
+  {
+    ReplayCache scratch(8);
+    JobJournal journal(dir, &scratch);
+    journal.record_accepted(key, keyed_simulate(1, "recover-1"));
+  }
+
+  ServerOptions opts = test_options("jrec");
+  opts.journal_dir = dir;
+  QapproxServer server(opts);
+  server.start();
+  EXPECT_EQ(server.durability_stats().recovered_jobs, 1u);
+
+  // The client's retry either attaches to the re-enqueued execution or
+  // replays its cached reply — both paths surface as replayed=true, and
+  // either way there was exactly one execution.
+  Client client = Client::connect(opts.socket_path);
+  const Value retry = client.call(keyed_simulate(2, "recover-1"));
+  EXPECT_EQ(retry.get_string("status", ""), "ok") << retry.dump();
+  EXPECT_TRUE(retry.get_bool("replayed", false));
+  EXPECT_FALSE(retry.get_string("exec", "").empty());
+  EXPECT_EQ(server.durability_stats().duplicate_exec, 0u);
+  server.stop();
+}
+
+TEST(Server, WriteBudgetOverflowDisconnectsInsteadOfBufferingForever) {
+  ServerOptions opts = test_options("budget");
+  opts.write_budget_bytes = 256;  // smaller than any job reply
+  QapproxServer server(opts);
+  server.start();
+  Client client = Client::connect(opts.socket_path);
+
+  // Small inline replies fit the budget.
+  const Value pong = client.call(ping_request(1));
+  EXPECT_EQ(pong.get_string("status", ""), "ok");
+
+  // A job reply cannot fit 256 bytes: the server must drop the connection at
+  // the budget instead of queueing unbounded output for a slow reader.
+  client.send(keyed_simulate(2, ""));
+  EXPECT_FALSE(client.recv().has_value()) << "expected a budget disconnect";
+  for (int attempt = 0;
+       attempt < 200 && server.durability_stats().slow_disconnects == 0;
+       ++attempt)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.durability_stats().slow_disconnects, 1u);
+
+  // The server itself is healthy: new connections serve normally.
+  Client fresh = Client::connect(opts.socket_path);
+  EXPECT_EQ(fresh.call(ping_request(3)).get_string("status", ""), "ok");
+  server.stop();
+}
+
+TEST(Client, ConnectWithRetryRidesOutALateBindAndEventuallyGivesUp) {
+  ServerOptions opts = test_options("retry");
+  QapproxServer server(opts);
+  std::thread late_binder([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server.start();
+  });
+
+  // The socket does not exist yet; the backoff loop must ride the gap out.
+  Client client = Client::connect_with_retry(opts.socket_path, 10000.0);
+  EXPECT_EQ(client.call(ping_request(1)).get_string("status", ""), "ok");
+  late_binder.join();
+  server.stop();
+
+  EXPECT_THROW(Client::connect_with_retry(
+                   test_socket("never_bound"), /*budget_ms=*/80.0),
+               common::Error);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 // "shutdown" request or SIGINT/SIGTERM. Configuration is flags-over-env:
 //
 //   qapprox_serve [--socket=PATH] [--workers=N] [--queue-cap=N]
-//                 [--cache-dir=DIR] [--trace-dir=DIR]
+//                 [--cache-dir=DIR] [--trace-dir=DIR] [--journal-dir=DIR]
 //                 [--metrics-period-ms=N] [--version]
 //
 //   QAPPROX_SERVE_SOCKET       socket path        (default /tmp/qapprox.sock)
@@ -15,6 +15,16 @@
 //   QAPPROX_METRICS_PERIOD_MS  periodic metrics snapshots to the
 //                              QAPPROX_METRICS path (+ .prom) (default: off)
 //   QAPPROX_METRICS_WINDOW_MS  rolling SLO window span       (default 1000)
+//   QAPPROX_JOURNAL_DIR        crash-durable job journal dir (default: off)
+//   QAPPROX_REPLAY_CACHE       reply-replay cache entries    (default 4096)
+//   QAPPROX_WRITE_BUDGET       per-connection write-queue bytes (default 8 MiB)
+//   QAPPROX_WATCHDOG_MS        hung-job scan period; 0 = off (default 250)
+//   QAPPROX_WATCHDOG_GRACE     budget multiplier before a strike (default 4)
+//
+// For crash durability run it under tools/qapprox_supervisor (restart with
+// backoff + pidfile) and point QAPPROX_JOURNAL_DIR at a scratch directory:
+// a SIGKILL'd server replays its journal on the next spawn and loses no
+// acknowledged job.
 //
 // On exit the daemon prints its stats payload (the same JSON a "stats"
 // request returns) so soak scripts can assert on counters without keeping a
@@ -51,6 +61,7 @@ static int run(int argc, char** argv) {
       "queue-cap", static_cast<int>(opts.scheduler.queue_cap)));
   opts.synth_cache_dir = ctx.args.get("cache-dir", opts.synth_cache_dir);
   opts.trace_dir = ctx.args.get("trace-dir", opts.trace_dir);
+  opts.journal_dir = ctx.args.get("journal-dir", opts.journal_dir);
   opts.metrics_period_ms =
       ctx.args.get_double("metrics-period-ms", opts.metrics_period_ms);
 
