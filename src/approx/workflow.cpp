@@ -165,6 +165,37 @@ std::vector<ApproxCircuit> harvest_tools(const linalg::Matrix& target, int num_q
         },
         report);
   }
+  if (config.use_partition && reference != nullptr) {
+    synth::PartitionedSynthesisOptions opts = config.partition;
+    if (!opts.deadline.bounded()) opts.deadline = fallback_deadline;
+    run_with_retry(
+        "partition",
+        [&] {
+          synth::PartitionedSynthesisResult res =
+              synth::resynthesize_partitioned(*reference, opts);
+          if (res.timed_out) report.timed_out = true;
+          report.partition_blocks = res.blocks_total;
+          report.partition_blocks_resynthesized = res.blocks_resynthesized;
+          report.partition_unique_blocks = res.unique_blocks;
+          report.partition_dedupe_hits = res.dedupe_hits;
+          report.partition_block_failures = res.block_failures;
+          ApproxCircuit c;
+          c.circuit = std::move(res.circuit);
+          c.hs_distance = res.accumulated_hs;  // per-block sum (upper bound)
+          c.cnot_count = res.cnots_after;
+          c.source = "partition";
+          harvest.push_back(std::move(c));
+        },
+        [&] {
+          opts.qsearch.seed += kRetrySeedBump;
+          opts.qsearch.max_nodes = std::max(1, opts.qsearch.max_nodes / 2);
+          opts.qsearch.restarts_per_node =
+              std::max(1, opts.qsearch.restarts_per_node / 2);
+          opts.qsearch.optimizer.max_iterations =
+              std::max(1, opts.qsearch.optimizer.max_iterations / 2);
+        },
+        report);
+  }
   if (config.use_reducer && reference != nullptr) {
     synth::ReducerOptions opts = config.reducer;
     opts.callback = {};
@@ -213,7 +244,14 @@ std::vector<ApproxCircuit> generate_from_reference(const ir::QuantumCircuit& ref
   GenerationReport local;
   GenerationReport& rep = report != nullptr ? *report : local;
   rep = GenerationReport{};
-  const linalg::Matrix target = reference.unitary_part().to_unitary();
+  // The whole-circuit unitary is exponential in width; only the tools that
+  // search against it force its computation here. A partition-only config
+  // therefore scales to widths where to_unitary() on the reference is
+  // already intractable (the reducer computes its own target internally, so
+  // it offers no such escape).
+  const bool needs_target = config.use_qsearch || config.use_qfast;
+  const linalg::Matrix target =
+      needs_target ? reference.unitary_part().to_unitary() : linalg::Matrix();
   std::vector<ApproxCircuit> harvest =
       harvest_tools(target, reference.num_qubits(), config, coupling, &reference, rep);
   std::vector<ApproxCircuit> selected = select_candidates(

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/deadline.hpp"
+#include "synth/partition.hpp"
 #include "synth/qfast.hpp"
 #include "synth/qsearch.hpp"
 #include "synth/reducer.hpp"
@@ -27,6 +28,17 @@ struct GeneratorConfig {
 
   bool use_reducer = false;
   synth::ReducerOptions reducer;
+
+  /// Partitioned resynthesis (synth/partition.hpp): needs a reference
+  /// circuit, so it only runs through generate_from_reference. The one
+  /// tool that scales past whole-unitary search — when it is the only tool
+  /// enabled the reference's full unitary is never even computed, which is
+  /// what makes 8-10 qubit workflows tractable. Its harvested circuit
+  /// carries the *accumulated per-block* HS distance (an upper bound on the
+  /// whole-circuit drift), so presets pair it with an hs_threshold sized to
+  /// the partition budget rather than the 0.1-1.0 whole-unitary range.
+  bool use_partition = false;
+  synth::PartitionedSynthesisOptions partition;
 
   /// Selection threshold on HS distance. The paper never selects below 0.1,
   /// so values under 0.1 are clamped up to 0.1.
@@ -60,8 +72,18 @@ struct GenerationReport {
   std::uint64_t synth_cache_hits = 0;
   std::uint64_t synth_cache_misses = 0;
 
+  /// Partitioned-resynthesis stats (zero unless use_partition ran).
+  std::size_t partition_blocks = 0;
+  std::size_t partition_blocks_resynthesized = 0;
+  std::size_t partition_unique_blocks = 0;
+  std::size_t partition_dedupe_hits = 0;
+  /// Per-block searches that threw; their blocks passed through unchanged.
+  std::size_t partition_block_failures = 0;
+
   /// True when the result is anything less than a clean full harvest.
-  bool degraded() const { return failures > 0 || timed_out || fell_back; }
+  bool degraded() const {
+    return failures > 0 || timed_out || fell_back || partition_block_failures > 0;
+  }
 };
 
 /// Harvested + filtered approximate circuits for a target unitary.

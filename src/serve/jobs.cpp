@@ -230,9 +230,40 @@ JobOutcome run_synthesize_job(const json::Value& params,
     const int qubits = checked_qubits(params, 3, 6);
     reference = algos::mct_reference_circuit(qubits);
     gen = approx::toffoli_generator_preset(qubits, fast);
+  } else if (preset == "partition") {
+    // Partitioned resynthesis never computes the whole-circuit unitary, so
+    // it serves widths the other presets cannot (TFIM up to 10 qubits here
+    // vs build_workload's 6, or inline qasm up to the 12-qubit cap).
+    if (params.find("qasm") != nullptr) {
+      json::Value shape = params;
+      shape.set("workload", "qasm");
+      reference = build_workload(shape).circuit;
+    } else {
+      algos::TfimModel model;
+      model.num_qubits = checked_qubits(params, 3, 10);
+      const std::int64_t steps = params.get_int("steps", 10);
+      QC_CHECK_MSG(steps >= 1 && steps <= 64, "\"steps\" out of range [1, 64]");
+      model.num_steps = std::max(model.num_steps, static_cast<int>(steps));
+      reference = model.circuit_up_to(static_cast<int>(steps));
+    }
+    gen.use_qsearch = false;
+    gen.use_partition = true;
+    const std::int64_t block_qubits = params.get_int("block_qubits", 3);
+    QC_CHECK_MSG(block_qubits >= 2 && block_qubits <= 4,
+                 "\"block_qubits\" out of range [2, 4]");
+    gen.partition.block_qubits = static_cast<int>(block_qubits);
+    gen.partition.block_hs_budget =
+        params.get_number("block_hs_budget", gen.partition.block_hs_budget);
+    // total_hs_budget switches to the global allocator (noise-weighted when
+    // the job names a device below).
+    gen.partition.total_hs_budget = params.get_number("total_hs_budget", 0.0);
+    gen.partition.qsearch.max_nodes = fast ? 10 : 24;
+    gen.partition.qsearch.max_cnots = 4;
+    gen.partition.qsearch.optimizer.max_iterations = 60;
+    gen.hs_threshold = 1e9;  // per-block sums; selection happens per block
   } else {
     throw common::ContractError("unknown preset \"" + preset +
-                                "\" (tfim | grover | toffoli)");
+                                "\" (tfim | grover | toffoli | partition)");
   }
 
   gen.hs_threshold = params.get_number("hs_threshold", gen.hs_threshold);
@@ -249,6 +280,9 @@ JobOutcome run_synthesize_job(const json::Value& params,
   const noise::DeviceProperties* device = nullptr;
   if (!device_name.empty()) device = &driver::device(device_name);
   if (device != nullptr) coupling = &device->coupling;
+  // The partition budget allocator weighs blocks by calibration noise when
+  // the job names a device.
+  if (gen.use_partition) gen.partition.device = device;
 
   approx::GenerationReport report;
   std::vector<synth::ApproxCircuit> circuits;
@@ -303,6 +337,15 @@ JobOutcome run_synthesize_job(const json::Value& params,
   rep.set("fell_back", report.fell_back);
   rep.set("synth_cache_hits", report.synth_cache_hits);
   rep.set("synth_cache_misses", report.synth_cache_misses);
+  if (gen.use_partition) {
+    json::Value part = json::Value::object();
+    part.set("blocks_total", report.partition_blocks);
+    part.set("blocks_resynthesized", report.partition_blocks_resynthesized);
+    part.set("unique_blocks", report.partition_unique_blocks);
+    part.set("dedupe_hits", report.partition_dedupe_hits);
+    part.set("block_failures", report.partition_block_failures);
+    rep.set("partition", std::move(part));
+  }
   result.set("report", std::move(rep));
 
   JobOutcome out;
@@ -311,7 +354,9 @@ JobOutcome run_synthesize_job(const json::Value& params,
     out.degraded = true;
     out.why = report.fell_back  ? "harvest fell back to the exact reference"
               : report.timed_out ? "deadline truncated the harvest"
-                                 : "a synthesis tool failed and was retried/dropped";
+              : report.failures > 0
+                  ? "a synthesis tool failed and was retried/dropped"
+                  : "some partition blocks failed and passed through unchanged";
   }
   return out;
 }

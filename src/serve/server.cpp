@@ -1065,6 +1065,28 @@ json::Value QapproxServer::build_stats() const {
   synth_cache.set("warm_loaded", warm_loaded_);
   stats.set("synth_cache", std::move(synth_cache));
 
+  // Partitioned-resynthesis traffic across every partition-preset job this
+  // process has served (the same synth.partition.* counters QAPPROX_METRICS
+  // exports): how well intra-call dedupe + the synthesis cache collapse
+  // recurring blocks, and whether any per-block searches failed.
+  json::Value partition = json::Value::object();
+  partition.set("calls", obs::counter("synth.partition.calls").value());
+  partition.set("blocks_total",
+                obs::counter("synth.partition.blocks_total").value());
+  partition.set("blocks_resynthesized",
+                obs::counter("synth.partition.blocks_resynthesized").value());
+  partition.set("unique_blocks",
+                obs::counter("synth.partition.unique_blocks").value());
+  partition.set("dedupe_hits",
+                obs::counter("synth.partition.dedupe_hits").value());
+  partition.set("cache_hits",
+                obs::counter("synth.partition.cache_hits").value());
+  partition.set("cache_misses",
+                obs::counter("synth.partition.cache_misses").value());
+  partition.set("block_failures",
+                obs::counter("synth.partition.block_failures").value());
+  stats.set("partition", std::move(partition));
+
   // Gate-fusion effectiveness across every compile this process has run
   // (the same sim.compile.* counters QAPPROX_METRICS exports), so operators
   // can see how much the k<=4 fusion pass is collapsing job circuits.
